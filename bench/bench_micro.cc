@@ -1,0 +1,207 @@
+// Microbenchmarks (google-benchmark) for the hot data-path primitives:
+// journal append/peek/trim, CRC32C, WAL record codec, MiniDb commit,
+// event-queue churn, COW write path, and JSON (de)serialization. These
+// are wall-clock benchmarks of the library code itself, complementing
+// the simulated-time experiment benches E1-E7.
+#include <benchmark/benchmark.h>
+
+#include "block/mem_volume.h"
+#include "common/crc32c.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/value.h"
+#include "db/format.h"
+#include "db/minidb.h"
+#include "journal/journal.h"
+#include "sim/environment.h"
+#include "snapshot/snapshot.h"
+#include "storage/array.h"
+#include "workload/kv_workload.h"
+
+namespace zerobak {
+namespace {
+
+void BM_Crc32c(benchmark::State& state) {
+  const std::string data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32c(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_JournalAppendTrim(benchmark::State& state) {
+  journal::JournalVolume jnl(1ull << 30);
+  const size_t block = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    journal::JournalRecord rec;
+    rec.volume_id = 1;
+    rec.lba = 0;
+    rec.block_count = 1;
+    rec.data = std::string(block, 'd');
+    auto seq = jnl.Append(std::move(rec));
+    benchmark::DoNotOptimize(seq);
+    if (jnl.record_count() > 1024) {
+      (void)jnl.TrimThrough(jnl.written() - 512);
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(block));
+}
+BENCHMARK(BM_JournalAppendTrim)->Arg(512)->Arg(4096);
+
+void BM_JournalPeek(benchmark::State& state) {
+  journal::JournalVolume jnl(1ull << 30);
+  for (int i = 0; i < 4096; ++i) {
+    journal::JournalRecord rec;
+    rec.volume_id = 1;
+    rec.lba = static_cast<uint64_t>(i);
+    rec.block_count = 1;
+    rec.data = std::string(4096, 'd');
+    (void)jnl.Append(std::move(rec));
+  }
+  std::vector<journal::JournalRecord> batch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(jnl.Peek(0, 1 << 20, &batch));
+  }
+}
+BENCHMARK(BM_JournalPeek);
+
+void BM_WalRecordCodec(benchmark::State& state) {
+  db::WalRecord rec;
+  rec.lsn = 42;
+  rec.txn_id = 7;
+  rec.generation = 1;
+  for (int i = 0; i < state.range(0); ++i) {
+    rec.ops.push_back(db::Op{db::OpType::kPut, "orders",
+                             "order-" + std::to_string(i),
+                             std::string(100, 'v')});
+  }
+  for (auto _ : state) {
+    const std::string bytes = rec.Encode();
+    std::string_view in(bytes);
+    auto decoded = db::WalRecord::Decode(&in);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_WalRecordCodec)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_MiniDbCommit(benchmark::State& state) {
+  block::MemVolume device(1 + 2 * 1024 + 8192);
+  db::DbOptions opts;
+  opts.checkpoint_blocks = 1024;
+  opts.wal_blocks = 8192;
+  (void)db::MiniDb::Format(&device, opts);
+  auto db = std::move(db::MiniDb::Open(&device, opts)).value();
+  uint64_t i = 0;
+  for (auto _ : state) {
+    db::Transaction txn = db->Begin();
+    txn.Put("orders", "order-" + std::to_string(i % 4096),
+            std::string(static_cast<size_t>(state.range(0)), 'v'));
+    benchmark::DoNotOptimize(db->Commit(std::move(txn)));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MiniDbCommit)->Arg(64)->Arg(1024);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  sim::SimEnvironment env;
+  Rng rng(1);
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      env.Schedule(static_cast<SimDuration>(rng.Uniform(1000) + 1), [] {});
+    }
+    env.RunUntilIdle();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void BM_HostWritePath(benchmark::State& state) {
+  sim::SimEnvironment env;
+  storage::ArrayConfig cfg;
+  cfg.media = block::DeviceLatencyModel{0, 0, 0, 0, 1};
+  storage::StorageArray array(&env, cfg);
+  auto v = array.CreateVolume("v", 1 << 16);
+  const std::string payload(block::kDefaultBlockSize, 'x');
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        array.WriteSync(*v, rng.Uniform(1 << 16), payload));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          block::kDefaultBlockSize);
+}
+BENCHMARK(BM_HostWritePath);
+
+void BM_CowWritePath(benchmark::State& state) {
+  sim::SimEnvironment env;
+  storage::ArrayConfig cfg;
+  cfg.media = block::DeviceLatencyModel{0, 0, 0, 0, 1};
+  storage::StorageArray array(&env, cfg);
+  auto v = array.CreateVolume("v", 1 << 16);
+  snapshot::SnapshotManager snapshots(&array);
+  for (int64_t s = 0; s < state.range(0); ++s) {
+    (void)snapshots.CreateSnapshot(*v, "s" + std::to_string(s));
+  }
+  const std::string payload(block::kDefaultBlockSize, 'x');
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        array.WriteSync(*v, rng.Uniform(1 << 16), payload));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          block::kDefaultBlockSize);
+}
+BENCHMARK(BM_CowWritePath)->Arg(0)->Arg(1)->Arg(4);
+
+void BM_JsonRoundTrip(benchmark::State& state) {
+  Value row = Value::MakeObject();
+  row["item"] = "item-000042";
+  row["quantity"] = 3;
+  row["amountCents"] = 12999;
+  row["tags"] = Value::Array{Value("a"), Value("b")};
+  const std::string json = row.ToJson();
+  for (auto _ : state) {
+    auto parsed = Value::FromJson(json);
+    benchmark::DoNotOptimize(parsed);
+    benchmark::DoNotOptimize(parsed->ToJson());
+  }
+}
+BENCHMARK(BM_JsonRoundTrip);
+
+void BM_KvWorkloadMixed(benchmark::State& state) {
+  block::MemVolume device(1 + 2 * 1024 + 8192);
+  db::DbOptions opts;
+  opts.checkpoint_blocks = 1024;
+  opts.wal_blocks = 8192;
+  (void)db::MiniDb::Format(&device, opts);
+  auto db = std::move(db::MiniDb::Open(&device, opts)).value();
+  workload::KvWorkloadConfig cfg;
+  cfg.record_count = 1000;
+  cfg.zipf_theta = state.range(0) == 0 ? 0.0 : 0.9;
+  workload::KvWorkload kv(db.get(), cfg);
+  (void)kv.Load();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kv.Run(100));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 100);
+}
+BENCHMARK(BM_KvWorkloadMixed)->Arg(0)->Arg(1);
+
+void BM_HistogramAdd(benchmark::State& state) {
+  Histogram h;
+  Rng rng(5);
+  for (auto _ : state) {
+    h.Add(rng.Uniform(1 << 30));
+  }
+  benchmark::DoNotOptimize(h.Percentile(99));
+}
+BENCHMARK(BM_HistogramAdd);
+
+}  // namespace
+}  // namespace zerobak
+
+BENCHMARK_MAIN();

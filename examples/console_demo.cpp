@@ -1,0 +1,83 @@
+// Interactive/scripted operations console over the demonstration system —
+// the equivalent of the web consoles in Fig. 2.
+//
+//   ./build/examples/console_demo                # replay the demo script
+//   ./build/examples/console_demo -              # read commands from stdin
+//   echo "help" | ./build/examples/console_demo -
+#include <iostream>
+#include <string>
+
+#include "common/logging.h"
+#include "core/console.h"
+
+using namespace zerobak;
+
+namespace {
+
+constexpr char kDemoScript[] = R"(# ---- the ICDE demonstration, scripted ----
+help
+deploy shop
+order shop 25
+# step 1: backup configuration (Figs. 3-4)
+tag shop
+run 100
+status shop
+# step 2: snapshot development (Fig. 5)
+snapshot shop analytics
+# step 3: analytics on the snapshot (Fig. 6)
+order shop 15
+analytics shop analytics
+verify shop analytics
+# protection policy: snapshot every 50ms, keep 3
+schedule shop nightly 50 3
+run 200
+verify-latest shop nightly
+# disaster recovery drill
+fail-main
+failover shop
+check shop
+repair-main
+failback shop
+run 100
+status shop
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kError);
+  sim::SimEnvironment env;
+  core::DemoSystemConfig config;
+  config.main_array.media = block::DeviceLatencyModel{0, 0, 0, 0, 1};
+  config.backup_array.media = block::DeviceLatencyModel{0, 0, 0, 0, 2};
+  config.link.base_latency = Milliseconds(2);
+  core::DemoSystem system(&env, config);
+  core::Console console(&system, &std::cout);
+
+  if (argc > 1 && std::string(argv[1]) == "-") {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      Status st = console.Execute(line);
+      if (!st.ok()) std::cout << "error: " << st << "\n";
+    }
+    return 0;
+  }
+
+  std::cout << "replaying the built-in demo script "
+               "(run with '-' to type commands)\n";
+  std::string line;
+  std::istringstream script(kDemoScript);
+  while (std::getline(script, line)) {
+    const size_t first = line.find_first_not_of(" \t");
+    if (first != std::string::npos && line[first] != '#') {
+      std::cout << "\n> " << line << "\n";
+    }
+    Status st = console.Execute(
+        first != std::string::npos && line[first] == '#' ? "" : line);
+    if (!st.ok()) {
+      std::cout << "error: " << st << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}

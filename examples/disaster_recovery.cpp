@@ -1,0 +1,104 @@
+// Disaster-recovery drill: the scenario the backup exists for.
+//
+// Runs the e-commerce business under consistency-group ADC, kills the
+// main site mid-replication, takes over on the backup site, recovers the
+// databases and verifies that the surviving state is business-consistent
+// (every order has its stock movement) with bounded loss. Then repeats
+// the same drill with the per-volume ADC ablation to show the "collapsed
+// backup data" failure mode of Section I.
+//
+//   ./build/examples/disaster_recovery
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "core/demo_system.h"
+
+using namespace zerobak;
+using bench::BusinessProcess;
+
+namespace {
+
+// Runs one drill; returns true if the recovered backup collapsed.
+bool RunDrill(bool per_volume, uint64_t seed, bool verbose) {
+  if (verbose) {
+    std::printf("\n--- drill with %s (seed %llu) ---\n",
+                per_volume ? "PER-VOLUME ADC (the paper's anti-pattern)"
+                           : "CONSISTENCY-GROUP ADC (the paper's design)",
+                (unsigned long long)seed);
+  }
+  sim::SimEnvironment env;
+  core::DemoSystemConfig config = bench::FunctionalConfig();
+  config.link.base_latency = Milliseconds(2);
+  config.link.jitter = Milliseconds(6);
+  config.link.seed = seed;
+  config.nso.per_volume = per_volume;
+  core::DemoSystem system(&env, config);
+
+  BusinessProcess bp = bench::DeployBusinessProcess(&system, "shop", seed);
+  ZB_CHECK(system.TagNamespaceForBackup("shop").ok());
+  ZB_CHECK(system.WaitForBackupConfigured("shop").ok());
+
+  Rng rng(seed);
+  for (int i = 0; i < 150; ++i) {
+    ZB_CHECK(bp.app->PlaceOrder().ok());
+    env.RunFor(static_cast<SimDuration>(rng.Uniform(Microseconds(300))));
+  }
+  if (verbose) {
+    std::printf("placed %llu orders; disaster strikes at t=%s\n",
+                (unsigned long long)bp.app->orders_placed(),
+                FormatDuration(env.now()).c_str());
+  }
+
+  system.FailMainSite();
+  auto report = system.Failover("shop");
+  ZB_CHECK(report.ok());
+
+  bench::RecoveryOutcome outcome = bench::RecoverOnBackup(&system, "shop");
+  ZB_CHECK(outcome.recovered);
+  if (verbose) {
+    std::printf("failover complete: %llu journal records never arrived\n",
+                (unsigned long long)report->lost_records);
+    std::printf("recovered %llu/%llu orders on the backup site\n",
+                (unsigned long long)outcome.orders,
+                (unsigned long long)bp.app->orders_placed());
+    std::printf("business consistency check: %s\n",
+                outcome.report.ToString().c_str());
+    if (outcome.report.collapsed()) {
+      std::printf(">>> the backup COLLAPSED: %llu orders have no stock "
+                  "movement — unusable for recovery\n",
+                  (unsigned long long)outcome.report.orphan_orders);
+    } else {
+      std::printf(">>> the backup is a consistent prefix of the business "
+                  "history — safe to resume from\n");
+    }
+  }
+  return outcome.report.collapsed();
+}
+
+}  // namespace
+
+int main() {
+  SetLogLevel(LogLevel::kError);
+  // The consistency group survives every crash point, whatever the seed.
+  RunDrill(/*per_volume=*/false, /*seed=*/1, /*verbose=*/true);
+
+  // Per-volume ADC under identical conditions: some disasters are
+  // survived by luck, but across a handful of them the backup collapses.
+  int collapsed = 0;
+  const int kTrials = 10;
+  uint64_t first_collapsed_seed = 0;
+  for (uint64_t seed = 1; seed <= kTrials; ++seed) {
+    if (RunDrill(/*per_volume=*/true, seed, /*verbose=*/false)) {
+      ++collapsed;
+      if (first_collapsed_seed == 0) first_collapsed_seed = seed;
+    }
+  }
+  std::printf("\nper-volume ADC: %d/%d identical drills left a COLLAPSED "
+              "backup; replaying the first one in detail:\n",
+              collapsed, kTrials);
+  if (first_collapsed_seed != 0) {
+    RunDrill(/*per_volume=*/true, first_collapsed_seed, /*verbose=*/true);
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Quickstart: the zerobak library in ~80 lines.
+//
+// Builds two simulated storage arrays connected by a WAN link, protects a
+// volume with consistency-group ADC, writes through the host path, and
+// fails over to the backup site.
+//
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "replication/replication.h"
+#include "sim/environment.h"
+#include "sim/network.h"
+#include "storage/array.h"
+
+using namespace zerobak;
+
+int main() {
+  // 1. The simulation environment: a deterministic virtual clock that
+  //    every component schedules against.
+  sim::SimEnvironment env;
+
+  // 2. Two storage arrays (main and backup site) and the inter-site link.
+  storage::ArrayConfig main_cfg;
+  main_cfg.serial = "G370-MAIN";
+  storage::ArrayConfig backup_cfg;
+  backup_cfg.serial = "G370-BKUP";
+  storage::StorageArray main_array(&env, main_cfg);
+  storage::StorageArray backup_array(&env, backup_cfg);
+
+  sim::NetworkLinkConfig link_cfg;
+  link_cfg.base_latency = Milliseconds(5);  // One-way WAN delay.
+  sim::NetworkLink to_backup(&env, link_cfg, "main->backup");
+  sim::NetworkLink to_main(&env, link_cfg, "backup->main");
+
+  // 3. The replication engine: asynchronous data copy with a consistency
+  //    group (one shared journal => cross-volume write order preserved).
+  replication::ReplicationEngine engine(&env, &main_array, &backup_array,
+                                        &to_backup, &to_main);
+  auto group = engine.CreateConsistencyGroup({.name = "quickstart-cg"});
+  auto pvol = main_array.CreateVolume("business-data", /*blocks=*/1024);
+  auto svol = backup_array.CreateVolume("r-business-data", 1024);
+  auto pair = engine.CreateAsyncPair(
+      {.name = "pair-1",
+       .primary = *pvol,
+       .secondary = *svol,
+       .mode = replication::ReplicationMode::kAsynchronous},
+      *group);
+  std::printf("pair created, state=%s\n",
+              PairStateName(engine.GetPair(*pair)->state()));
+
+  // 4. Host writes: acknowledged locally (no slowdown), journaled, and
+  //    shipped to the backup site in the background.
+  std::string block(block::kDefaultBlockSize, 'A');
+  for (block::Lba lba = 0; lba < 16; ++lba) {
+    Status s = main_array.WriteSync(*pvol, lba, block);
+    if (!s.ok()) std::printf("write failed: %s\n", s.ToString().c_str());
+  }
+  auto stats = engine.GetGroupStats(*group);
+  std::printf("after writes: journal written=%llu applied@backup=%llu\n",
+              (unsigned long long)stats->written,
+              (unsigned long long)stats->applied);
+
+  // 5. Let the simulation run: the transfer engine drains the journal.
+  env.RunFor(Milliseconds(50));
+  stats = engine.GetGroupStats(*group);
+  std::printf("after 50ms:   journal written=%llu applied@backup=%llu\n",
+              (unsigned long long)stats->written,
+              (unsigned long long)stats->applied);
+
+  // 6. Disaster: the main site dies; take over on the backup array.
+  main_array.SetFailed(true);
+  to_backup.SetConnected(false);
+  auto report = engine.FailoverGroup(*group);
+  std::printf("failover: recovery point seq=%llu, lost records=%llu\n",
+              (unsigned long long)report->recovery_point,
+              (unsigned long long)report->lost_records);
+
+  // 7. The backup volume is now writable and holds the replicated data.
+  std::string out;
+  Status s = backup_array.ReadSync(*svol, 0, 1, &out);
+  std::printf("backup block 0 readable=%s content_ok=%s\n",
+              s.ok() ? "yes" : "no", out == block ? "yes" : "no");
+  s = backup_array.WriteSync(*svol, 0, std::string(4096, 'B'));
+  std::printf("backup volume writable after failover: %s\n",
+              s.ok() ? "yes" : "no");
+  return 0;
+}

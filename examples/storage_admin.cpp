@@ -1,0 +1,116 @@
+// Storage-administrator tour: the array features underneath the demo,
+// driven directly (volumes, journals, snapshots, snapshot groups,
+// restore-from-snapshot after a "ransomware" event, suspend/resync).
+//
+//   ./build/examples/storage_admin
+#include <cstdio>
+
+#include "common/logging.h"
+#include "replication/replication.h"
+#include "sim/environment.h"
+#include "sim/network.h"
+#include "snapshot/snapshot.h"
+#include "storage/array.h"
+
+using namespace zerobak;
+
+int main() {
+  SetLogLevel(LogLevel::kError);
+  sim::SimEnvironment env;
+  storage::ArrayConfig cfg;
+  cfg.serial = "G370-LAB";
+  cfg.media = block::DeviceLatencyModel{0, 0, 0, 0, 1};
+  storage::StorageArray array(&env, cfg);
+  snapshot::SnapshotManager snapshots(&array);
+
+  std::printf("--- volume administration ---\n");
+  auto db_vol = array.CreateVolume("prod-db", 4096);
+  auto log_vol = array.CreateVolume("prod-log", 1024);
+  std::printf("created %zu volumes; handle of prod-db: %s\n",
+              array.ListVolumes().size(),
+              array.VolumeHandle(*db_vol).c_str());
+
+  std::string block_a(block::kDefaultBlockSize, 'A');
+  for (block::Lba lba = 0; lba < 32; ++lba) {
+    ZB_CHECK(array.WriteSync(*db_vol, lba, block_a).ok());
+  }
+  std::printf("prod-db populated: %llu allocated blocks\n",
+              (unsigned long long)array.GetVolume(*db_vol)
+                  ->store()
+                  .allocated_blocks());
+
+  std::printf("\n--- snapshot group (point-in-time protection) ---\n");
+  auto group = snapshots.CreateSnapshotGroup({*db_vol, *log_vol},
+                                             "nightly");
+  auto info = snapshots.GetGroup(*group);
+  std::printf("snapshot group '%s' created atomically at t=%s with %zu "
+              "members (0 blocks copied)\n",
+              info->name.c_str(), FormatDuration(info->created_at).c_str(),
+              info->members.size());
+
+  std::printf("\n--- ransomware scribbles over the volume ---\n");
+  std::string garbage(block::kDefaultBlockSize, '#');
+  for (block::Lba lba = 0; lba < 32; ++lba) {
+    ZB_CHECK(array.WriteSync(*db_vol, lba, garbage).ok());
+  }
+  snapshot::CowSnapshot* snap = snapshots.GetSnapshot(info->members[0]);
+  std::printf("volume corrupted; snapshot preserved %llu old blocks via "
+              "copy-on-write\n",
+              (unsigned long long)snap->preserved_blocks());
+
+  ZB_CHECK(snapshots.RestoreVolume(snap->id()).ok());
+  std::string readback;
+  ZB_CHECK(array.ReadSync(*db_vol, 0, 1, &readback).ok());
+  std::printf("restore from snapshot: block 0 %s\n",
+              readback == block_a ? "RECOVERED" : "still corrupt");
+
+  std::printf("\n--- replication operations (suspend / resync) ---\n");
+  storage::ArrayConfig remote_cfg;
+  remote_cfg.serial = "G370-DR";
+  remote_cfg.media = block::DeviceLatencyModel{0, 0, 0, 0, 2};
+  storage::StorageArray remote(&env, remote_cfg);
+  sim::NetworkLinkConfig link_cfg;
+  link_cfg.base_latency = Milliseconds(3);
+  sim::NetworkLink fwd(&env, link_cfg, "fwd");
+  sim::NetworkLink rev(&env, link_cfg, "rev");
+  replication::ReplicationEngine engine(&env, &array, &remote, &fwd, &rev);
+
+  auto cg = engine.CreateConsistencyGroup({.name = "dr-cg"});
+  auto r_db = remote.CreateVolume("r-prod-db", 4096);
+  auto pair = engine.CreateAsyncPair(
+      {.name = "db-pair",
+       .primary = *db_vol,
+       .secondary = *r_db,
+       .mode = replication::ReplicationMode::kAsynchronous},
+      *cg);
+  env.RunFor(Milliseconds(50));  // Initial copy.
+  std::printf("pair state after initial copy: %s\n",
+              PairStateName(engine.GetPair(*pair)->state()));
+
+  ZB_CHECK(engine.SuspendGroup(*cg).ok());
+  std::string block_b(block::kDefaultBlockSize, 'B');
+  for (block::Lba lba = 100; lba < 110; ++lba) {
+    ZB_CHECK(array.WriteSync(*db_vol, lba, block_b).ok());
+  }
+  std::printf("suspended; %zu dirty blocks tracked while split\n",
+              engine.GetPair(*pair)->dirty_blocks());
+
+  ZB_CHECK(engine.ResyncGroup(*cg).ok());
+  env.RunFor(Milliseconds(50));
+  std::printf("resynced; pair state: %s, volumes identical: %s\n",
+              PairStateName(engine.GetPair(*pair)->state()),
+              array.GetVolume(*db_vol)->ContentEquals(
+                  *remote.GetVolume(*r_db))
+                  ? "yes"
+                  : "no");
+
+  std::printf("\n--- journal watermarks ---\n");
+  auto stats = engine.GetGroupStats(*cg);
+  std::printf("written=%llu shipped=%llu applied=%llu journal_used=%llu "
+              "bytes\n",
+              (unsigned long long)stats->written,
+              (unsigned long long)stats->shipped,
+              (unsigned long long)stats->applied,
+              (unsigned long long)stats->journal_used_bytes);
+  return 0;
+}

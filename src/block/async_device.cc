@@ -1,0 +1,52 @@
+#include "block/async_device.h"
+
+#include <utility>
+
+namespace zerobak::block {
+
+SimDuration DeviceLatencyModel::Cost(IoType type, uint32_t blocks,
+                                     Rng* rng) const {
+  SimDuration cost =
+      (type == IoType::kRead ? read_latency : write_latency) +
+      static_cast<SimDuration>(blocks) * per_block;
+  if (jitter > 0 && rng != nullptr) {
+    cost += static_cast<SimDuration>(
+        rng->Uniform(static_cast<uint64_t>(jitter)));
+  }
+  return cost;
+}
+
+AsyncBlockDevice::AsyncBlockDevice(sim::SimEnvironment* env,
+                                   BlockDevice* backing,
+                                   DeviceLatencyModel model)
+    : env_(env), backing_(backing), model_(model), rng_(model.seed) {}
+
+void AsyncBlockDevice::Submit(IoRequest request) {
+  const SimDuration cost =
+      model_.Cost(request.type, request.block_count, &rng_);
+  const SimTime start = env_->now();
+  // The backing device is touched at completion time: an un-acked write is
+  // not durable, and a read observes the state at ack time.
+  env_->Schedule(cost, [this, start,
+                        request = std::move(request)]() mutable {
+    IoResult result;
+    if (request.type == IoType::kRead) {
+      result.status =
+          backing_->Read(request.lba, request.block_count, &result.data);
+      ++stats_.reads;
+      stats_.blocks_read += request.block_count;
+      stats_.read_latency_ns.Add(
+          static_cast<uint64_t>(env_->now() - start));
+    } else {
+      result.status =
+          backing_->Write(request.lba, request.block_count, request.data);
+      ++stats_.writes;
+      stats_.blocks_written += request.block_count;
+      stats_.write_latency_ns.Add(
+          static_cast<uint64_t>(env_->now() - start));
+    }
+    if (request.callback) request.callback(std::move(result));
+  });
+}
+
+}  // namespace zerobak::block

@@ -1,0 +1,66 @@
+#ifndef ZEROBAK_BLOCK_BLOCK_DEVICE_H_
+#define ZEROBAK_BLOCK_BLOCK_DEVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace zerobak::block {
+
+// Logical block addressing. Devices are fixed-block-size (4 KiB by
+// default), matching the unit at which the array journals, replicates and
+// copy-on-writes data.
+using Lba = uint64_t;
+
+inline constexpr uint32_t kDefaultBlockSize = 4096;
+
+enum class IoType { kRead, kWrite };
+
+// Synchronous block-device interface. The functional layers (mini-DB,
+// recovery, invariant checkers) use this; the timing-sensitive paths go
+// through AsyncBlockDevice which adds a latency model on top.
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  virtual uint32_t block_size() const = 0;
+  virtual uint64_t block_count() const = 0;
+  uint64_t size_bytes() const {
+    return static_cast<uint64_t>(block_size()) * block_count();
+  }
+
+  // Reads `count` blocks starting at `lba` into `out` (resized to
+  // count * block_size()).
+  virtual Status Read(Lba lba, uint32_t count, std::string* out) = 0;
+
+  // Writes `data` (must be count * block_size() bytes) at `lba`.
+  virtual Status Write(Lba lba, uint32_t count, std::string_view data) = 0;
+
+  // Validates an IO range against the device geometry.
+  Status CheckRange(Lba lba, uint32_t count) const;
+};
+
+// A single async IO request. `data` carries the payload for writes and
+// receives the payload for reads. The callback fires exactly once, at the
+// simulated completion ("ack") time.
+struct IoResult {
+  Status status;
+  std::string data;  // Read payload; empty for writes.
+};
+
+using IoCallback = std::function<void(IoResult)>;
+
+struct IoRequest {
+  IoType type = IoType::kRead;
+  Lba lba = 0;
+  uint32_t block_count = 1;
+  std::string data;  // Write payload.
+  IoCallback callback;
+};
+
+}  // namespace zerobak::block
+
+#endif  // ZEROBAK_BLOCK_BLOCK_DEVICE_H_

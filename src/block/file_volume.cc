@@ -1,0 +1,113 @@
+#include "block/file_volume.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace zerobak::block {
+
+namespace {
+std::string Errno(const std::string& op, const std::string& path) {
+  return op + " " + path + ": " + std::strerror(errno);
+}
+}  // namespace
+
+FileVolume::FileVolume(std::string path, int fd, uint64_t block_count,
+                       uint32_t block_size)
+    : path_(std::move(path)),
+      fd_(fd),
+      block_count_(block_count),
+      block_size_(block_size) {}
+
+FileVolume::~FileVolume() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+StatusOr<std::unique_ptr<FileVolume>> FileVolume::Create(
+    const std::string& path, uint64_t block_count, uint32_t block_size) {
+  if (block_count == 0 || block_size == 0) {
+    return InvalidArgumentError("zero-sized file volume");
+  }
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return InternalError(Errno("open", path));
+  const off_t size =
+      static_cast<off_t>(block_count) * static_cast<off_t>(block_size);
+  if (::ftruncate(fd, size) != 0) {
+    ::close(fd);
+    return InternalError(Errno("ftruncate", path));
+  }
+  return std::unique_ptr<FileVolume>(
+      new FileVolume(path, fd, block_count, block_size));
+}
+
+StatusOr<std::unique_ptr<FileVolume>> FileVolume::Open(
+    const std::string& path, uint32_t block_size) {
+  if (block_size == 0) return InvalidArgumentError("zero block size");
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) return NotFoundError(Errno("open", path));
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return InternalError(Errno("fstat", path));
+  }
+  if (st.st_size % block_size != 0 || st.st_size == 0) {
+    ::close(fd);
+    return InvalidArgumentError(
+        path + ": size " + std::to_string(st.st_size) +
+        " is not a positive multiple of the block size");
+  }
+  return std::unique_ptr<FileVolume>(new FileVolume(
+      path, fd, static_cast<uint64_t>(st.st_size) / block_size,
+      block_size));
+}
+
+Status FileVolume::Read(Lba lba, uint32_t count, std::string* out) {
+  ZB_RETURN_IF_ERROR(CheckRange(lba, count));
+  const size_t bytes = static_cast<size_t>(count) * block_size_;
+  out->resize(bytes);
+  size_t done = 0;
+  while (done < bytes) {
+    const ssize_t n = ::pread(
+        fd_, out->data() + done, bytes - done,
+        static_cast<off_t>(lba) * block_size_ + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return InternalError(Errno("pread", path_));
+    }
+    if (n == 0) return DataLossError(path_ + ": unexpected EOF");
+    done += static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+Status FileVolume::Write(Lba lba, uint32_t count, std::string_view data) {
+  ZB_RETURN_IF_ERROR(CheckRange(lba, count));
+  if (data.size() != static_cast<size_t>(count) * block_size_) {
+    return InvalidArgumentError("write payload size mismatch");
+  }
+  size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::pwrite(
+        fd_, data.data() + done, data.size() - done,
+        static_cast<off_t>(lba) * block_size_ + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return InternalError(Errno("pwrite", path_));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+Status FileVolume::Sync() {
+  if (::fdatasync(fd_) != 0) {
+    return InternalError(Errno("fdatasync", path_));
+  }
+  return OkStatus();
+}
+
+}  // namespace zerobak::block

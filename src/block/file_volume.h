@@ -1,0 +1,58 @@
+#ifndef ZEROBAK_BLOCK_FILE_VOLUME_H_
+#define ZEROBAK_BLOCK_FILE_VOLUME_H_
+
+#include <memory>
+#include <string>
+
+#include "block/block_device.h"
+
+namespace zerobak::block {
+
+// File-backed block device: the persistent sibling of MemVolume. Lets a
+// MiniDb (or a whole exported volume image) live on the host filesystem
+// and survive process restarts — useful for examples and for inspecting
+// experiment artefacts with external tools.
+//
+// IO is positional (pread/pwrite); Sync() forces the file contents to
+// stable storage. Note that simulated crash experiments still use
+// MemVolume: the simulator's ack-ordering semantics are what those tests
+// rely on, not host-OS durability.
+class FileVolume : public BlockDevice {
+ public:
+  // Creates (or truncates) a file sized block_count * block_size.
+  static StatusOr<std::unique_ptr<FileVolume>> Create(
+      const std::string& path, uint64_t block_count,
+      uint32_t block_size = kDefaultBlockSize);
+
+  // Opens an existing file; its size must be a multiple of block_size.
+  static StatusOr<std::unique_ptr<FileVolume>> Open(
+      const std::string& path, uint32_t block_size = kDefaultBlockSize);
+
+  ~FileVolume() override;
+
+  FileVolume(const FileVolume&) = delete;
+  FileVolume& operator=(const FileVolume&) = delete;
+
+  uint32_t block_size() const override { return block_size_; }
+  uint64_t block_count() const override { return block_count_; }
+  const std::string& path() const { return path_; }
+
+  Status Read(Lba lba, uint32_t count, std::string* out) override;
+  Status Write(Lba lba, uint32_t count, std::string_view data) override;
+
+  // Flushes written data to stable storage (fdatasync).
+  Status Sync();
+
+ private:
+  FileVolume(std::string path, int fd, uint64_t block_count,
+             uint32_t block_size);
+
+  std::string path_;
+  int fd_;
+  uint64_t block_count_;
+  uint32_t block_size_;
+};
+
+}  // namespace zerobak::block
+
+#endif  // ZEROBAK_BLOCK_FILE_VOLUME_H_

@@ -1,0 +1,87 @@
+#include "block/mem_volume.h"
+
+#include <cstring>
+
+namespace zerobak::block {
+
+Status BlockDevice::CheckRange(Lba lba, uint32_t count) const {
+  if (count == 0) return InvalidArgumentError("zero-length IO");
+  if (lba + count > block_count() || lba + count < lba) {
+    return OutOfRangeError("IO beyond device end: lba=" +
+                           std::to_string(lba) +
+                           " count=" + std::to_string(count) +
+                           " device_blocks=" + std::to_string(block_count()));
+  }
+  return OkStatus();
+}
+
+MemVolume::MemVolume(uint64_t block_count, uint32_t block_size)
+    : block_count_(block_count), block_size_(block_size) {}
+
+Status MemVolume::Read(Lba lba, uint32_t count, std::string* out) {
+  ZB_RETURN_IF_ERROR(CheckRange(lba, count));
+  out->clear();
+  out->reserve(static_cast<size_t>(count) * block_size_);
+  for (uint32_t i = 0; i < count; ++i) {
+    auto it = blocks_.find(lba + i);
+    if (it == blocks_.end()) {
+      out->append(block_size_, '\0');
+    } else {
+      out->append(it->second);
+    }
+  }
+  ++reads_;
+  return OkStatus();
+}
+
+Status MemVolume::Write(Lba lba, uint32_t count, std::string_view data) {
+  ZB_RETURN_IF_ERROR(CheckRange(lba, count));
+  if (data.size() != static_cast<size_t>(count) * block_size_) {
+    return InvalidArgumentError(
+        "write payload size mismatch: got " + std::to_string(data.size()) +
+        " want " + std::to_string(static_cast<size_t>(count) * block_size_));
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    blocks_[lba + i] =
+        std::string(data.substr(static_cast<size_t>(i) * block_size_,
+                                block_size_));
+  }
+  ++writes_;
+  return OkStatus();
+}
+
+std::string MemVolume::ReadBlock(Lba lba) const {
+  auto it = blocks_.find(lba);
+  if (it == blocks_.end()) return std::string(block_size_, '\0');
+  return it->second;
+}
+
+Status MemVolume::CloneFrom(const MemVolume& src) {
+  if (src.block_size_ != block_size_ || src.block_count_ != block_count_) {
+    return InvalidArgumentError("clone geometry mismatch");
+  }
+  blocks_ = src.blocks_;
+  return OkStatus();
+}
+
+bool MemVolume::ContentEquals(const MemVolume& other) const {
+  if (other.block_size_ != block_size_ ||
+      other.block_count_ != block_count_) {
+    return false;
+  }
+  const std::string zeros(block_size_, '\0');
+  auto block_of = [&](const MemVolume& v, Lba lba) -> const std::string& {
+    auto it = v.blocks_.find(lba);
+    return it == v.blocks_.end() ? zeros : it->second;
+  };
+  // Check union of allocated blocks from both sides.
+  for (const auto& [lba, data] : blocks_) {
+    if (block_of(other, lba) != data) return false;
+  }
+  for (const auto& [lba, data] : other.blocks_) {
+    if (block_of(*this, lba) != data) return false;
+  }
+  return true;
+}
+
+}  // namespace zerobak::block

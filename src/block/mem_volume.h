@@ -1,0 +1,59 @@
+#ifndef ZEROBAK_BLOCK_MEM_VOLUME_H_
+#define ZEROBAK_BLOCK_MEM_VOLUME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "block/block_device.h"
+
+namespace zerobak::block {
+
+// In-memory, sparse block device. Blocks never written read back as
+// zeros. This is the backing store for every simulated array volume
+// (LDEV), journal region and snapshot pool.
+class MemVolume : public BlockDevice {
+ public:
+  MemVolume(uint64_t block_count, uint32_t block_size = kDefaultBlockSize);
+
+  uint32_t block_size() const override { return block_size_; }
+  uint64_t block_count() const override { return block_count_; }
+
+  Status Read(Lba lba, uint32_t count, std::string* out) override;
+  Status Write(Lba lba, uint32_t count, std::string_view data) override;
+
+  // Returns true if the block has been written at least once.
+  bool IsAllocated(Lba lba) const { return blocks_.contains(lba); }
+  // Number of distinct blocks ever written (sparse footprint).
+  uint64_t allocated_blocks() const { return blocks_.size(); }
+
+  // Reads one block without range checking overhead; returns a zero block
+  // if never written.
+  std::string ReadBlock(Lba lba) const;
+
+  // Copies every allocated block of `src` into this volume (same
+  // geometry required). Used by replication initial copy and tests.
+  Status CloneFrom(const MemVolume& src);
+
+  // Byte-level content equality with another volume (zero-filled holes
+  // compare equal to explicit zero blocks).
+  bool ContentEquals(const MemVolume& other) const;
+
+  // Drops all data (simulates re-formatting).
+  void Reset() { blocks_.clear(); }
+
+  uint64_t writes() const { return writes_; }
+  uint64_t reads() const { return reads_; }
+
+ private:
+  uint64_t block_count_;
+  uint32_t block_size_;
+  std::unordered_map<Lba, std::string> blocks_;
+  uint64_t writes_ = 0;
+  uint64_t reads_ = 0;
+};
+
+}  // namespace zerobak::block
+
+#endif  // ZEROBAK_BLOCK_MEM_VOLUME_H_

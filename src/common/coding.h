@@ -1,0 +1,81 @@
+#ifndef ZEROBAK_COMMON_CODING_H_
+#define ZEROBAK_COMMON_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace zerobak {
+
+// Little-endian fixed-width and length-prefixed encodings used by the WAL,
+// journal records, page formats and checkpoint images. All decoders take a
+// string_view cursor and return false on underflow instead of reading past
+// the end.
+
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  dst->append(buf, 4);
+}
+
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  dst->append(buf, 8);
+}
+
+inline void EncodeFixed32(char* dst, uint32_t v) { std::memcpy(dst, &v, 4); }
+inline void EncodeFixed64(char* dst, uint64_t v) { std::memcpy(dst, &v, 8); }
+
+inline uint32_t DecodeFixed32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline uint64_t DecodeFixed64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+inline bool GetFixed32(std::string_view* in, uint32_t* v) {
+  if (in->size() < 4) return false;
+  *v = DecodeFixed32(in->data());
+  in->remove_prefix(4);
+  return true;
+}
+
+inline bool GetFixed64(std::string_view* in, uint64_t* v) {
+  if (in->size() < 8) return false;
+  *v = DecodeFixed64(in->data());
+  in->remove_prefix(8);
+  return true;
+}
+
+// Length-prefixed string: fixed32 length followed by the bytes.
+inline void PutLengthPrefixed(std::string* dst, std::string_view value) {
+  PutFixed32(dst, static_cast<uint32_t>(value.size()));
+  dst->append(value.data(), value.size());
+}
+
+inline bool GetLengthPrefixed(std::string_view* in, std::string_view* value) {
+  uint32_t len;
+  if (!GetFixed32(in, &len)) return false;
+  if (in->size() < len) return false;
+  *value = in->substr(0, len);
+  in->remove_prefix(len);
+  return true;
+}
+
+inline bool GetLengthPrefixed(std::string_view* in, std::string* value) {
+  std::string_view sv;
+  if (!GetLengthPrefixed(in, &sv)) return false;
+  value->assign(sv.data(), sv.size());
+  return true;
+}
+
+}  // namespace zerobak
+
+#endif  // ZEROBAK_COMMON_CODING_H_

@@ -1,0 +1,48 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace zerobak {
+namespace {
+
+// Table-driven CRC-32C. The table is generated once at startup from the
+// Castagnoli polynomial (reflected form 0x82f63b78).
+struct Crc32cTable {
+  std::array<uint32_t, 256> entries;
+
+  constexpr Crc32cTable() : entries() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int j = 0; j < 8; ++j) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0x82f63b78u : 0u);
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+constexpr Crc32cTable kTable;
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < n; ++i) {
+    crc = kTable.entries[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t Crc32cMask(uint32_t crc) {
+  constexpr uint32_t kMaskDelta = 0xa282ead8u;
+  return ((crc >> 15) | (crc << 17)) + kMaskDelta;
+}
+
+uint32_t Crc32cUnmask(uint32_t masked) {
+  constexpr uint32_t kMaskDelta = 0xa282ead8u;
+  const uint32_t rot = masked - kMaskDelta;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace zerobak

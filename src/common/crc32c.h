@@ -1,0 +1,29 @@
+#ifndef ZEROBAK_COMMON_CRC32C_H_
+#define ZEROBAK_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace zerobak {
+
+// CRC-32C (Castagnoli polynomial), the checksum used by the WAL, journal
+// records and page headers to detect torn or corrupted writes.
+
+// Extends `crc` with `data[0, n)` and returns the new checksum. Start a
+// fresh computation with crc == 0.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+// Convenience wrapper for a single buffer.
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+// Masked CRC as used by LevelDB/RocksDB log formats: storing the raw CRC of
+// data that itself contains CRCs is error-prone, so a stored checksum is
+// rotated and offset.
+uint32_t Crc32cMask(uint32_t crc);
+uint32_t Crc32cUnmask(uint32_t masked);
+
+}  // namespace zerobak
+
+#endif  // ZEROBAK_COMMON_CRC32C_H_

@@ -1,0 +1,102 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace zerobak {
+
+Histogram::Histogram()
+    : count_(0),
+      min_(std::numeric_limits<uint64_t>::max()),
+      max_(0),
+      sum_(0),
+      buckets_(kNumBuckets, 0) {}
+
+int Histogram::BucketFor(uint64_t value) {
+  // Buckets: [0], [1], then powers of two split in 4 sub-buckets.
+  if (value == 0) return 0;
+  int log2 = 63 - __builtin_clzll(value);
+  if (log2 == 0) return 1;
+  // Sub-bucket within the power-of-two range (2 bits below the MSB).
+  const int sub =
+      log2 >= 2 ? static_cast<int>((value >> (log2 - 2)) & 0x3) : 0;
+  const int idx = 2 + (log2 - 1) * 2 + sub / 2;
+  return std::min(idx, kNumBuckets - 1);
+}
+
+uint64_t Histogram::BucketLimit(int b) {
+  if (b == 0) return 0;
+  if (b == 1) return 1;
+  const int log2 = (b - 2) / 2 + 1;
+  const int half = (b - 2) % 2;
+  const uint64_t base = 1ULL << log2;
+  return base + (half + 1) * (base / 2) - 1;
+}
+
+void Histogram::Add(uint64_t value) {
+  ++count_;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  sum_ += static_cast<double>(value);
+  ++buckets_[BucketFor(value)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::Clear() {
+  count_ = 0;
+  min_ = std::numeric_limits<uint64_t>::max();
+  max_ = 0;
+  sum_ = 0;
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  const double threshold = static_cast<double>(count_) * (p / 100.0);
+  double cumulative = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    const double next = cumulative + static_cast<double>(buckets_[b]);
+    if (next >= threshold) {
+      const uint64_t lo = b == 0 ? 0 : BucketLimit(b - 1) + 1;
+      const uint64_t hi = BucketLimit(b);
+      double frac = buckets_[b] == 0
+                        ? 0.0
+                        : (threshold - cumulative) /
+                              static_cast<double>(buckets_[b]);
+      double v = static_cast<double>(lo) +
+                 frac * static_cast<double>(hi - lo);
+      v = std::max(v, static_cast<double>(min()));
+      v = std::min(v, static_cast<double>(max_));
+      return v;
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1f p50=%.0f p95=%.0f p99=%.0f max=%llu",
+                static_cast<unsigned long long>(count_), Mean(),
+                Percentile(50), Percentile(95), Percentile(99),
+                static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+double MeanVar::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace zerobak

@@ -1,0 +1,74 @@
+#ifndef ZEROBAK_COMMON_HISTOGRAM_H_
+#define ZEROBAK_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace zerobak {
+
+// Latency/size histogram with exponential buckets, good for values spanning
+// nanoseconds to seconds. Records exact min/max/sum and approximates
+// percentiles by linear interpolation within a bucket (RocksDB-style).
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(uint64_t value);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double sum() const { return sum_; }
+  double Mean() const;
+
+  // p in [0, 100].
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50); }
+
+  // One-line summary: count, mean, p50/p95/p99, max.
+  std::string ToString() const;
+
+ private:
+  static constexpr int kNumBuckets = 130;
+
+  // Index of the bucket containing `value`.
+  static int BucketFor(uint64_t value);
+  // Inclusive upper bound of bucket `b`.
+  static uint64_t BucketLimit(int b);
+
+  uint64_t count_;
+  uint64_t min_;
+  uint64_t max_;
+  double sum_;
+  std::vector<uint64_t> buckets_;
+};
+
+// Streaming mean/variance accumulator (Welford).
+class MeanVar {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  double stddev() const;
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+};
+
+}  // namespace zerobak
+
+#endif  // ZEROBAK_COMMON_HISTOGRAM_H_

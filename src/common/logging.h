@@ -1,0 +1,55 @@
+#ifndef ZEROBAK_COMMON_LOGGING_H_
+#define ZEROBAK_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace zerobak {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Global log threshold; messages below it are dropped. Tests and benches
+// default to kWarning so expected-failure paths stay quiet.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+// Stream-style log sink; emits on destruction. FATAL aborts the process.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace zerobak
+
+#define ZB_LOG(level)                                                 \
+  ::zerobak::internal_logging::LogMessage(                            \
+      ::zerobak::LogLevel::k##level, __FILE__, __LINE__)              \
+      .stream()
+
+#define ZB_FATAL()                                                    \
+  ::zerobak::internal_logging::LogMessage(                            \
+      ::zerobak::LogLevel::kError, __FILE__, __LINE__, /*fatal=*/true) \
+      .stream()
+
+// Invariant check that is active in all build types (unlike assert).
+#define ZB_CHECK(cond)                                           \
+  if (!(cond)) ZB_FATAL() << "Check failed: " #cond << " "
+
+#endif  // ZEROBAK_COMMON_LOGGING_H_

@@ -1,0 +1,48 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace zerobak {
+
+double Rng::Exponential(double mean) {
+  assert(mean > 0);
+  double u = NextDouble();
+  // Guard against log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+uint64_t Rng::Zipf(uint64_t n, double theta) {
+  assert(n > 0);
+  assert(theta > 0 && theta < 1);
+  // Gray et al., "Quickly generating billion-record synthetic databases".
+  const double alpha = 1.0 / (1.0 - theta);
+  double zetan = 0.0;
+  // Exact zeta for small n; sampled approximation keeps large-n setup cheap
+  // while preserving the distribution shape for workload purposes.
+  const uint64_t kExactLimit = 10000;
+  if (n <= kExactLimit) {
+    for (uint64_t i = 1; i <= n; ++i) zetan += 1.0 / std::pow(i, theta);
+  } else {
+    for (uint64_t i = 1; i <= kExactLimit; ++i) {
+      zetan += 1.0 / std::pow(i, theta);
+    }
+    // Integral tail approximation of the generalized harmonic number.
+    zetan += (std::pow(static_cast<double>(n), 1 - theta) -
+              std::pow(static_cast<double>(kExactLimit), 1 - theta)) /
+             (1 - theta);
+  }
+  const double zeta2 = 1.0 + std::pow(0.5, theta);
+  const double eta =
+      (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+      (1.0 - zeta2 / zetan);
+  const double u = NextDouble();
+  const double uz = u * zetan;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta)) return 1;
+  return static_cast<uint64_t>(
+      static_cast<double>(n) *
+      std::pow(eta * u - eta + 1.0, alpha));
+}
+
+}  // namespace zerobak

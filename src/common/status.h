@@ -1,0 +1,138 @@
+#ifndef ZEROBAK_COMMON_STATUS_H_
+#define ZEROBAK_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace zerobak {
+
+// Canonical error space, modelled after absl::Status / google-cloud codes.
+// The library does not use exceptions; every fallible operation returns a
+// Status or a StatusOr<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kResourceExhausted = 5,
+  kUnavailable = 6,
+  kAborted = 7,
+  kOutOfRange = 8,
+  kDataLoss = 9,
+  kInternal = 10,
+  kUnimplemented = 11,
+};
+
+// Returns the canonical name of `code`, e.g. "NOT_FOUND".
+const char* StatusCodeName(StatusCode code);
+
+// A Status carries a code and, when not OK, a human-readable message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Returns "OK" or "<CODE_NAME>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Constructors for each canonical error.
+Status OkStatus();
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status UnavailableError(std::string message);
+Status AbortedError(std::string message);
+Status OutOfRangeError(std::string message);
+Status DataLossError(std::string message);
+Status InternalError(std::string message);
+Status UnimplementedError(std::string message);
+
+// StatusOr<T> holds either a value or a non-OK Status.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit, mirroring absl::StatusOr ergonomics: functions
+  // may `return value;` or `return SomeError(...)`.
+  StatusOr(const T& value) : status_(OkStatus()), value_(value) {}
+  StatusOr(T&& value) : status_(OkStatus()), value_(std::move(value)) {}
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace zerobak
+
+// Evaluates `expr` (a Status expression) and returns it from the enclosing
+// function if it is not OK.
+#define ZB_RETURN_IF_ERROR(expr)                  \
+  do {                                            \
+    ::zerobak::Status zb_status_ = (expr);        \
+    if (!zb_status_.ok()) return zb_status_;      \
+  } while (0)
+
+// Evaluates `rexpr` (a StatusOr<T> expression); on error returns the status,
+// otherwise moves the value into `lhs`.
+#define ZB_ASSIGN_OR_RETURN(lhs, rexpr)             \
+  ZB_ASSIGN_OR_RETURN_IMPL_(                        \
+      ZB_STATUS_MACRO_CONCAT_(zb_statusor_, __LINE__), lhs, rexpr)
+
+#define ZB_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, rexpr) \
+  auto statusor = (rexpr);                              \
+  if (!statusor.ok()) return statusor.status();         \
+  lhs = std::move(statusor).value()
+
+#define ZB_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define ZB_STATUS_MACRO_CONCAT_(x, y) ZB_STATUS_MACRO_CONCAT_INNER_(x, y)
+
+#endif  // ZEROBAK_COMMON_STATUS_H_

@@ -1,0 +1,21 @@
+#include "common/time.h"
+
+#include <cstdio>
+
+namespace zerobak {
+
+std::string FormatDuration(SimDuration d) {
+  char buf[64];
+  if (d < kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%ldns", static_cast<long>(d));
+  } else if (d < kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", ToMicroseconds(d));
+  } else if (d < kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ToMilliseconds(d));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", ToSeconds(d));
+  }
+  return buf;
+}
+
+}  // namespace zerobak

@@ -1,0 +1,40 @@
+#ifndef ZEROBAK_COMMON_TIME_H_
+#define ZEROBAK_COMMON_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace zerobak {
+
+// Simulated time, in nanoseconds since simulation start. All latency models
+// and the discrete-event engine operate on this type. 64-bit nanoseconds
+// cover ~292 years of simulated time, far beyond any experiment here.
+using SimTime = int64_t;
+using SimDuration = int64_t;
+
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+constexpr SimDuration Nanoseconds(int64_t n) { return n * kNanosecond; }
+constexpr SimDuration Microseconds(int64_t n) { return n * kMicrosecond; }
+constexpr SimDuration Milliseconds(int64_t n) { return n * kMillisecond; }
+constexpr SimDuration Seconds(int64_t n) { return n * kSecond; }
+
+constexpr double ToMicroseconds(SimDuration d) {
+  return static_cast<double>(d) / kMicrosecond;
+}
+constexpr double ToMilliseconds(SimDuration d) {
+  return static_cast<double>(d) / kMillisecond;
+}
+constexpr double ToSeconds(SimDuration d) {
+  return static_cast<double>(d) / kSecond;
+}
+
+// Renders a duration with an adaptive unit, e.g. "1.50ms" or "730ns".
+std::string FormatDuration(SimDuration d);
+
+}  // namespace zerobak
+
+#endif  // ZEROBAK_COMMON_TIME_H_

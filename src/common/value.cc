@@ -1,0 +1,397 @@
+#include "common/value.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace zerobak {
+
+Value::Type Value::type() const {
+  switch (data_.index()) {
+    case 0:
+      return Type::kNull;
+    case 1:
+      return Type::kBool;
+    case 2:
+      return Type::kInt;
+    case 3:
+      return Type::kDouble;
+    case 4:
+      return Type::kString;
+    case 5:
+      return Type::kArray;
+    case 6:
+      return Type::kObject;
+  }
+  return Type::kNull;
+}
+
+bool Value::AsBool() const {
+  ZB_CHECK(is_bool()) << "Value is not a bool";
+  return std::get<bool>(data_);
+}
+
+int64_t Value::AsInt() const {
+  ZB_CHECK(is_int()) << "Value is not an int";
+  return std::get<int64_t>(data_);
+}
+
+double Value::AsDouble() const {
+  if (is_int()) return static_cast<double>(std::get<int64_t>(data_));
+  ZB_CHECK(is_double()) << "Value is not a number";
+  return std::get<double>(data_);
+}
+
+const std::string& Value::AsString() const {
+  ZB_CHECK(is_string()) << "Value is not a string";
+  return std::get<std::string>(data_);
+}
+
+const Value::Array& Value::AsArray() const {
+  ZB_CHECK(is_array()) << "Value is not an array";
+  return std::get<Array>(data_);
+}
+
+Value::Array& Value::MutableArray() {
+  if (is_null()) data_ = Array{};
+  ZB_CHECK(is_array()) << "Value is not an array";
+  return std::get<Array>(data_);
+}
+
+const Value::Object& Value::AsObject() const {
+  ZB_CHECK(is_object()) << "Value is not an object";
+  return std::get<Object>(data_);
+}
+
+Value::Object& Value::MutableObject() {
+  if (is_null()) data_ = Object{};
+  ZB_CHECK(is_object()) << "Value is not an object";
+  return std::get<Object>(data_);
+}
+
+Value& Value::operator[](const std::string& key) {
+  return MutableObject()[key];
+}
+
+const Value* Value::Find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const auto& obj = std::get<Object>(data_);
+  auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+std::string Value::GetString(const std::string& key,
+                             const std::string& fallback) const {
+  const Value* v = Find(key);
+  return (v != nullptr && v->is_string()) ? v->AsString() : fallback;
+}
+
+int64_t Value::GetInt(const std::string& key, int64_t fallback) const {
+  const Value* v = Find(key);
+  return (v != nullptr && v->is_int()) ? v->AsInt() : fallback;
+}
+
+bool Value::GetBool(const std::string& key, bool fallback) const {
+  const Value* v = Find(key);
+  return (v != nullptr && v->is_bool()) ? v->AsBool() : fallback;
+}
+
+void Value::Append(Value v) { MutableArray().push_back(std::move(v)); }
+
+namespace {
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void SerializeTo(const Value& v, std::string* out) {
+  switch (v.type()) {
+    case Value::Type::kNull:
+      out->append("null");
+      break;
+    case Value::Type::kBool:
+      out->append(v.AsBool() ? "true" : "false");
+      break;
+    case Value::Type::kInt: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(v.AsInt()));
+      out->append(buf);
+      break;
+    }
+    case Value::Type::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.AsDouble());
+      out->append(buf);
+      break;
+    }
+    case Value::Type::kString:
+      AppendJsonString(v.AsString(), out);
+      break;
+    case Value::Type::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const Value& e : v.AsArray()) {
+        if (!first) out->push_back(',');
+        first = false;
+        SerializeTo(e, out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case Value::Type::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, val] : v.AsObject()) {
+        if (!first) out->push_back(',');
+        first = false;
+        AppendJsonString(key, out);
+        out->push_back(':');
+        SerializeTo(val, out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+// Recursive-descent JSON parser.
+class Parser {
+ public:
+  explicit Parser(std::string_view in) : in_(in), pos_(0) {}
+
+  StatusOr<Value> Parse() {
+    SkipSpace();
+    auto v = ParseValue();
+    if (!v.ok()) return v;
+    SkipSpace();
+    if (pos_ != in_.size()) {
+      return InvalidArgumentError("trailing characters after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < in_.size() &&
+           std::isspace(static_cast<unsigned char>(in_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < in_.size() && in_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view w) {
+    if (in_.substr(pos_, w.size()) == w) {
+      pos_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<Value> ParseValue() {
+    if (pos_ >= in_.size()) return InvalidArgumentError("unexpected end");
+    const char c = in_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      auto s = ParseString();
+      if (!s.ok()) return s.status();
+      return Value(std::move(s).value());
+    }
+    if (ConsumeWord("null")) return Value(nullptr);
+    if (ConsumeWord("true")) return Value(true);
+    if (ConsumeWord("false")) return Value(false);
+    return ParseNumber();
+  }
+
+  StatusOr<std::string> ParseString() {
+    if (!Consume('"')) return InvalidArgumentError("expected '\"'");
+    std::string out;
+    while (pos_ < in_.size()) {
+      char c = in_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= in_.size()) break;
+        char esc = in_[pos_++];
+        switch (esc) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'u': {
+            if (pos_ + 4 > in_.size()) {
+              return InvalidArgumentError("bad \\u escape");
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = in_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code += static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code += static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code += static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return InvalidArgumentError("bad hex digit in \\u escape");
+              }
+            }
+            // Only Basic-Latin escapes are produced by our serializer;
+            // encode others as UTF-8.
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            } else {
+              out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            }
+            break;
+          }
+          default:
+            return InvalidArgumentError("unknown escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return InvalidArgumentError("unterminated string");
+  }
+
+  StatusOr<Value> ParseNumber() {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    bool is_double = false;
+    while (pos_ < in_.size()) {
+      char c = in_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return InvalidArgumentError("expected a value");
+    const std::string text(in_.substr(start, pos_ - start));
+    if (is_double) {
+      return Value(std::strtod(text.c_str(), nullptr));
+    }
+    return Value(static_cast<int64_t>(std::strtoll(text.c_str(), nullptr, 10)));
+  }
+
+  StatusOr<Value> ParseArray() {
+    Consume('[');
+    Value out = Value::MakeArray();
+    SkipSpace();
+    if (Consume(']')) return out;
+    while (true) {
+      SkipSpace();
+      auto v = ParseValue();
+      if (!v.ok()) return v;
+      out.Append(std::move(v).value());
+      SkipSpace();
+      if (Consume(']')) return out;
+      if (!Consume(',')) return InvalidArgumentError("expected ',' or ']'");
+    }
+  }
+
+  StatusOr<Value> ParseObject() {
+    Consume('{');
+    Value out = Value::MakeObject();
+    SkipSpace();
+    if (Consume('}')) return out;
+    while (true) {
+      SkipSpace();
+      auto key = ParseString();
+      if (!key.ok()) return key.status();
+      SkipSpace();
+      if (!Consume(':')) return InvalidArgumentError("expected ':'");
+      SkipSpace();
+      auto v = ParseValue();
+      if (!v.ok()) return v;
+      out[std::move(key).value()] = std::move(v).value();
+      SkipSpace();
+      if (Consume('}')) return out;
+      if (!Consume(',')) return InvalidArgumentError("expected ',' or '}'");
+    }
+  }
+
+  std::string_view in_;
+  size_t pos_;
+};
+
+}  // namespace
+
+std::string Value::ToJson() const {
+  std::string out;
+  SerializeTo(*this, &out);
+  return out;
+}
+
+StatusOr<Value> Value::FromJson(std::string_view json) {
+  return Parser(json).Parse();
+}
+
+}  // namespace zerobak

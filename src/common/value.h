@@ -1,0 +1,94 @@
+#ifndef ZEROBAK_COMMON_VALUE_H_
+#define ZEROBAK_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace zerobak {
+
+// A small dynamic value (JSON data model: null, bool, int64, double,
+// string, array, object) used for container-platform resource specs and
+// statuses, mirroring the untyped maps of the Kubernetes API machinery.
+class Value {
+ public:
+  using Array = std::vector<Value>;
+  using Object = std::map<std::string, Value>;
+
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Value() : data_(std::monostate{}) {}
+  Value(std::nullptr_t) : data_(std::monostate{}) {}
+  Value(bool b) : data_(b) {}
+  Value(int i) : data_(static_cast<int64_t>(i)) {}
+  Value(int64_t i) : data_(i) {}
+  Value(uint64_t i) : data_(static_cast<int64_t>(i)) {}
+  Value(double d) : data_(d) {}
+  Value(const char* s) : data_(std::string(s)) {}
+  Value(std::string s) : data_(std::move(s)) {}
+  Value(std::string_view s) : data_(std::string(s)) {}
+  Value(Array a) : data_(std::move(a)) {}
+  Value(Object o) : data_(std::move(o)) {}
+
+  static Value MakeArray() { return Value(Array{}); }
+  static Value MakeObject() { return Value(Object{}); }
+
+  Type type() const;
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_int() const { return type() == Type::kInt; }
+  bool is_double() const { return type() == Type::kDouble; }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return type() == Type::kString; }
+  bool is_array() const { return type() == Type::kArray; }
+  bool is_object() const { return type() == Type::kObject; }
+
+  // Typed accessors; the caller must check the type first (checked via
+  // ZB_CHECK in the implementation).
+  bool AsBool() const;
+  int64_t AsInt() const;
+  double AsDouble() const;  // Accepts int too.
+  const std::string& AsString() const;
+  const Array& AsArray() const;
+  Array& MutableArray();
+  const Object& AsObject() const;
+  Object& MutableObject();
+
+  // Object access. operator[] inserts a null member if missing (and
+  // converts a null value into an object first, for fluent building).
+  Value& operator[](const std::string& key);
+  // Returns nullptr if this is not an object or the key is missing.
+  const Value* Find(const std::string& key) const;
+
+  // Lookup with defaults, tolerant of missing members/wrong types.
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+  int64_t GetInt(const std::string& key, int64_t fallback = 0) const;
+  bool GetBool(const std::string& key, bool fallback = false) const;
+
+  // Array building; converts a null value into an array first.
+  void Append(Value v);
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+
+  // Compact JSON serialization (keys sorted by map order).
+  std::string ToJson() const;
+
+  // Strict JSON parser for the supported data model.
+  static StatusOr<Value> FromJson(std::string_view json);
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string, Array,
+               Object>
+      data_;
+};
+
+}  // namespace zerobak
+
+#endif  // ZEROBAK_COMMON_VALUE_H_

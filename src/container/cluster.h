@@ -1,0 +1,33 @@
+#ifndef ZEROBAK_CONTAINER_CLUSTER_H_
+#define ZEROBAK_CONTAINER_CLUSTER_H_
+
+#include <string>
+
+#include "container/api_server.h"
+#include "container/controller.h"
+#include "sim/environment.h"
+
+namespace zerobak::container {
+
+// One container platform (an OpenShift cluster in the demonstration):
+// an API server plus its controller manager.
+class Cluster {
+ public:
+  Cluster(sim::SimEnvironment* env, std::string name)
+      : api_(env, name), controllers_(env, &api_) {}
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  const std::string& name() const { return api_.cluster_name(); }
+  ApiServer* api() { return &api_; }
+  ControllerManager* controllers() { return &controllers_; }
+
+ private:
+  ApiServer api_;
+  ControllerManager controllers_;
+};
+
+}  // namespace zerobak::container
+
+#endif  // ZEROBAK_CONTAINER_CLUSTER_H_

@@ -1,0 +1,52 @@
+#include "container/controller.h"
+
+#include <utility>
+
+namespace zerobak::container {
+
+ControllerManager::ControllerManager(sim::SimEnvironment* env,
+                                     ApiServer* api)
+    : env_(env), api_(api) {}
+
+ControllerManager::~ControllerManager() {
+  for (uint64_t id : watch_ids_) api_->StopWatch(id);
+  if (resync_task_) resync_task_->Stop();
+}
+
+void ControllerManager::Register(std::unique_ptr<Controller> controller) {
+  Controller* raw = controller.get();
+  raw->Start(api_);
+  for (const std::string& kind : raw->WatchedKinds()) {
+    watch_ids_.push_back(
+        api_->Watch(kind, [raw](const WatchEvent& event) {
+          raw->DispatchReconcile(event);
+        }));
+  }
+  controllers_.push_back(std::move(controller));
+}
+
+Controller* ControllerManager::Find(const std::string& name) {
+  for (auto& c : controllers_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+void ControllerManager::EnableResync(SimDuration interval) {
+  resync_task_ = std::make_unique<sim::PeriodicTask>(
+      env_, interval, [this] { Resync(); });
+  resync_task_->Start();
+}
+
+void ControllerManager::Resync() {
+  for (auto& controller : controllers_) {
+    for (const std::string& kind : controller->WatchedKinds()) {
+      for (const Resource& r : api_->List(kind)) {
+        controller->DispatchReconcile(
+            WatchEvent{WatchEventType::kModified, r});
+      }
+    }
+  }
+}
+
+}  // namespace zerobak::container

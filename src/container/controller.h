@@ -1,0 +1,75 @@
+#ifndef ZEROBAK_CONTAINER_CONTROLLER_H_
+#define ZEROBAK_CONTAINER_CONTROLLER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "container/api_server.h"
+#include "sim/environment.h"
+
+namespace zerobak::container {
+
+// A reconciling controller in the operator pattern: it watches one or more
+// kinds and drives the world toward each object's declared spec. The
+// namespace operator and the storage plugins are implemented as
+// controllers.
+class Controller {
+ public:
+  virtual ~Controller() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::vector<std::string> WatchedKinds() const = 0;
+
+  // Handles one watch event (level-triggered: handlers must tolerate
+  // duplicate and replayed events).
+  virtual void Reconcile(const WatchEvent& event) = 0;
+
+  // Invoked by the manager when the controller is attached to a cluster.
+  virtual void Start(ApiServer* api) { api_ = api; }
+
+  // Entry point used by the manager: counts and forwards to Reconcile().
+  void DispatchReconcile(const WatchEvent& event) {
+    ++reconcile_count_;
+    Reconcile(event);
+  }
+
+  uint64_t reconcile_count() const { return reconcile_count_; }
+
+ protected:
+  ApiServer* api_ = nullptr;
+  uint64_t reconcile_count_ = 0;
+};
+
+// Hosts controllers on one API server: sets up their watches, dispatches
+// events, and optionally drives a periodic resync (replaying every watched
+// object as a MODIFIED event) so controllers converge even if an event was
+// mishandled — the level-triggered safety net real operators rely on.
+class ControllerManager {
+ public:
+  ControllerManager(sim::SimEnvironment* env, ApiServer* api);
+  ~ControllerManager();
+
+  ControllerManager(const ControllerManager&) = delete;
+  ControllerManager& operator=(const ControllerManager&) = delete;
+
+  void Register(std::unique_ptr<Controller> controller);
+  Controller* Find(const std::string& name);
+  size_t controller_count() const { return controllers_.size(); }
+
+  // Starts the periodic resync loop.
+  void EnableResync(SimDuration interval);
+
+ private:
+  void Resync();
+
+  sim::SimEnvironment* env_;
+  ApiServer* api_;
+  std::vector<std::unique_ptr<Controller>> controllers_;
+  std::vector<uint64_t> watch_ids_;
+  std::unique_ptr<sim::PeriodicTask> resync_task_;
+};
+
+}  // namespace zerobak::container
+
+#endif  // ZEROBAK_CONTAINER_CONTROLLER_H_

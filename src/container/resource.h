@@ -1,0 +1,73 @@
+#ifndef ZEROBAK_CONTAINER_RESOURCE_H_
+#define ZEROBAK_CONTAINER_RESOURCE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/value.h"
+
+namespace zerobak::container {
+
+// Well-known resource kinds used by the demonstration system. Custom
+// resources (the CRs created by the namespace operator and consumed by the
+// storage plugins) are plain kinds too — the API machinery is untyped,
+// like Kubernetes' unstructured objects.
+inline constexpr char kKindNamespace[] = "Namespace";
+inline constexpr char kKindPod[] = "Pod";
+inline constexpr char kKindPersistentVolumeClaim[] = "PersistentVolumeClaim";
+inline constexpr char kKindPersistentVolume[] = "PersistentVolume";
+inline constexpr char kKindStorageClass[] = "StorageClass";
+// Custom resource of the replication plugin: one consistency-grouped ADC
+// configuration covering a set of PVCs (Section III-B-2).
+inline constexpr char kKindVolumeReplicationGroup[] = "VolumeReplicationGroup";
+// Custom resources of the snapshot plugin (Section II, CSI snapshot group).
+inline constexpr char kKindVolumeSnapshot[] = "VolumeSnapshot";
+inline constexpr char kKindVolumeSnapshotGroup[] = "VolumeSnapshotGroup";
+// Recurring snapshot-group policy with retention (protection schedule).
+inline constexpr char kKindSnapshotSchedule[] = "SnapshotSchedule";
+
+// An API object: kind + metadata + spec + status. Namespace-scoped unless
+// `ns` is empty (cluster-scoped kinds: Namespace, PersistentVolume,
+// StorageClass).
+struct Resource {
+  std::string kind;
+  std::string ns;
+  std::string name;
+
+  // Monotonic per-API-server version, set on every write (optimistic
+  // concurrency: updates must carry the current version).
+  uint64_t resource_version = 0;
+  // Bumped when the spec changes (not on status-only updates).
+  uint64_t generation = 0;
+
+  std::map<std::string, std::string> labels;
+  std::map<std::string, std::string> annotations;
+
+  Value spec;
+  Value status;
+
+  // "kind/ns/name" — unique identity within one API server.
+  std::string Key() const { return MakeKey(kind, ns, name); }
+  static std::string MakeKey(const std::string& kind, const std::string& ns,
+                             const std::string& name) {
+    return kind + "/" + ns + "/" + name;
+  }
+
+  // Convenience accessors tolerant of missing fields.
+  std::string GetAnnotation(const std::string& key,
+                            const std::string& fallback = "") const {
+    auto it = annotations.find(key);
+    return it == annotations.end() ? fallback : it->second;
+  }
+  std::string GetLabel(const std::string& key,
+                       const std::string& fallback = "") const {
+    auto it = labels.find(key);
+    return it == labels.end() ? fallback : it->second;
+  }
+  std::string StatusPhase() const { return status.GetString("phase"); }
+};
+
+}  // namespace zerobak::container
+
+#endif  // ZEROBAK_CONTAINER_RESOURCE_H_

@@ -1,0 +1,85 @@
+#ifndef ZEROBAK_CORE_CONSOLE_H_
+#define ZEROBAK_CORE_CONSOLE_H_
+
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/demo_system.h"
+#include "db/minidb.h"
+#include "storage/array_device.h"
+#include "workload/ecommerce.h"
+
+namespace zerobak::core {
+
+// A scriptable operations console over the demonstration system — the
+// stand-in for the OpenShift web consoles the paper's users operate
+// (Fig. 2). Every demo action is one command:
+//
+//   deploy <ns>                     create the business process
+//   order <ns> <count>              place orders
+//   run <ms>                        advance simulated time
+//   tag <ns> | untag <ns>           demo step 1 (Figs. 3-4)
+//   status <ns>                     replication health
+//   snapshot <ns> <group>           demo step 2 (Fig. 5)
+//   schedule <ns> <name> <ms> <n>   recurring snapshots, retain n
+//   analytics <ns> <group>          demo step 3 (Fig. 6)
+//   verify <ns> <group>             restorability check
+//   verify-latest <ns> <schedule>
+//   fail-main | repair-main         disaster injection
+//   failover <ns>                   DR takeover
+//   failback <ns> [force]           giveback
+//   check <ns>                      recover backup DBs + consistency
+//   help
+//
+// Lines starting with '#' and blank lines are ignored, so whole demo
+// scripts can be replayed (see examples/console_demo.cpp).
+class Console {
+ public:
+  Console(DemoSystem* system, std::ostream* out);
+
+  Console(const Console&) = delete;
+  Console& operator=(const Console&) = delete;
+
+  // Executes one command line. Unknown commands and bad arguments return
+  // INVALID_ARGUMENT; operational failures return the underlying status.
+  Status Execute(const std::string& line);
+
+  // Executes a multi-line script, stopping at the first failure.
+  Status ExecuteScript(const std::string& script);
+
+  uint64_t commands_executed() const { return commands_executed_; }
+
+  // Splits a command line into whitespace-separated tokens.
+  static std::vector<std::string> Tokenize(const std::string& line);
+
+ private:
+  // The business process state the console manages per namespace.
+  struct Business {
+    std::unique_ptr<storage::ArrayVolumeDevice> sales_dev;
+    std::unique_ptr<storage::ArrayVolumeDevice> stock_dev;
+    std::unique_ptr<db::MiniDb> sales_db;
+    std::unique_ptr<db::MiniDb> stock_db;
+    std::unique_ptr<workload::EcommerceApp> app;
+  };
+
+  Status Deploy(const std::string& ns);
+  Status Order(const std::string& ns, int count);
+  Status PrintStatus(const std::string& ns);
+  Status Analytics(const std::string& ns, const std::string& group);
+  Status CheckBackup(const std::string& ns);
+
+  static db::DbOptions DbOpts();
+
+  DemoSystem* system_;
+  std::ostream* out_;
+  std::map<std::string, Business> businesses_;
+  uint64_t commands_executed_ = 0;
+};
+
+}  // namespace zerobak::core
+
+#endif  // ZEROBAK_CORE_CONSOLE_H_

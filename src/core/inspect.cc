@@ -1,0 +1,135 @@
+#include "core/inspect.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace zerobak::core {
+
+namespace {
+
+void AppendLine(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out->append(buf);
+  out->push_back('\n');
+}
+
+}  // namespace
+
+std::string DescribeSite(Site* site) {
+  std::string out;
+  AppendLine(&out, "site %s", site->name().c_str());
+
+  // Cluster: object counts per kind.
+  AppendLine(&out, "  cluster objects:");
+  static const char* kKinds[] = {
+      container::kKindNamespace,
+      container::kKindPersistentVolumeClaim,
+      container::kKindPersistentVolume,
+      container::kKindStorageClass,
+      container::kKindVolumeReplicationGroup,
+      container::kKindVolumeSnapshotGroup,
+      container::kKindVolumeSnapshot,
+      container::kKindSnapshotSchedule,
+  };
+  for (const char* kind : kKinds) {
+    const size_t n = site->api()->List(kind).size();
+    if (n > 0) AppendLine(&out, "    %-26s %zu", kind, n);
+  }
+
+  // Array: volumes + journals + host IO.
+  storage::StorageArray* array = site->array();
+  AppendLine(&out, "  array %s%s: %zu volumes, %zu journals",
+             array->serial().c_str(), array->failed() ? " [FAILED]" : "",
+             array->volume_count(), array->ListJournals().size());
+  for (storage::VolumeId id : array->ListVolumes()) {
+    const storage::Volume* vol = array->GetVolume(id);
+    AppendLine(&out, "    vol %-3" PRIu64 " %-24s %8" PRIu64
+                     " blocks (%" PRIu64 " allocated)%s",
+               id, vol->name().c_str(), vol->block_count(),
+               vol->store().allocated_blocks(),
+               array->HasInterceptor(id) ? " [replicated]" : "");
+  }
+  for (storage::PoolId pid : array->ListPools()) {
+    const storage::StoragePool* pool = array->GetPool(pid);
+    AppendLine(&out,
+               "    pool %-3" PRIu64 " %-20s used=%" PRIu64 "/%" PRIu64
+               " blocks%s",
+               pid, pool->name().c_str(), pool->used_blocks(),
+               pool->capacity_blocks(),
+               pool->allocation_failures() > 0 ? " [EXHAUSTED]" : "");
+  }
+  for (storage::JournalId jid : array->ListJournals()) {
+    const journal::JournalVolume* jnl =
+        const_cast<storage::StorageArray*>(array)->GetJournal(jid);
+    AppendLine(&out,
+               "    jnl %-3" PRIu64 " used=%" PRIu64 "B/%" PRIu64
+               "B written=%" PRIu64 " applied=%" PRIu64 "%s",
+               jid, jnl->used_bytes(), jnl->capacity_bytes(),
+               jnl->written(), jnl->applied(),
+               jnl->overflows() > 0 ? " [OVERFLOWED]" : "");
+  }
+  AppendLine(&out,
+             "    host IO: %" PRIu64 " writes (%s), %" PRIu64 " reads",
+             array->host_writes(),
+             array->host_write_latency().ToString().c_str(),
+             array->host_reads());
+
+  // Snapshots.
+  const size_t snaps = site->snapshots()->snapshot_count();
+  if (snaps > 0) {
+    AppendLine(&out, "  snapshots: %zu in %zu groups", snaps,
+               site->snapshots()->ListGroups().size());
+  }
+  return out;
+}
+
+std::string DescribeReplication(replication::ReplicationEngine* engine) {
+  std::string out;
+  AppendLine(&out, "replication: %zu groups, %zu pairs",
+             engine->ListGroups().size(), engine->ListPairs().size());
+  for (replication::GroupId gid : engine->ListGroups()) {
+    auto stats = engine->GetGroupStats(gid);
+    auto name = engine->GetGroupName(gid);
+    if (!stats.ok()) continue;
+    AppendLine(&out,
+               "  group %-3" PRIu64 " %-24s written=%" PRIu64
+               " shipped=%" PRIu64 " applied=%" PRIu64 " lag=%s",
+               gid, name.ok() ? name->c_str() : "?", stats->written,
+               stats->shipped, stats->applied,
+               FormatDuration(stats->apply_lag).c_str());
+    for (replication::PairId pid : engine->ListGroupPairs(gid)) {
+      const replication::Pair* pair = engine->GetPair(pid);
+      if (pair == nullptr) continue;
+      AppendLine(&out, "    pair %-3" PRIu64 " %-20s [%s] dirty=%zu", pid,
+                 pair->config().name.c_str(), PairStateName(pair->state()),
+                 pair->dirty_blocks());
+    }
+  }
+  return out;
+}
+
+std::string DescribeSystem(DemoSystem* system) {
+  std::string out;
+  AppendLine(&out, "=== demo system @ t=%s ===",
+             FormatDuration(system->env()->now()).c_str());
+  out += DescribeSite(system->main_site());
+  out += DescribeSite(system->backup_site());
+  out += DescribeReplication(system->replication());
+  AppendLine(&out,
+             "links: main->backup %s (%" PRIu64 " msgs, %" PRIu64
+             "B), backup->main %s",
+             system->link_to_backup()->connected() ? "up" : "DOWN",
+             system->link_to_backup()->messages_sent(),
+             system->link_to_backup()->bytes_sent(),
+             system->link_to_main()->connected() ? "up" : "DOWN");
+  return out;
+}
+
+}  // namespace zerobak::core

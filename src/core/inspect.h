@@ -1,0 +1,22 @@
+#ifndef ZEROBAK_CORE_INSPECT_H_
+#define ZEROBAK_CORE_INSPECT_H_
+
+#include <string>
+
+#include "core/demo_system.h"
+
+namespace zerobak::core {
+
+// Human-readable state dump of the whole demonstration system: clusters
+// (object counts per kind), arrays (volumes, journals, host IO stats),
+// replication groups and pairs, snapshots. What an operator would check
+// first — the `inspect` console command and the examples use it.
+std::string DescribeSystem(DemoSystem* system);
+
+// One-site variants.
+std::string DescribeSite(Site* site);
+std::string DescribeReplication(replication::ReplicationEngine* engine);
+
+}  // namespace zerobak::core
+
+#endif  // ZEROBAK_CORE_INSPECT_H_

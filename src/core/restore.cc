@@ -1,0 +1,38 @@
+#include "core/restore.h"
+
+namespace zerobak::core {
+
+StatusOr<RestoreReport> RestoreNamespaceFromGroup(
+    DemoSystem* system, const std::string& ns,
+    const std::string& group_name) {
+  // The group's pairs must have been swapped (failed over): restoring an
+  // actively-replicated S-VOL would fight the applier.
+  ZB_ASSIGN_OR_RETURN(auto groups, system->ReplicationGroupsOf(ns));
+  for (replication::GroupId gid : groups) {
+    for (replication::PairId pid :
+         system->replication()->ListGroupPairs(gid)) {
+      const replication::Pair* pair = system->replication()->GetPair(pid);
+      if (pair != nullptr &&
+          pair->state() != replication::PairState::kSwapped) {
+        return FailedPreconditionError(
+            "namespace " + ns + " is still replicating (pair " +
+            pair->config().name + " is " + PairStateName(pair->state()) +
+            "); fail over before restoring");
+      }
+    }
+  }
+
+  RestoreReport report;
+  snapshot::SnapshotManager* snapshots = system->backup_site()->snapshots();
+  for (const char* pvc : {"sales-db", "stock-db"}) {
+    ZB_ASSIGN_OR_RETURN(snapshot::CowSnapshot * snap,
+                        system->ResolveSnapshot(ns, group_name, pvc));
+    ZB_ASSIGN_OR_RETURN(uint64_t rewritten,
+                        snapshots->RestoreVolume(snap->id()));
+    ++report.volumes_restored;
+    report.blocks_rewritten += rewritten;
+  }
+  return report;
+}
+
+}  // namespace zerobak::core

@@ -1,0 +1,33 @@
+#ifndef ZEROBAK_CORE_RESTORE_H_
+#define ZEROBAK_CORE_RESTORE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/demo_system.h"
+
+namespace zerobak::core {
+
+// Point-in-time restore: rolls the namespace's backup volumes back to a
+// snapshot group's image. This is the recovery path for logical damage —
+// the replicated image faithfully mirrors a ransomware scribble or a bad
+// deployment, so after the takeover the operator rewinds to the last
+// good scheduled backup instead.
+struct RestoreReport {
+  uint64_t volumes_restored = 0;
+  uint64_t blocks_rewritten = 0;
+};
+
+// Restores every business PVC of the namespace (sales-db, stock-db) from
+// the named snapshot group on the backup site.
+//
+// Precondition: the namespace must be failed over (FAILED_PRECONDITION
+// otherwise) — rewinding volumes that the replication applier is still
+// writing would immediately diverge again.
+StatusOr<RestoreReport> RestoreNamespaceFromGroup(
+    DemoSystem* system, const std::string& ns,
+    const std::string& group_name);
+
+}  // namespace zerobak::core
+
+#endif  // ZEROBAK_CORE_RESTORE_H_

@@ -1,0 +1,40 @@
+#ifndef ZEROBAK_CORE_SITE_H_
+#define ZEROBAK_CORE_SITE_H_
+
+#include <string>
+
+#include "container/cluster.h"
+#include "sim/environment.h"
+#include "snapshot/snapshot.h"
+#include "storage/array.h"
+
+namespace zerobak::core {
+
+// One site of the demonstration system (Fig. 1): a container platform
+// plus an external storage system with its snapshot feature.
+class Site {
+ public:
+  Site(sim::SimEnvironment* env, const std::string& name,
+       storage::ArrayConfig array_config)
+      : cluster_(env, name),
+        array_(env, std::move(array_config)),
+        snapshots_(&array_) {}
+
+  Site(const Site&) = delete;
+  Site& operator=(const Site&) = delete;
+
+  const std::string& name() const { return cluster_.name(); }
+  container::Cluster* cluster() { return &cluster_; }
+  container::ApiServer* api() { return cluster_.api(); }
+  storage::StorageArray* array() { return &array_; }
+  snapshot::SnapshotManager* snapshots() { return &snapshots_; }
+
+ private:
+  container::Cluster cluster_;
+  storage::StorageArray array_;
+  snapshot::SnapshotManager snapshots_;
+};
+
+}  // namespace zerobak::core
+
+#endif  // ZEROBAK_CORE_SITE_H_

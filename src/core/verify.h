@@ -1,0 +1,48 @@
+#ifndef ZEROBAK_CORE_VERIFY_H_
+#define ZEROBAK_CORE_VERIFY_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/demo_system.h"
+#include "workload/invariants.h"
+
+namespace zerobak::core {
+
+// Backup verification: proves a snapshot group is actually restorable by
+// doing what a restore would do — open the databases on the snapshot
+// volumes, run crash recovery, and cross-check the business invariants.
+// A backup that merely exists is not a backup; one that passes this is.
+struct VerificationReport {
+  std::string group_name;
+  // Every member database opened and recovered.
+  bool databases_recovered = false;
+  // Business-level cross-database consistency (no orphan orders).
+  workload::CollapseReport business;
+  // Totals seen in the verified image.
+  uint64_t orders = 0;
+  uint64_t stock_movements = 0;
+  SimTime snapshot_time = 0;
+
+  bool passed() const {
+    return databases_recovered && !business.collapsed() &&
+           business.internally_consistent();
+  }
+  std::string ToString() const;
+};
+
+// Verifies the named snapshot group of the namespace's business process
+// (sales-db + stock-db PVCs) on the backup site. Fails with NOT_FOUND if
+// the group or its snapshots do not exist.
+StatusOr<VerificationReport> VerifySnapshotGroup(
+    DemoSystem* system, const std::string& ns,
+    const std::string& group_name);
+
+// Verifies the newest Ready snapshot group produced by a schedule.
+StatusOr<VerificationReport> VerifyLatestScheduled(
+    DemoSystem* system, const std::string& ns,
+    const std::string& schedule_name);
+
+}  // namespace zerobak::core
+
+#endif  // ZEROBAK_CORE_VERIFY_H_

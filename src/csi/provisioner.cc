@@ -1,0 +1,127 @@
+#include "csi/provisioner.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace zerobak::csi {
+
+using container::kKindPersistentVolume;
+using container::kKindPersistentVolumeClaim;
+using container::kKindStorageClass;
+using container::Resource;
+using container::WatchEvent;
+using container::WatchEventType;
+
+Provisioner::Provisioner(storage::StorageArray* array,
+                         std::string provisioner_name)
+    : array_(array), provisioner_name_(std::move(provisioner_name)) {}
+
+void Provisioner::Reconcile(const WatchEvent& event) {
+  const Resource& pvc = event.resource;
+  if (event.type == WatchEventType::kDeleted) {
+    ReleaseVolume(pvc);
+    return;
+  }
+  // Already bound (possibly statically, by the replication plugin on the
+  // backup site): nothing to do.
+  if (pvc.StatusPhase() == "Bound" ||
+      !pvc.spec.GetString("volumeName").empty()) {
+    return;
+  }
+  ProvisionAndBind(pvc);
+}
+
+void Provisioner::ProvisionAndBind(const Resource& pvc) {
+  // Is this PVC ours? Resolve its storage class.
+  const std::string sc_name = pvc.spec.GetString("storageClassName");
+  if (sc_name.empty()) return;
+  auto sc = api_->Get(kKindStorageClass, "", sc_name);
+  if (!sc.ok()) return;  // Class not created yet; resync will retry.
+  if (sc->spec.GetString("provisioner") != provisioner_name_ ||
+      sc->spec.GetString("arraySerial") != array_->serial()) {
+    return;  // Another plugin's class.
+  }
+
+  const int64_t capacity = pvc.spec.GetInt("capacityBytes");
+  if (capacity <= 0) {
+    ZB_LOG(Warning) << "PVC " << pvc.Key() << " has no capacity";
+    return;
+  }
+  const std::string volume_name = "pvc-" + pvc.ns + "-" + pvc.name;
+  // Idempotency: a previous partially-completed reconcile may have created
+  // the volume already.
+  storage::Volume* existing = array_->FindVolumeByName(volume_name);
+  storage::VolumeId volume_id;
+  if (existing != nullptr) {
+    volume_id = existing->id();
+  } else {
+    const uint64_t blocks =
+        (static_cast<uint64_t>(capacity) + block::kDefaultBlockSize - 1) /
+        block::kDefaultBlockSize;
+    auto created = array_->CreateVolume(volume_name, blocks);
+    if (!created.ok()) {
+      ZB_LOG(Warning) << "provisioning " << volume_name
+                      << " failed: " << created.status();
+      return;
+    }
+    volume_id = *created;
+    ++provisioned_;
+  }
+
+  const std::string pv_name = volume_name;
+  if (!api_->Exists(kKindPersistentVolume, "", pv_name)) {
+    Resource pv;
+    pv.kind = kKindPersistentVolume;
+    pv.name = pv_name;
+    pv.spec["volumeHandle"] = array_->VolumeHandle(volume_id);
+    pv.spec["capacityBytes"] = capacity;
+    pv.spec["storageClassName"] = sc_name;
+    pv.spec["claimRef"]["namespace"] = pvc.ns;
+    pv.spec["claimRef"]["name"] = pvc.name;
+    pv.status["phase"] = "Bound";
+    auto created_pv = api_->Create(std::move(pv));
+    if (!created_pv.ok() &&
+        created_pv.status().code() != StatusCode::kAlreadyExists) {
+      ZB_LOG(Warning) << "PV create failed: " << created_pv.status();
+      return;
+    }
+  }
+
+  // Bind the claim.
+  Status bound = api_->Mutate(
+      kKindPersistentVolumeClaim, pvc.ns, pvc.name, [&](Resource* r) {
+        r->spec["volumeName"] = pv_name;
+        r->status["phase"] = "Bound";
+      });
+  if (!bound.ok()) {
+    ZB_LOG(Warning) << "PVC bind failed: " << bound;
+  }
+}
+
+void Provisioner::ReleaseVolume(const Resource& pvc) {
+  const std::string pv_name = pvc.spec.GetString("volumeName");
+  if (pv_name.empty()) return;
+  auto pv = api_->Get(kKindPersistentVolume, "", pv_name);
+  if (!pv.ok()) return;
+  const std::string handle = pv->spec.GetString("volumeHandle");
+  auto parsed = storage::StorageArray::ParseVolumeHandle(handle);
+  if (parsed.ok() && parsed->first == array_->serial()) {
+    Status st = array_->DeleteVolume(parsed->second);
+    if (!st.ok() && st.code() != StatusCode::kNotFound) {
+      // Replicated or snapshotted volumes cannot be deleted; keep the PV
+      // as "Released" so an operator can clean up.
+      ZB_LOG(Warning) << "volume release blocked: " << st;
+      (void)api_->Mutate(kKindPersistentVolume, "", pv_name,
+                         [](Resource* r) {
+                           r->status["phase"] = "Released";
+                         });
+      return;
+    }
+  } else {
+    return;  // Not our volume.
+  }
+  (void)api_->Delete(kKindPersistentVolume, "", pv_name);
+}
+
+}  // namespace zerobak::csi

@@ -1,0 +1,53 @@
+#ifndef ZEROBAK_CSI_PROVISIONER_H_
+#define ZEROBAK_CSI_PROVISIONER_H_
+
+#include <string>
+#include <vector>
+
+#include "container/controller.h"
+#include "storage/array.h"
+
+namespace zerobak::csi {
+
+// Default provisioner name used by the storage classes in this repo.
+inline constexpr char kProvisionerName[] = "csi.zerobak.io";
+
+// CSI-style dynamic provisioner ("Storage Plug-in for Containers",
+// Section III-B-2): watches PersistentVolumeClaims, carves volumes out of
+// its storage array and binds them via PersistentVolume objects — so that
+// applications consume array storage without any array knowledge.
+//
+// Resource conventions:
+//   StorageClass (cluster-scoped) spec:
+//     { "provisioner": "csi.zerobak.io", "arraySerial": "<serial>" }
+//   PVC spec:  { "storageClassName": str, "capacityBytes": int }
+//     on bind: { ..., "volumeName": str }, status.phase = "Bound"
+//   PV (cluster-scoped) spec:
+//     { "volumeHandle": "<serial>:<id>", "capacityBytes": int,
+//       "storageClassName": str,
+//       "claimRef": {"namespace": str, "name": str} }
+class Provisioner : public container::Controller {
+ public:
+  Provisioner(storage::StorageArray* array,
+              std::string provisioner_name = kProvisionerName);
+
+  std::string name() const override { return "csi-provisioner"; }
+  std::vector<std::string> WatchedKinds() const override {
+    return {container::kKindPersistentVolumeClaim};
+  }
+  void Reconcile(const container::WatchEvent& event) override;
+
+  uint64_t provisioned_volumes() const { return provisioned_; }
+
+ private:
+  void ProvisionAndBind(const container::Resource& pvc);
+  void ReleaseVolume(const container::Resource& pvc);
+
+  storage::StorageArray* array_;
+  std::string provisioner_name_;
+  uint64_t provisioned_ = 0;
+};
+
+}  // namespace zerobak::csi
+
+#endif  // ZEROBAK_CSI_PROVISIONER_H_

@@ -1,0 +1,254 @@
+#include "csi/replication_controller.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace zerobak::csi {
+
+using container::kKindPersistentVolume;
+using container::kKindPersistentVolumeClaim;
+using container::kKindVolumeReplicationGroup;
+using container::Resource;
+using container::WatchEvent;
+using container::WatchEventType;
+
+ReplicationGroupController::ReplicationGroupController(
+    replication::ReplicationEngine* engine, storage::StorageArray* main_array,
+    storage::StorageArray* backup_array, container::ApiServer* backup_api,
+    std::string backup_storage_class)
+    : engine_(engine),
+      main_array_(main_array),
+      backup_array_(backup_array),
+      backup_api_(backup_api),
+      backup_storage_class_(std::move(backup_storage_class)) {}
+
+void ReplicationGroupController::Reconcile(const WatchEvent& event) {
+  if (event.resource.kind != kKindVolumeReplicationGroup) return;
+  if (event.type == WatchEventType::kDeleted) {
+    Teardown(event.resource);
+    return;
+  }
+  Configure(event.resource);
+}
+
+void ReplicationGroupController::Configure(const Resource& vrg) {
+  const Value* volumes = vrg.spec.Find("volumes");
+  if (volumes == nullptr || !volumes->is_array()) return;
+  const std::string source_ns = vrg.spec.GetString("sourceNamespace");
+  const bool per_volume = vrg.spec.GetBool("perVolume");
+  const int64_t journal_capacity = vrg.spec.GetInt(
+      "journalCapacityBytes",
+      static_cast<int64_t>(replication::ConsistencyGroupConfig{}
+                               .journal_capacity_bytes));
+
+  // Re-read current status for idempotency.
+  Value pairs_status = Value::MakeObject();
+  Value groups_status = Value::MakeArray();
+  {
+    auto current = api_->Get(vrg.kind, vrg.ns, vrg.name);
+    if (current.ok()) {
+      if (const Value* p = current->status.Find("pairs"); p != nullptr) {
+        pairs_status = *p;
+      }
+      if (const Value* g = current->status.Find("groups"); g != nullptr) {
+        groups_status = *g;
+      }
+    }
+  }
+
+  // Shared consistency group (the paper's configuration): one journal for
+  // every volume of the business process.
+  replication::GroupId shared_group = 0;
+  if (!per_volume) {
+    if (!groups_status.AsArray().empty()) {
+      shared_group = static_cast<replication::GroupId>(
+          groups_status.AsArray().front().AsInt());
+    } else {
+      replication::ConsistencyGroupConfig cfg;
+      cfg.name = "cg-" + vrg.ns + "-" + vrg.name;
+      cfg.journal_capacity_bytes = static_cast<uint64_t>(journal_capacity);
+      auto group = engine_->CreateConsistencyGroup(cfg);
+      if (!group.ok()) {
+        ZB_LOG(Warning) << "consistency group creation failed: "
+                        << group.status();
+        return;
+      }
+      shared_group = *group;
+      groups_status.Append(static_cast<int64_t>(shared_group));
+    }
+  }
+
+  bool changed = false;
+  for (const Value& entry : volumes->AsArray()) {
+    const std::string handle = entry.GetString("handle");
+    const std::string pvc_name = entry.GetString("pvcName");
+    const int64_t capacity = entry.GetInt("capacityBytes");
+    if (handle.empty()) continue;
+    if (pairs_status.Find(handle) != nullptr) continue;  // Already paired.
+
+    auto parsed = storage::StorageArray::ParseVolumeHandle(handle);
+    if (!parsed.ok() || parsed->first != main_array_->serial()) {
+      ZB_LOG(Warning) << "VRG " << vrg.name << ": foreign handle " << handle;
+      continue;
+    }
+    storage::Volume* pvol = main_array_->GetVolume(parsed->second);
+    if (pvol == nullptr) {
+      ZB_LOG(Warning) << "VRG " << vrg.name << ": missing volume " << handle;
+      continue;
+    }
+
+    // Secondary volume on the backup array (idempotent by name).
+    const std::string svol_name = "r-" + pvol->name();
+    storage::Volume* svol = backup_array_->FindVolumeByName(svol_name);
+    storage::VolumeId svol_id;
+    if (svol != nullptr) {
+      svol_id = svol->id();
+    } else {
+      auto created = backup_array_->CreateVolume(svol_name,
+                                                 pvol->block_count(),
+                                                 pvol->block_size());
+      if (!created.ok()) {
+        ZB_LOG(Warning) << "backup volume creation failed: "
+                        << created.status();
+        continue;
+      }
+      svol_id = *created;
+    }
+
+    // Group for this pair.
+    replication::GroupId group = shared_group;
+    if (per_volume) {
+      replication::ConsistencyGroupConfig cfg;
+      cfg.name = "cg-" + vrg.ns + "-" + vrg.name + "-" + pvol->name();
+      cfg.journal_capacity_bytes = static_cast<uint64_t>(journal_capacity);
+      auto created = engine_->CreateConsistencyGroup(cfg);
+      if (!created.ok()) {
+        ZB_LOG(Warning) << "per-volume group creation failed: "
+                        << created.status();
+        continue;
+      }
+      group = *created;
+      groups_status.Append(static_cast<int64_t>(group));
+    }
+
+    replication::PairConfig pc;
+    pc.name = "pair-" + pvol->name();
+    pc.primary = pvol->id();
+    pc.secondary = svol_id;
+    pc.mode = replication::ReplicationMode::kAsynchronous;
+    auto pair = engine_->CreateAsyncPair(pc, group);
+    replication::PairId pair_id = 0;
+    if (pair.ok()) {
+      pair_id = *pair;
+      ++pairs_created_;
+    } else if (pair.status().code() == StatusCode::kAlreadyExists) {
+      pair_id = engine_->FindPairByPrimary(pvol->id());
+    } else {
+      ZB_LOG(Warning) << "pair creation failed: " << pair.status();
+      continue;
+    }
+
+    const std::string backup_handle = backup_array_->VolumeHandle(svol_id);
+    Value rec = Value::MakeObject();
+    rec["pairId"] = static_cast<int64_t>(pair_id);
+    rec["backupHandle"] = backup_handle;
+    rec["group"] = static_cast<int64_t>(group);
+    pairs_status[handle] = std::move(rec);
+    changed = true;
+
+    MirrorBackupObjects(source_ns, pvc_name, backup_handle, capacity);
+  }
+
+  if (changed || vrg.StatusPhase() != "Replicating") {
+    Status st = api_->Mutate(
+        vrg.kind, vrg.ns, vrg.name,
+        [&](Resource* r) {
+          r->status["phase"] = "Replicating";
+          r->status["pairs"] = pairs_status;
+          r->status["groups"] = groups_status;
+          r->status["observedGeneration"] =
+              static_cast<int64_t>(vrg.generation);
+        });
+    if (!st.ok() && st.code() != StatusCode::kNotFound) {
+      ZB_LOG(Warning) << "VRG status update failed: " << st;
+    }
+  }
+}
+
+void ReplicationGroupController::MirrorBackupObjects(
+    const std::string& source_namespace, const std::string& pvc_name,
+    const std::string& backup_handle, int64_t capacity_bytes) {
+  if (backup_api_ == nullptr || pvc_name.empty()) return;
+
+  // Namespace on the backup cluster.
+  if (!backup_api_->Exists(container::kKindNamespace, "",
+                           source_namespace)) {
+    Resource ns;
+    ns.kind = container::kKindNamespace;
+    ns.name = source_namespace;
+    ns.annotations["backup.zerobak.io/mirrored-from"] = "main";
+    (void)backup_api_->Create(std::move(ns));
+  }
+
+  auto parsed = storage::StorageArray::ParseVolumeHandle(backup_handle);
+  const std::string pv_name =
+      "backup-" + source_namespace + "-" + pvc_name;
+  if (!backup_api_->Exists(kKindPersistentVolume, "", pv_name)) {
+    Resource pv;
+    pv.kind = kKindPersistentVolume;
+    pv.name = pv_name;
+    pv.spec["volumeHandle"] = backup_handle;
+    pv.spec["capacityBytes"] = capacity_bytes;
+    pv.spec["storageClassName"] = backup_storage_class_;
+    pv.spec["claimRef"]["namespace"] = source_namespace;
+    pv.spec["claimRef"]["name"] = pvc_name;
+    pv.status["phase"] = "Bound";
+    (void)parsed;
+    (void)backup_api_->Create(std::move(pv));
+  }
+
+  if (!backup_api_->Exists(kKindPersistentVolumeClaim, source_namespace,
+                           pvc_name)) {
+    Resource pvc;
+    pvc.kind = kKindPersistentVolumeClaim;
+    pvc.ns = source_namespace;
+    pvc.name = pvc_name;
+    pvc.spec["storageClassName"] = backup_storage_class_;
+    pvc.spec["capacityBytes"] = capacity_bytes;
+    pvc.spec["volumeName"] = pv_name;  // Statically pre-bound.
+    pvc.status["phase"] = "Bound";
+    pvc.annotations["backup.zerobak.io/replicated"] = "true";
+    (void)backup_api_->Create(std::move(pvc));
+  }
+}
+
+void ReplicationGroupController::Teardown(const Resource& vrg) {
+  const Value* pairs = vrg.status.Find("pairs");
+  if (pairs != nullptr && pairs->is_object()) {
+    for (const auto& [handle, rec] : pairs->AsObject()) {
+      const auto pair_id =
+          static_cast<replication::PairId>(rec.GetInt("pairId"));
+      if (pair_id != 0) {
+        Status st = engine_->DeletePair(pair_id);
+        if (!st.ok() && st.code() != StatusCode::kNotFound) {
+          ZB_LOG(Warning) << "pair teardown failed: " << st;
+        }
+      }
+    }
+  }
+  const Value* groups = vrg.status.Find("groups");
+  if (groups != nullptr && groups->is_array()) {
+    for (const Value& g : groups->AsArray()) {
+      Status st = engine_->DeleteConsistencyGroup(
+          static_cast<replication::GroupId>(g.AsInt()));
+      if (!st.ok() && st.code() != StatusCode::kNotFound) {
+        ZB_LOG(Warning) << "group teardown failed: " << st;
+      }
+    }
+  }
+  // The backup-site PV(C)s and volumes are intentionally retained: they
+  // hold the last replicated image of the business data.
+}
+
+}  // namespace zerobak::csi

@@ -1,0 +1,70 @@
+#ifndef ZEROBAK_CSI_REPLICATION_CONTROLLER_H_
+#define ZEROBAK_CSI_REPLICATION_CONTROLLER_H_
+
+#include <string>
+#include <vector>
+
+#include "container/api_server.h"
+#include "container/controller.h"
+#include "replication/replication.h"
+#include "storage/array.h"
+
+namespace zerobak::csi {
+
+// CSI-style replication plugin ("Replication Plug-in for Containers",
+// Section III-B-2): watches VolumeReplicationGroup custom resources on the
+// main cluster and configures the arrays' asynchronous data copy with a
+// consistency group — plus mirrors the protected PV(C)s into the backup
+// cluster so they "appear in the backup site" (Fig. 4).
+//
+// VolumeReplicationGroup spec:
+//   {
+//     "sourceNamespace": str,
+//     "volumes": [ {"handle": "<serial>:<id>", "pvcName": str,
+//                   "capacityBytes": int}, ... ],
+//     "perVolume": bool,          // ablation: per-volume journals (no CG)
+//     "journalCapacityBytes": int // optional
+//   }
+// status:
+//   { "phase": "Replicating",
+//     "groups": [groupId, ...],
+//     "pairs": { "<handle>": {"pairId": int, "backupHandle": str,
+//                              "group": int}, ... } }
+class ReplicationGroupController : public container::Controller {
+ public:
+  ReplicationGroupController(replication::ReplicationEngine* engine,
+                             storage::StorageArray* main_array,
+                             storage::StorageArray* backup_array,
+                             container::ApiServer* backup_api,
+                             std::string backup_storage_class = "zerobak-backup");
+
+  std::string name() const override { return "csi-replication"; }
+  std::vector<std::string> WatchedKinds() const override {
+    return {container::kKindVolumeReplicationGroup};
+  }
+  void Reconcile(const container::WatchEvent& event) override;
+
+  uint64_t pairs_created() const { return pairs_created_; }
+
+ private:
+  void Configure(const container::Resource& vrg);
+  void Teardown(const container::Resource& vrg);
+
+  // Creates the PV and a pre-bound PVC for a protected volume on the
+  // backup cluster (idempotent).
+  void MirrorBackupObjects(const std::string& source_namespace,
+                           const std::string& pvc_name,
+                           const std::string& backup_handle,
+                           int64_t capacity_bytes);
+
+  replication::ReplicationEngine* engine_;
+  storage::StorageArray* main_array_;
+  storage::StorageArray* backup_array_;
+  container::ApiServer* backup_api_;
+  std::string backup_storage_class_;
+  uint64_t pairs_created_ = 0;
+};
+
+}  // namespace zerobak::csi
+
+#endif  // ZEROBAK_CSI_REPLICATION_CONTROLLER_H_

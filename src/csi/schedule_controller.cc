@@ -1,0 +1,138 @@
+#include "csi/schedule_controller.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace zerobak::csi {
+
+using container::kKindSnapshotSchedule;
+using container::kKindVolumeSnapshotGroup;
+using container::Resource;
+using container::WatchEvent;
+using container::WatchEventType;
+
+SnapshotScheduleController::SnapshotScheduleController(
+    sim::SimEnvironment* env)
+    : env_(env) {}
+
+void SnapshotScheduleController::Reconcile(const WatchEvent& event) {
+  const Resource& schedule = event.resource;
+  if (schedule.kind != kKindSnapshotSchedule) return;
+  const std::string key = schedule.ns + "/" + schedule.name;
+
+  if (event.type == WatchEventType::kDeleted) {
+    active_.erase(key);  // Stops the periodic task.
+    return;
+  }
+
+  const auto interval =
+      static_cast<SimDuration>(schedule.spec.GetInt("intervalMs")) *
+      kMillisecond;
+  if (interval <= 0) {
+    ZB_LOG(Warning) << "schedule " << key << " has no interval";
+    return;
+  }
+
+  auto it = active_.find(key);
+  if (it != active_.end() && it->second.interval == interval) {
+    return;  // Already running with the right cadence.
+  }
+  // (Re)arm the schedule; an interval change replaces the task.
+  ActiveSchedule entry;
+  if (it != active_.end()) entry.counter = it->second.counter;
+  entry.interval = interval;
+  const std::string ns = schedule.ns;
+  const std::string name = schedule.name;
+  entry.task = std::make_unique<sim::PeriodicTask>(
+      env_, interval, [this, ns, name] { Fire(ns, name); });
+  entry.task->Start();
+  active_[key] = std::move(entry);
+
+  Status st = api_->Mutate(kKindSnapshotSchedule, ns, name,
+                           [](Resource* r) {
+                             r->status["phase"] = "Active";
+                           });
+  if (!st.ok() && st.code() != StatusCode::kAborted) {
+    ZB_LOG(Warning) << "schedule status update failed: " << st;
+  }
+}
+
+void SnapshotScheduleController::Fire(const std::string& ns,
+                                      const std::string& name) {
+  auto schedule = api_->Get(kKindSnapshotSchedule, ns, name);
+  if (!schedule.ok()) {
+    active_.erase(ns + "/" + name);  // Object vanished: stop firing.
+    return;
+  }
+  const std::string pvc_ns = schedule->spec.GetString("pvcNamespace");
+  const int64_t retain = std::max<int64_t>(
+      schedule->spec.GetInt("retain", 3), 1);
+
+  ActiveSchedule& entry = active_[ns + "/" + name];
+  const std::string group_name =
+      name + "-g" + std::to_string(++entry.counter);
+  Resource vsg;
+  vsg.kind = kKindVolumeSnapshotGroup;
+  vsg.ns = ns;
+  vsg.name = group_name;
+  vsg.labels["backup.zerobak.io/schedule"] = name;
+  vsg.spec["pvcNamespace"] = pvc_ns;
+  auto created = api_->Create(std::move(vsg));
+  if (!created.ok()) {
+    ZB_LOG(Warning) << "scheduled snapshot group failed: "
+                    << created.status();
+    return;
+  }
+  ++groups_created_;
+
+  Status st = api_->Mutate(
+      kKindSnapshotSchedule, ns, name, [&](Resource* r) {
+        r->status["phase"] = "Active";
+        r->status["generations"] = static_cast<int64_t>(entry.counter);
+        r->status["lastGroup"] = group_name;
+      });
+  if (!st.ok()) {
+    ZB_LOG(Warning) << "schedule status update failed: " << st;
+  }
+  Prune(ns, name, retain);
+}
+
+void SnapshotScheduleController::Prune(const std::string& ns,
+                                       const std::string& name,
+                                       int64_t retain) {
+  // Collect this schedule's groups, oldest first. The generation counter
+  // is embedded in the name ("<schedule>-g<counter>"); resource versions
+  // cannot be used because status updates bump them.
+  auto generation_of = [&](const Resource& vsg) {
+    const std::string prefix = name + "-g";
+    if (vsg.name.compare(0, prefix.size(), prefix) != 0) return int64_t{0};
+    return static_cast<int64_t>(
+        std::strtoll(vsg.name.c_str() + prefix.size(), nullptr, 10));
+  };
+  std::vector<Resource> groups;
+  for (const Resource& vsg : api_->List(kKindVolumeSnapshotGroup, ns)) {
+    if (vsg.GetLabel("backup.zerobak.io/schedule") == name) {
+      groups.push_back(vsg);
+    }
+  }
+  std::sort(groups.begin(), groups.end(),
+            [&](const Resource& a, const Resource& b) {
+              return generation_of(a) < generation_of(b);
+            });
+  while (groups.size() > static_cast<size_t>(retain)) {
+    const Resource& victim = groups.front();
+    Status st = api_->Delete(kKindVolumeSnapshotGroup, victim.ns,
+                             victim.name);
+    if (st.ok()) {
+      ++groups_pruned_;
+    } else {
+      ZB_LOG(Warning) << "prune failed: " << st;
+      break;
+    }
+    groups.erase(groups.begin());
+  }
+}
+
+}  // namespace zerobak::csi

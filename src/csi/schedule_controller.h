@@ -1,0 +1,63 @@
+#ifndef ZEROBAK_CSI_SCHEDULE_CONTROLLER_H_
+#define ZEROBAK_CSI_SCHEDULE_CONTROLLER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "container/controller.h"
+#include "sim/environment.h"
+
+namespace zerobak::csi {
+
+// Protection-schedule controller: turns a declarative SnapshotSchedule
+// custom resource into a recurring stream of VolumeSnapshotGroup CRs with
+// retention-based pruning — the "nightly backups" layer enterprise
+// products add on top of the paper's snapshot-group primitive.
+//
+// SnapshotSchedule spec:
+//   { "pvcNamespace": str,   // what to snapshot (all bound PVCs)
+//     "intervalMs": int,     // how often
+//     "retain": int }        // how many generations to keep
+// status:
+//   { "phase": "Active", "generations": int, "lastGroup": str }
+//
+// Each firing creates a VolumeSnapshotGroup named
+// "<schedule>-g<counter>"; once more than `retain` groups exist, the
+// oldest are deleted (the snapshot plugin's teardown removes the array
+// snapshots and the member VolumeSnapshot objects).
+class SnapshotScheduleController : public container::Controller {
+ public:
+  explicit SnapshotScheduleController(sim::SimEnvironment* env);
+
+  std::string name() const override { return "snapshot-scheduler"; }
+  std::vector<std::string> WatchedKinds() const override {
+    return {container::kKindSnapshotSchedule};
+  }
+  void Reconcile(const container::WatchEvent& event) override;
+
+  uint64_t groups_created() const { return groups_created_; }
+  uint64_t groups_pruned() const { return groups_pruned_; }
+
+ private:
+  struct ActiveSchedule {
+    std::unique_ptr<sim::PeriodicTask> task;
+    SimDuration interval = 0;
+    uint64_t counter = 0;
+  };
+
+  void Fire(const std::string& ns, const std::string& name);
+  void Prune(const std::string& ns, const std::string& name,
+             int64_t retain);
+
+  sim::SimEnvironment* env_;
+  // Keyed by "ns/name".
+  std::map<std::string, ActiveSchedule> active_;
+  uint64_t groups_created_ = 0;
+  uint64_t groups_pruned_ = 0;
+};
+
+}  // namespace zerobak::csi
+
+#endif  // ZEROBAK_CSI_SCHEDULE_CONTROLLER_H_

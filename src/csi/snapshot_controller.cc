@@ -1,0 +1,198 @@
+#include "csi/snapshot_controller.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace zerobak::csi {
+
+using container::kKindPersistentVolume;
+using container::kKindPersistentVolumeClaim;
+using container::kKindVolumeSnapshot;
+using container::kKindVolumeSnapshotGroup;
+using container::Resource;
+using container::WatchEvent;
+using container::WatchEventType;
+
+SnapshotGroupController::SnapshotGroupController(
+    snapshot::SnapshotManager* snapshots, storage::StorageArray* array)
+    : snapshots_(snapshots), array_(array) {}
+
+std::string SnapshotGroupController::SnapshotHandle(
+    const std::string& serial, snapshot::SnapshotId id) {
+  return serial + ":snap:" + std::to_string(id);
+}
+
+StatusOr<snapshot::SnapshotId> SnapshotGroupController::ParseSnapshotHandle(
+    const std::string& serial, const std::string& handle) {
+  const std::string prefix = serial + ":snap:";
+  if (handle.compare(0, prefix.size(), prefix) != 0) {
+    return InvalidArgumentError("foreign snapshot handle: " + handle);
+  }
+  char* end = nullptr;
+  const unsigned long long id =
+      std::strtoull(handle.c_str() + prefix.size(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return InvalidArgumentError("malformed snapshot handle: " + handle);
+  }
+  return static_cast<snapshot::SnapshotId>(id);
+}
+
+void SnapshotGroupController::Reconcile(const WatchEvent& event) {
+  if (event.resource.kind == kKindVolumeSnapshot) {
+    // Group members are owned by their group (spec.groupName set); only
+    // standalone snapshots are reconciled individually.
+    if (!event.resource.spec.GetString("groupName").empty()) return;
+    if (event.type == WatchEventType::kDeleted) {
+      TeardownSingle(event.resource);
+    } else if (event.resource.StatusPhase() != "Ready") {
+      ConfigureSingle(event.resource);
+    }
+    return;
+  }
+  if (event.resource.kind != kKindVolumeSnapshotGroup) return;
+  if (event.type == WatchEventType::kDeleted) {
+    Teardown(event.resource);
+    return;
+  }
+  if (event.resource.StatusPhase() == "Ready") return;  // Done.
+  Configure(event.resource);
+}
+
+void SnapshotGroupController::ConfigureSingle(const Resource& vs) {
+  const std::string source = vs.spec.GetString("sourceHandle");
+  if (source.empty()) return;
+  auto parsed = storage::StorageArray::ParseVolumeHandle(source);
+  if (!parsed.ok() || parsed->first != array_->serial()) {
+    ZB_LOG(Warning) << "VolumeSnapshot " << vs.name << ": foreign handle "
+                    << source;
+    return;
+  }
+  auto sid = snapshots_->CreateSnapshot(parsed->second, vs.name);
+  if (!sid.ok()) {
+    ZB_LOG(Warning) << "snapshot creation failed: " << sid.status();
+    return;
+  }
+  Status st = api_->Mutate(vs.kind, vs.ns, vs.name, [&](Resource* r) {
+    r->status["phase"] = "Ready";
+    r->status["snapshotHandle"] = SnapshotHandle(array_->serial(), *sid);
+  });
+  if (!st.ok()) {
+    ZB_LOG(Warning) << "VolumeSnapshot status update failed: " << st;
+    (void)snapshots_->DeleteSnapshot(*sid);  // Avoid an orphan.
+  }
+}
+
+void SnapshotGroupController::TeardownSingle(const Resource& vs) {
+  auto sid = ParseSnapshotHandle(array_->serial(),
+                                 vs.status.GetString("snapshotHandle"));
+  if (!sid.ok()) return;  // Never realized.
+  Status st = snapshots_->DeleteSnapshot(*sid);
+  if (!st.ok() && st.code() != StatusCode::kNotFound) {
+    ZB_LOG(Warning) << "snapshot teardown failed: " << st;
+  }
+}
+
+std::vector<storage::VolumeId> SnapshotGroupController::ResolveSources(
+    const Resource& vsg) const {
+  std::vector<storage::VolumeId> out;
+  auto add_handle = [&](const std::string& handle) {
+    auto parsed = storage::StorageArray::ParseVolumeHandle(handle);
+    if (!parsed.ok() || parsed->first != array_->serial()) {
+      ZB_LOG(Warning) << "snapshot group " << vsg.name
+                      << ": foreign handle " << handle;
+      return;
+    }
+    out.push_back(parsed->second);
+  };
+
+  if (const Value* handles = vsg.spec.Find("volumeHandles");
+      handles != nullptr && handles->is_array()) {
+    for (const Value& h : handles->AsArray()) {
+      if (h.is_string()) add_handle(h.AsString());
+    }
+  }
+  const std::string pvc_ns = vsg.spec.GetString("pvcNamespace");
+  if (!pvc_ns.empty()) {
+    for (const Resource& pvc :
+         api_->List(kKindPersistentVolumeClaim, pvc_ns)) {
+      const std::string pv_name = pvc.spec.GetString("volumeName");
+      if (pv_name.empty()) continue;
+      auto pv = api_->Get(kKindPersistentVolume, "", pv_name);
+      if (!pv.ok()) continue;
+      add_handle(pv->spec.GetString("volumeHandle"));
+    }
+  }
+  return out;
+}
+
+void SnapshotGroupController::Configure(const Resource& vsg) {
+  std::vector<storage::VolumeId> sources = ResolveSources(vsg);
+  if (sources.empty()) return;  // Nothing resolvable yet; resync retries.
+
+  auto group = snapshots_->CreateSnapshotGroup(sources, vsg.name);
+  if (!group.ok()) {
+    ZB_LOG(Warning) << "snapshot group creation failed: " << group.status();
+    return;
+  }
+  ++groups_created_;
+  auto info = snapshots_->GetGroup(*group);
+  ZB_CHECK(info.ok());
+
+  Value members = Value::MakeObject();
+  for (snapshot::SnapshotId sid : info->members) {
+    snapshot::CowSnapshot* snap = snapshots_->GetSnapshot(sid);
+    if (snap == nullptr) continue;
+    const std::string source_handle =
+        array_->VolumeHandle(snap->source_volume());
+    const std::string snap_handle = SnapshotHandle(array_->serial(), sid);
+    Value rec = Value::MakeObject();
+    rec["snapshotId"] = static_cast<int64_t>(sid);
+    rec["snapshotHandle"] = snap_handle;
+    members[source_handle] = std::move(rec);
+
+    // A VolumeSnapshot object per member, for consumers (Fig. 5 lists
+    // these in the backup-site console).
+    Resource vs;
+    vs.kind = kKindVolumeSnapshot;
+    vs.ns = vsg.ns;
+    vs.name = vsg.name + "-" + std::to_string(sid);
+    vs.spec["sourceHandle"] = source_handle;
+    vs.spec["groupName"] = vsg.name;
+    vs.status["phase"] = "Ready";
+    vs.status["snapshotHandle"] = snap_handle;
+    auto created = api_->Create(std::move(vs));
+    if (!created.ok() &&
+        created.status().code() != StatusCode::kAlreadyExists) {
+      ZB_LOG(Warning) << "VolumeSnapshot create failed: " << created.status();
+    }
+  }
+
+  Status st = api_->Mutate(vsg.kind, vsg.ns, vsg.name, [&](Resource* r) {
+    r->status["phase"] = "Ready";
+    r->status["groupId"] = static_cast<int64_t>(*group);
+    r->status["snapshots"] = members;
+  });
+  if (!st.ok()) {
+    ZB_LOG(Warning) << "snapshot group status update failed: " << st;
+  }
+}
+
+void SnapshotGroupController::Teardown(const Resource& vsg) {
+  const int64_t group_id = vsg.status.GetInt("groupId");
+  if (group_id != 0) {
+    Status st = snapshots_->DeleteSnapshotGroup(
+        static_cast<snapshot::SnapshotGroupId>(group_id));
+    if (!st.ok() && st.code() != StatusCode::kNotFound) {
+      ZB_LOG(Warning) << "snapshot group teardown failed: " << st;
+    }
+  }
+  // Remove the member VolumeSnapshot objects.
+  for (const Resource& vs : api_->List(kKindVolumeSnapshot, vsg.ns)) {
+    if (vs.spec.GetString("groupName") == vsg.name) {
+      (void)api_->Delete(kKindVolumeSnapshot, vs.ns, vs.name);
+    }
+  }
+}
+
+}  // namespace zerobak::csi

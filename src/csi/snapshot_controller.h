@@ -1,0 +1,70 @@
+#ifndef ZEROBAK_CSI_SNAPSHOT_CONTROLLER_H_
+#define ZEROBAK_CSI_SNAPSHOT_CONTROLLER_H_
+
+#include <string>
+#include <vector>
+
+#include "container/controller.h"
+#include "snapshot/snapshot.h"
+#include "storage/array.h"
+
+namespace zerobak::csi {
+
+// Snapshot-group plugin for the backup cluster. The paper notes that the
+// CSI volume-group-snapshot API was still alpha and unsupported, forcing
+// users to operate the storage system directly (Section II); this
+// controller implements exactly the missing piece — the "technical
+// advancement in the CSI and the storage plugin" the paper anticipates —
+// so snapshot development completes on the container platform console.
+//
+// VolumeSnapshotGroup spec (either field):
+//   { "volumeHandles": [ "<serial>:<id>", ... ] }
+//   { "pvcNamespace": str }   // snapshot every bound PVC in the namespace
+// status:
+//   { "phase": "Ready", "groupId": int,
+//     "snapshots": { "<sourceHandle>": {"snapshotId": int,
+//                                        "snapshotHandle": str}, ... } }
+//
+// For each member, a VolumeSnapshot object is also created in the group's
+// namespace, carrying the snapshot handle for consumers.
+class SnapshotGroupController : public container::Controller {
+ public:
+  SnapshotGroupController(snapshot::SnapshotManager* snapshots,
+                          storage::StorageArray* array);
+
+  std::string name() const override { return "csi-snapshot-group"; }
+  std::vector<std::string> WatchedKinds() const override {
+    // Standalone VolumeSnapshot objects (user-created, no group) are also
+    // reconciled here, mirroring the classic CSI snapshotter.
+    return {container::kKindVolumeSnapshotGroup,
+            container::kKindVolumeSnapshot};
+  }
+  void Reconcile(const container::WatchEvent& event) override;
+
+  // Snapshot handles look like "<serial>:snap:<id>".
+  static std::string SnapshotHandle(const std::string& serial,
+                                    snapshot::SnapshotId id);
+  static StatusOr<snapshot::SnapshotId> ParseSnapshotHandle(
+      const std::string& serial, const std::string& handle);
+
+  uint64_t groups_created() const { return groups_created_; }
+
+ private:
+  void Configure(const container::Resource& vsg);
+  void Teardown(const container::Resource& vsg);
+  // Standalone VolumeSnapshot handling (spec.sourceHandle, no groupName).
+  void ConfigureSingle(const container::Resource& vs);
+  void TeardownSingle(const container::Resource& vs);
+
+  // Resolves the member volume ids from the spec.
+  std::vector<storage::VolumeId> ResolveSources(
+      const container::Resource& vsg) const;
+
+  snapshot::SnapshotManager* snapshots_;
+  storage::StorageArray* array_;
+  uint64_t groups_created_ = 0;
+};
+
+}  // namespace zerobak::csi
+
+#endif  // ZEROBAK_CSI_SNAPSHOT_CONTROLLER_H_

@@ -1,0 +1,166 @@
+#include "db/format.h"
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace zerobak::db {
+
+std::string Superblock::Encode(uint32_t block_size) const {
+  std::string payload;
+  PutFixed32(&payload, magic);
+  PutFixed32(&payload, version);
+  PutFixed64(&payload, checkpoint_blocks);
+  PutFixed64(&payload, wal_blocks);
+  PutFixed32(&payload, generation);
+  PutFixed32(&payload, active_slot);
+  PutFixed64(&payload, checkpoint_lsn);
+  PutFixed64(&payload, checkpoint_length);
+  PutFixed32(&payload, checkpoint_crc);
+  std::string out;
+  PutFixed32(&out, Crc32cMask(Crc32c(payload.data(), payload.size())));
+  out += payload;
+  out.resize(block_size, '\0');
+  return out;
+}
+
+StatusOr<Superblock> Superblock::Decode(std::string_view block) {
+  std::string_view in = block;
+  uint32_t masked_crc;
+  if (!GetFixed32(&in, &masked_crc)) {
+    return DataLossError("superblock too short");
+  }
+  Superblock sb;
+  std::string_view payload_start = in;
+  if (!GetFixed32(&in, &sb.magic) || !GetFixed32(&in, &sb.version) ||
+      !GetFixed64(&in, &sb.checkpoint_blocks) ||
+      !GetFixed64(&in, &sb.wal_blocks) ||
+      !GetFixed32(&in, &sb.generation) ||
+      !GetFixed32(&in, &sb.active_slot) ||
+      !GetFixed64(&in, &sb.checkpoint_lsn) ||
+      !GetFixed64(&in, &sb.checkpoint_length) ||
+      !GetFixed32(&in, &sb.checkpoint_crc)) {
+    return DataLossError("superblock truncated");
+  }
+  const size_t payload_len = payload_start.size() - in.size();
+  const uint32_t crc =
+      Crc32c(payload_start.data(), payload_len);
+  if (Crc32cUnmask(masked_crc) != crc) {
+    return DataLossError("superblock checksum mismatch");
+  }
+  if (sb.magic != kSuperblockMagic) {
+    return DataLossError("bad superblock magic");
+  }
+  if (sb.version != kFormatVersion) {
+    return DataLossError("unsupported format version " +
+                         std::to_string(sb.version));
+  }
+  return sb;
+}
+
+std::string WalRecord::Encode() const {
+  std::string payload;
+  PutFixed64(&payload, lsn);
+  PutFixed64(&payload, txn_id);
+  PutFixed32(&payload, generation);
+  PutFixed32(&payload, static_cast<uint32_t>(ops.size()));
+  for (const Op& op : ops) {
+    payload.push_back(static_cast<char>(op.type));
+    PutLengthPrefixed(&payload, op.table);
+    PutLengthPrefixed(&payload, op.key);
+    PutLengthPrefixed(&payload, op.value);
+  }
+  std::string out;
+  PutFixed32(&out, Crc32cMask(Crc32c(payload.data(), payload.size())));
+  PutFixed32(&out, static_cast<uint32_t>(payload.size()));
+  out += payload;
+  return out;
+}
+
+StatusOr<WalRecord> WalRecord::Decode(std::string_view* in) {
+  if (in->size() < kHeaderBytes) {
+    return NotFoundError("end of WAL");
+  }
+  uint32_t masked_crc = 0;
+  uint32_t length = 0;
+  std::string_view cursor = *in;
+  GetFixed32(&cursor, &masked_crc);
+  GetFixed32(&cursor, &length);
+  if (masked_crc == 0 && length == 0) {
+    return NotFoundError("end of WAL");  // Zeroed region: clean end.
+  }
+  if (length > cursor.size()) {
+    return DataLossError("torn WAL record (length beyond region)");
+  }
+  std::string_view payload = cursor.substr(0, length);
+  if (Crc32cUnmask(masked_crc) != Crc32c(payload.data(), payload.size())) {
+    return DataLossError("WAL record checksum mismatch");
+  }
+  WalRecord rec;
+  uint32_t op_count = 0;
+  if (!GetFixed64(&payload, &rec.lsn) ||
+      !GetFixed64(&payload, &rec.txn_id) ||
+      !GetFixed32(&payload, &rec.generation) ||
+      !GetFixed32(&payload, &op_count)) {
+    return DataLossError("WAL record header truncated");
+  }
+  rec.ops.reserve(op_count);
+  for (uint32_t i = 0; i < op_count; ++i) {
+    if (payload.empty()) return DataLossError("WAL record op truncated");
+    Op op;
+    op.type = static_cast<OpType>(payload.front());
+    payload.remove_prefix(1);
+    if (op.type != OpType::kPut && op.type != OpType::kDelete) {
+      return DataLossError("WAL record bad op type");
+    }
+    if (!GetLengthPrefixed(&payload, &op.table) ||
+        !GetLengthPrefixed(&payload, &op.key) ||
+        !GetLengthPrefixed(&payload, &op.value)) {
+      return DataLossError("WAL record op fields truncated");
+    }
+    rec.ops.push_back(std::move(op));
+  }
+  in->remove_prefix(kHeaderBytes + length);
+  return rec;
+}
+
+std::string EncodeCheckpoint(const TableData& tables) {
+  std::string out;
+  PutFixed32(&out, static_cast<uint32_t>(tables.size()));
+  for (const auto& [name, rows] : tables) {
+    PutLengthPrefixed(&out, name);
+    PutFixed32(&out, static_cast<uint32_t>(rows.size()));
+    for (const auto& [key, value] : rows) {
+      PutLengthPrefixed(&out, key);
+      PutLengthPrefixed(&out, value);
+    }
+  }
+  return out;
+}
+
+StatusOr<TableData> DecodeCheckpoint(std::string_view image) {
+  TableData tables;
+  uint32_t table_count = 0;
+  if (!GetFixed32(&image, &table_count)) {
+    return DataLossError("checkpoint image truncated (table count)");
+  }
+  for (uint32_t t = 0; t < table_count; ++t) {
+    std::string name;
+    uint32_t row_count = 0;
+    if (!GetLengthPrefixed(&image, &name) ||
+        !GetFixed32(&image, &row_count)) {
+      return DataLossError("checkpoint image truncated (table header)");
+    }
+    auto& rows = tables[name];
+    for (uint32_t r = 0; r < row_count; ++r) {
+      std::string key, value;
+      if (!GetLengthPrefixed(&image, &key) ||
+          !GetLengthPrefixed(&image, &value)) {
+        return DataLossError("checkpoint image truncated (row)");
+      }
+      rows.emplace(std::move(key), std::move(value));
+    }
+  }
+  return tables;
+}
+
+}  // namespace zerobak::db

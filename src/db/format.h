@@ -1,0 +1,91 @@
+#ifndef ZEROBAK_DB_FORMAT_H_
+#define ZEROBAK_DB_FORMAT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace zerobak::db {
+
+// On-disk layout of the mini transactional database (see db/minidb.h):
+//
+//   block 0                 superblock
+//   [1, 1+C)                checkpoint slot A (C = checkpoint_blocks)
+//   [1+C, 1+2C)             checkpoint slot B
+//   [1+2C, 1+2C+W)          write-ahead log (W = wal_blocks)
+//
+// The database is redo-only (no steal): committed transactions are
+// serialized into the WAL before being applied to the in-memory tables; a
+// checkpoint atomically replaces the base image and starts a new WAL
+// generation. Recovery = load checkpoint + replay the WAL prefix whose
+// records carry the current generation and a valid CRC. Correctness
+// depends only on the storage preserving the order of acknowledged block
+// writes — the exact property the paper's consistency groups extend to
+// the backup site.
+
+inline constexpr uint32_t kSuperblockMagic = 0x5a424442;  // "ZBDB"
+inline constexpr uint32_t kFormatVersion = 1;
+
+// Superblock contents (stored CRC-checked in block 0).
+struct Superblock {
+  uint32_t magic = kSuperblockMagic;
+  uint32_t version = kFormatVersion;
+  uint64_t checkpoint_blocks = 0;
+  uint64_t wal_blocks = 0;
+  // WAL generation: bumped by every checkpoint; WAL records from older
+  // generations are ignored by recovery.
+  uint32_t generation = 0;
+  // Which checkpoint slot (0 or 1) holds the current base image.
+  uint32_t active_slot = 0;
+  // LSN captured by the active checkpoint.
+  uint64_t checkpoint_lsn = 0;
+  // Byte length and checksum of the active checkpoint image.
+  uint64_t checkpoint_length = 0;
+  uint32_t checkpoint_crc = 0;
+
+  // Serializes into exactly one block (padded with zeros).
+  std::string Encode(uint32_t block_size) const;
+  static StatusOr<Superblock> Decode(std::string_view block);
+};
+
+// One operation inside a committed transaction.
+enum class OpType : uint8_t { kPut = 1, kDelete = 2 };
+
+struct Op {
+  OpType type = OpType::kPut;
+  std::string table;
+  std::string key;
+  std::string value;  // Empty for deletes.
+};
+
+// A WAL record = one committed transaction.
+struct WalRecord {
+  uint64_t lsn = 0;
+  uint64_t txn_id = 0;
+  uint32_t generation = 0;
+  std::vector<Op> ops;
+
+  // Wire format: [fixed32 masked_crc][fixed32 payload_len][payload].
+  std::string Encode() const;
+
+  // Decodes the record at the start of `in`. Returns NOT_FOUND for a
+  // clean end (zeroed header), DATA_LOSS for a torn/corrupt record, and
+  // advances `in` past the record on success.
+  static StatusOr<WalRecord> Decode(std::string_view* in);
+
+  static constexpr uint32_t kHeaderBytes = 8;
+};
+
+// The full-table base image written by a checkpoint.
+using TableData = std::map<std::string, std::map<std::string, std::string>>;
+
+std::string EncodeCheckpoint(const TableData& tables);
+StatusOr<TableData> DecodeCheckpoint(std::string_view image);
+
+}  // namespace zerobak::db
+
+#endif  // ZEROBAK_DB_FORMAT_H_

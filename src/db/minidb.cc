@@ -1,0 +1,288 @@
+#include "db/minidb.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/crc32c.h"
+#include "common/logging.h"
+
+namespace zerobak::db {
+
+namespace {
+const std::map<std::string, std::string>& EmptyTable() {
+  static const auto* empty = new std::map<std::string, std::string>();
+  return *empty;
+}
+}  // namespace
+
+Status MiniDb::Format(block::BlockDevice* device, const DbOptions& options) {
+  const uint64_t needed =
+      1 + 2 * options.checkpoint_blocks + options.wal_blocks;
+  if (device->block_count() < needed) {
+    return InvalidArgumentError(
+        "device too small: need " + std::to_string(needed) + " blocks, have " +
+        std::to_string(device->block_count()));
+  }
+  // Empty checkpoint image in slot 0.
+  const std::string image = EncodeCheckpoint(TableData{});
+  Superblock sb;
+  sb.checkpoint_blocks = options.checkpoint_blocks;
+  sb.wal_blocks = options.wal_blocks;
+  sb.generation = 1;
+  sb.active_slot = 0;
+  sb.checkpoint_lsn = 0;
+  sb.checkpoint_length = image.size();
+  sb.checkpoint_crc = Crc32c(image.data(), image.size());
+
+  const uint32_t bs = device->block_size();
+  std::string padded = image;
+  padded.resize(((image.size() + bs - 1) / bs) * bs, '\0');
+  for (uint64_t i = 0; i < padded.size() / bs; ++i) {
+    ZB_RETURN_IF_ERROR(
+        device->Write(1 + i, 1, std::string_view(padded).substr(i * bs, bs)));
+  }
+  // Zero the first WAL block so recovery of a freshly formatted database
+  // sees a clean end-of-log.
+  ZB_RETURN_IF_ERROR(device->Write(1 + 2 * options.checkpoint_blocks, 1,
+                                   std::string(bs, '\0')));
+  return device->Write(0, 1, sb.Encode(bs));
+}
+
+StatusOr<std::unique_ptr<MiniDb>> MiniDb::Open(block::BlockDevice* device,
+                                               const DbOptions& options) {
+  std::unique_ptr<MiniDb> db(new MiniDb(device, options));
+  ZB_RETURN_IF_ERROR(db->Recover());
+  return db;
+}
+
+MiniDb::MiniDb(block::BlockDevice* device, DbOptions options)
+    : device_(device),
+      options_(options),
+      block_size_(device->block_size()) {}
+
+Status MiniDb::Recover() {
+  std::string block0;
+  ZB_RETURN_IF_ERROR(device_->Read(0, 1, &block0));
+  ZB_ASSIGN_OR_RETURN(superblock_, Superblock::Decode(block0));
+
+  // Load the active checkpoint image.
+  const uint64_t slot_start = SlotStartBlock(superblock_.active_slot);
+  const uint64_t image_blocks =
+      (superblock_.checkpoint_length + block_size_ - 1) / block_size_;
+  if (image_blocks > superblock_.checkpoint_blocks) {
+    return DataLossError("checkpoint image larger than its slot");
+  }
+  std::string image;
+  if (image_blocks > 0) {
+    ZB_RETURN_IF_ERROR(device_->Read(
+        slot_start, static_cast<uint32_t>(image_blocks), &image));
+    image.resize(superblock_.checkpoint_length);
+  }
+  if (Crc32c(image.data(), image.size()) != superblock_.checkpoint_crc) {
+    return DataLossError("checkpoint image checksum mismatch");
+  }
+  ZB_ASSIGN_OR_RETURN(tables_, DecodeCheckpoint(image));
+  last_lsn_ = superblock_.checkpoint_lsn;
+
+  // Replay the WAL: records of the current generation, in order, stopping
+  // at the first hole, torn record or stale-generation record.
+  std::string wal;
+  ZB_RETURN_IF_ERROR(device_->Read(
+      WalStartBlock(), static_cast<uint32_t>(superblock_.wal_blocks), &wal));
+  std::string_view cursor(wal);
+  while (true) {
+    auto rec_or = WalRecord::Decode(&cursor);
+    if (!rec_or.ok()) break;  // Clean end or torn record: stop replay.
+    const WalRecord& rec = rec_or.value();
+    if (rec.generation != superblock_.generation) break;  // Stale log.
+    if (rec.lsn <= last_lsn_) break;  // Non-monotonic: stale leftovers.
+    for (const Op& op : rec.ops) {
+      if (op.type == OpType::kPut) {
+        tables_[op.table][op.key] = op.value;
+      } else {
+        auto tit = tables_.find(op.table);
+        if (tit != tables_.end()) tit->second.erase(op.key);
+      }
+    }
+    last_lsn_ = std::max(last_lsn_, rec.lsn);
+    next_txn_id_ = std::max(next_txn_id_, rec.txn_id + 1);
+    ++recovered_txns_;
+  }
+  wal_offset_ = static_cast<uint64_t>(wal.size() - cursor.size());
+
+  // Cache the tail block for partial-block appends.
+  const uint64_t tail_index = wal_offset_ / block_size_;
+  if (tail_index < superblock_.wal_blocks) {
+    tail_block_ = wal.substr(tail_index * block_size_, block_size_);
+  } else {
+    tail_block_.assign(block_size_, '\0');
+  }
+  return OkStatus();
+}
+
+Status MiniDb::Commit(Transaction&& txn) {
+  if (options_.read_only) {
+    return FailedPreconditionError("database opened read-only");
+  }
+  if (txn.ops_.empty()) return OkStatus();
+
+  WalRecord rec;
+  rec.lsn = last_lsn_ + 1;
+  rec.txn_id = next_txn_id_;
+  rec.generation = superblock_.generation;
+  rec.ops = std::move(txn.ops_);
+  std::string bytes = rec.Encode();
+
+  if (wal_offset_ + bytes.size() > wal_capacity_bytes()) {
+    if (!options_.auto_checkpoint) {
+      return ResourceExhaustedError("WAL full");
+    }
+    ZB_RETURN_IF_ERROR(Checkpoint());
+    // The generation changed; re-encode under the new one.
+    rec.generation = superblock_.generation;
+    bytes = rec.Encode();
+    if (wal_offset_ + bytes.size() > wal_capacity_bytes()) {
+      return ResourceExhaustedError("transaction larger than the WAL");
+    }
+  }
+
+  ZB_RETURN_IF_ERROR(AppendToWal(bytes));
+
+  // Apply to memory only after the log reached the device (write-ahead).
+  for (const Op& op : rec.ops) {
+    if (op.type == OpType::kPut) {
+      tables_[op.table][op.key] = op.value;
+    } else {
+      auto tit = tables_.find(op.table);
+      if (tit != tables_.end()) tit->second.erase(op.key);
+    }
+  }
+  last_lsn_ = rec.lsn;
+  ++next_txn_id_;
+  ++committed_txns_;
+  return OkStatus();
+}
+
+Status MiniDb::AppendToWal(const std::string& bytes) {
+  uint64_t offset = wal_offset_;
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const uint64_t block_index = offset / block_size_;
+    const uint32_t in_block = static_cast<uint32_t>(offset % block_size_);
+    const size_t chunk =
+        std::min<size_t>(block_size_ - in_block, bytes.size() - written);
+    if (in_block == 0 && tail_block_.size() == block_size_) {
+      // Entering a fresh block: start from zeros so stale bytes past the
+      // record do not survive within this block.
+      std::fill(tail_block_.begin(), tail_block_.end(), '\0');
+    }
+    tail_block_.replace(in_block, chunk, bytes, written, chunk);
+    ZB_RETURN_IF_ERROR(
+        device_->Write(WalStartBlock() + block_index, 1, tail_block_));
+    offset += chunk;
+    written += chunk;
+  }
+  wal_offset_ = offset;
+  // If the append ended exactly on a block boundary, the next append
+  // starts a fresh block.
+  if (wal_offset_ % block_size_ == 0) {
+    std::fill(tail_block_.begin(), tail_block_.end(), '\0');
+  }
+  return OkStatus();
+}
+
+Status MiniDb::Checkpoint() {
+  if (options_.read_only) {
+    return FailedPreconditionError("database opened read-only");
+  }
+  const std::string image = EncodeCheckpoint(tables_);
+  const uint64_t image_blocks =
+      (image.size() + block_size_ - 1) / block_size_;
+  if (image_blocks > superblock_.checkpoint_blocks) {
+    return ResourceExhaustedError(
+        "database too large for the checkpoint region (" +
+        std::to_string(image.size()) + " bytes)");
+  }
+  const uint32_t slot = superblock_.active_slot == 0 ? 1 : 0;
+  ZB_RETURN_IF_ERROR(WriteCheckpointImage(slot, image));
+
+  Superblock sb = superblock_;
+  sb.generation = superblock_.generation + 1;
+  sb.active_slot = slot;
+  sb.checkpoint_lsn = last_lsn_;
+  sb.checkpoint_length = image.size();
+  sb.checkpoint_crc = Crc32c(image.data(), image.size());
+  // The superblock write is the atomic commit point of the checkpoint: a
+  // crash before it recovers from the old image + old WAL; after it, from
+  // the new image with an empty (new-generation) log.
+  ZB_RETURN_IF_ERROR(device_->Write(0, 1, sb.Encode(block_size_)));
+  superblock_ = sb;
+
+  wal_offset_ = 0;
+  tail_block_.assign(block_size_, '\0');
+  // Zero the first WAL block so the old generation's leading record never
+  // parses again.
+  return device_->Write(WalStartBlock(), 1, std::string(block_size_, '\0'));
+}
+
+Status MiniDb::WriteCheckpointImage(uint32_t slot, const std::string& image) {
+  std::string padded = image;
+  padded.resize(((image.size() + block_size_ - 1) / block_size_) *
+                    block_size_,
+                '\0');
+  const uint64_t start = SlotStartBlock(slot);
+  for (uint64_t i = 0; i < padded.size() / block_size_; ++i) {
+    ZB_RETURN_IF_ERROR(device_->Write(
+        start + i, 1,
+        std::string_view(padded).substr(i * block_size_, block_size_)));
+  }
+  return OkStatus();
+}
+
+StatusOr<std::string> MiniDb::Get(const std::string& table,
+                                  const std::string& key) const {
+  auto tit = tables_.find(table);
+  if (tit == tables_.end()) {
+    return NotFoundError("table " + table);
+  }
+  auto rit = tit->second.find(key);
+  if (rit == tit->second.end()) {
+    return NotFoundError(table + "/" + key);
+  }
+  return rit->second;
+}
+
+bool MiniDb::Exists(const std::string& table, const std::string& key) const {
+  auto tit = tables_.find(table);
+  return tit != tables_.end() && tit->second.contains(key);
+}
+
+const std::map<std::string, std::string>& MiniDb::Scan(
+    const std::string& table) const {
+  auto tit = tables_.find(table);
+  return tit == tables_.end() ? EmptyTable() : tit->second;
+}
+
+std::vector<std::pair<std::string, std::string>> MiniDb::ScanPrefix(
+    const std::string& table, const std::string& prefix) const {
+  std::vector<std::pair<std::string, std::string>> out;
+  const auto& rows = Scan(table);
+  for (auto it = rows.lower_bound(prefix); it != rows.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.emplace_back(it->first, it->second);
+  }
+  return out;
+}
+
+std::vector<std::string> MiniDb::ListTables() const {
+  std::vector<std::string> out;
+  for (const auto& [name, rows] : tables_) out.push_back(name);
+  return out;
+}
+
+size_t MiniDb::RowCount(const std::string& table) const {
+  auto tit = tables_.find(table);
+  return tit == tables_.end() ? 0 : tit->second.size();
+}
+
+}  // namespace zerobak::db

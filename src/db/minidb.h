@@ -1,0 +1,142 @@
+#ifndef ZEROBAK_DB_MINIDB_H_
+#define ZEROBAK_DB_MINIDB_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "block/block_device.h"
+#include "common/status.h"
+#include "db/format.h"
+
+namespace zerobak::db {
+
+struct DbOptions {
+  // Blocks reserved per checkpoint slot (two slots exist).
+  uint64_t checkpoint_blocks = 1024;  // 4 MiB at 4 KiB blocks.
+  // Blocks reserved for the write-ahead log.
+  uint64_t wal_blocks = 2048;  // 8 MiB.
+  // Checkpoint automatically when a commit would overflow the WAL.
+  bool auto_checkpoint = true;
+  // Open without ever writing (snapshot analytics).
+  bool read_only = false;
+};
+
+// A buffered transaction: operations are staged in memory and atomically
+// committed through MiniDb::Commit.
+class Transaction {
+ public:
+  void Put(std::string table, std::string key, std::string value) {
+    ops_.push_back(Op{OpType::kPut, std::move(table), std::move(key),
+                      std::move(value)});
+  }
+  void Delete(std::string table, std::string key) {
+    ops_.push_back(Op{OpType::kDelete, std::move(table), std::move(key), ""});
+  }
+  size_t op_count() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+ private:
+  friend class MiniDb;
+  std::vector<Op> ops_;
+};
+
+// A small write-ahead-logging transactional database with full crash
+// recovery — the stand-in for the Oracle instances of the demonstration
+// (DESIGN.md substitution table). It runs on any BlockDevice: an array
+// volume on the main site, a replicated volume on the backup site, or a
+// copy-on-write snapshot (Fig. 6 analytics).
+//
+// Design: redo-only (no-steal) WAL; see db/format.h for the layout. The
+// essential property for the paper's argument is that MiniDb recovers a
+// transaction-consistent state from ANY volume image that preserves the
+// order of acknowledged block writes — so a prefix-consistent replica
+// (consistency-group ADC) always recovers, while a cross-volume-reordered
+// replica (per-volume ADC) can expose business-level inconsistency.
+class MiniDb {
+ public:
+  // Initializes a fresh database on the device (destroys existing data).
+  static Status Format(block::BlockDevice* device,
+                       const DbOptions& options = {});
+
+  // Opens an existing database, running crash recovery (checkpoint load +
+  // WAL replay). Fails with DATA_LOSS if no valid superblock is found.
+  static StatusOr<std::unique_ptr<MiniDb>> Open(
+      block::BlockDevice* device, const DbOptions& options = {});
+
+  MiniDb(const MiniDb&) = delete;
+  MiniDb& operator=(const MiniDb&) = delete;
+
+  // --- Transactions ---------------------------------------------------------
+  Transaction Begin() const { return Transaction(); }
+
+  // Durably commits: the WAL record is fully written to the device before
+  // this returns; then the ops are applied to the in-memory tables.
+  Status Commit(Transaction&& txn);
+
+  // --- Reads ------------------------------------------------------------------
+  StatusOr<std::string> Get(const std::string& table,
+                            const std::string& key) const;
+  bool Exists(const std::string& table, const std::string& key) const;
+  // Full-table scan (analytics path). Returns an empty map for a missing
+  // table.
+  const std::map<std::string, std::string>& Scan(
+      const std::string& table) const;
+  // Rows whose key starts with `prefix`, in key order (range query over
+  // the sorted table).
+  std::vector<std::pair<std::string, std::string>> ScanPrefix(
+      const std::string& table, const std::string& prefix) const;
+  std::vector<std::string> ListTables() const;
+  size_t RowCount(const std::string& table) const;
+
+  // --- Maintenance -------------------------------------------------------------
+  // Writes a new base image and starts a fresh WAL generation.
+  Status Checkpoint();
+
+  // --- Introspection -------------------------------------------------------------
+  uint64_t last_lsn() const { return last_lsn_; }
+  uint64_t committed_txns() const { return committed_txns_; }
+  uint64_t wal_bytes_used() const { return wal_offset_; }
+  uint64_t wal_capacity_bytes() const {
+    return superblock_.wal_blocks * block_size_;
+  }
+  uint32_t generation() const { return superblock_.generation; }
+  uint64_t recovered_txns() const { return recovered_txns_; }
+
+ private:
+  MiniDb(block::BlockDevice* device, DbOptions options);
+
+  Status Recover();
+  // Appends encoded bytes to the WAL, updating the tail-block cache.
+  Status AppendToWal(const std::string& bytes);
+  Status WriteCheckpointImage(uint32_t slot, const std::string& image);
+
+  uint64_t WalStartBlock() const {
+    return 1 + 2 * superblock_.checkpoint_blocks;
+  }
+  uint64_t SlotStartBlock(uint32_t slot) const {
+    return 1 + static_cast<uint64_t>(slot) * superblock_.checkpoint_blocks;
+  }
+
+  block::BlockDevice* device_;
+  DbOptions options_;
+  uint32_t block_size_;
+  Superblock superblock_;
+
+  TableData tables_;
+  uint64_t last_lsn_ = 0;
+  uint64_t next_txn_id_ = 1;
+  uint64_t committed_txns_ = 0;
+  uint64_t recovered_txns_ = 0;
+
+  // WAL write cursor (bytes from the start of the WAL region) and the
+  // cached content of the block containing it.
+  uint64_t wal_offset_ = 0;
+  std::string tail_block_;
+};
+
+}  // namespace zerobak::db
+
+#endif  // ZEROBAK_DB_MINIDB_H_

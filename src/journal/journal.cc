@@ -1,0 +1,108 @@
+#include "journal/journal.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace zerobak::journal {
+
+JournalVolume::JournalVolume(uint64_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {}
+
+StatusOr<SequenceNumber> JournalVolume::Append(JournalRecord record) {
+  const uint64_t size = record.EncodedSize();
+  if (used_bytes_ + size > capacity_bytes_) {
+    ++overflows_;
+    return ResourceExhaustedError("journal overflow: used=" +
+                                  std::to_string(used_bytes_) + " need=" +
+                                  std::to_string(size) + " capacity=" +
+                                  std::to_string(capacity_bytes_));
+  }
+  record.sequence = ++written_;
+  if (records_.empty()) first_seq_ = record.sequence;
+  used_bytes_ += size;
+  peak_used_bytes_ = std::max(peak_used_bytes_, used_bytes_);
+  ++appends_;
+  records_.push_back(std::move(record));
+  return written_;
+}
+
+Status JournalVolume::AppendWithSequence(JournalRecord record) {
+  if (record.sequence != written_ + 1) {
+    return DataLossError("non-contiguous journal sequence: got " +
+                         std::to_string(record.sequence) + " expected " +
+                         std::to_string(written_ + 1));
+  }
+  const uint64_t size = record.EncodedSize();
+  if (used_bytes_ + size > capacity_bytes_) {
+    ++overflows_;
+    return ResourceExhaustedError("journal overflow (receive side)");
+  }
+  if (records_.empty()) first_seq_ = record.sequence;
+  written_ = record.sequence;
+  used_bytes_ += size;
+  peak_used_bytes_ = std::max(peak_used_bytes_, used_bytes_);
+  ++appends_;
+  records_.push_back(std::move(record));
+  return OkStatus();
+}
+
+size_t JournalVolume::Peek(SequenceNumber from, uint64_t max_bytes,
+                           std::vector<JournalRecord>* out) const {
+  out->clear();
+  if (records_.empty() || from >= written_) return 0;
+  // Records are dense, so the record with sequence s lives at index
+  // s - first_seq_.
+  SequenceNumber start = std::max(from + 1, first_seq_);
+  uint64_t bytes = 0;
+  for (size_t i = start - first_seq_; i < records_.size(); ++i) {
+    const JournalRecord& rec = records_[i];
+    const uint64_t size = rec.EncodedSize();
+    if (!out->empty() && bytes + size > max_bytes) break;
+    out->push_back(rec);
+    bytes += size;
+  }
+  return out->size();
+}
+
+const JournalRecord* JournalVolume::Find(SequenceNumber seq) const {
+  if (records_.empty() || seq < first_seq_ || seq > written_) return nullptr;
+  return &records_[seq - first_seq_];
+}
+
+void JournalVolume::MarkShipped(SequenceNumber seq) {
+  shipped_ = std::max(shipped_, std::min(seq, written_));
+}
+
+Status JournalVolume::TrimThrough(SequenceNumber seq) {
+  if (seq > written_) {
+    return InvalidArgumentError("trim beyond written watermark");
+  }
+  applied_ = std::max(applied_, seq);
+  while (!records_.empty() && first_seq_ <= seq) {
+    used_bytes_ -= records_.front().EncodedSize();
+    records_.pop_front();
+    ++first_seq_;
+  }
+  return OkStatus();
+}
+
+Status JournalVolume::FastForward(SequenceNumber seq) {
+  if (!records_.empty()) {
+    return FailedPreconditionError("FastForward on non-empty journal");
+  }
+  if (seq < written_) {
+    return InvalidArgumentError("FastForward would move watermarks back");
+  }
+  written_ = shipped_ = applied_ = seq;
+  return OkStatus();
+}
+
+void JournalVolume::Reset() {
+  records_.clear();
+  written_ = shipped_ = applied_ = kNoSequence;
+  first_seq_ = kNoSequence;
+  used_bytes_ = 0;
+}
+
+}  // namespace zerobak::journal

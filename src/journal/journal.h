@@ -1,0 +1,127 @@
+#ifndef ZEROBAK_JOURNAL_JOURNAL_H_
+#define ZEROBAK_JOURNAL_JOURNAL_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+
+namespace zerobak::journal {
+
+// Sequence number of an update record within one journal. Sequences are
+// dense (no gaps): seq n+1 is appended right after seq n. Sequence 0 means
+// "nothing".
+using SequenceNumber = uint64_t;
+
+inline constexpr SequenceNumber kNoSequence = 0;
+
+// One journaled volume update: "volume `volume_id` wrote `data` at block
+// `lba`". The order of records in a journal is exactly the order in which
+// the array acknowledged the corresponding host writes — the property that
+// consistency groups extend across multiple volumes (Section III-A-1).
+struct JournalRecord {
+  SequenceNumber sequence = kNoSequence;
+  uint64_t volume_id = 0;
+  uint64_t lba = 0;
+  uint32_t block_count = 0;
+  std::string data;
+  // Array time at which the original host write was acknowledged; used to
+  // compute replication lag and RPO.
+  SimTime ack_time = 0;
+
+  // Bytes this record occupies in the journal / on the wire.
+  uint64_t EncodedSize() const { return kHeaderSize + data.size(); }
+
+  static constexpr uint64_t kHeaderSize = 48;
+};
+
+// A journal volume: a bounded FIFO of update records with three
+// watermarks, mirroring the paper's main/backup journal volumes (Fig. 1):
+//
+//   written  — highest sequence appended by the write path,
+//   shipped  — highest sequence handed to the transfer engine (main site)
+//              or received from it (backup site),
+//   applied  — highest sequence applied to the target data volumes and
+//              therefore safe to trim.
+//
+// Appending beyond `capacity_bytes` fails with RESOURCE_EXHAUSTED, which
+// the replication layer turns into a pair suspension (journal overflow is
+// the classic ADC failure mode under a slow or broken link).
+class JournalVolume {
+ public:
+  explicit JournalVolume(uint64_t capacity_bytes);
+
+  JournalVolume(const JournalVolume&) = delete;
+  JournalVolume& operator=(const JournalVolume&) = delete;
+
+  // Appends a record, assigning it the next sequence number. On success
+  // returns the assigned sequence.
+  StatusOr<SequenceNumber> Append(JournalRecord record);
+
+  // Appends a record that already carries a sequence number (backup-site
+  // journal receiving shipped records). Sequences must arrive densely.
+  Status AppendWithSequence(JournalRecord record);
+
+  // Copies up to `max_bytes` worth of records with sequence > `from` into
+  // `out`. Returns the number of records copied.
+  size_t Peek(SequenceNumber from, uint64_t max_bytes,
+              std::vector<JournalRecord>* out) const;
+
+  // Returns a pointer to the record with the given sequence, or nullptr if
+  // it has been trimmed or not yet written.
+  const JournalRecord* Find(SequenceNumber seq) const;
+
+  // Marks records through `seq` as shipped (transfer watermark).
+  void MarkShipped(SequenceNumber seq);
+
+  // Marks records through `seq` as applied and trims them from memory.
+  Status TrimThrough(SequenceNumber seq);
+
+  SequenceNumber written() const { return written_; }
+  SequenceNumber shipped() const { return shipped_; }
+  SequenceNumber applied() const { return applied_; }
+
+  uint64_t used_bytes() const { return used_bytes_; }
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+  double utilization() const {
+    return capacity_bytes_ == 0
+               ? 0.0
+               : static_cast<double>(used_bytes_) /
+                     static_cast<double>(capacity_bytes_);
+  }
+  size_t record_count() const { return records_.size(); }
+
+  uint64_t appends() const { return appends_; }
+  uint64_t overflows() const { return overflows_; }
+  uint64_t peak_used_bytes() const { return peak_used_bytes_; }
+
+  // Drops all records and resets watermarks (journal re-initialization
+  // after a pair is deleted/recreated).
+  void Reset();
+
+  // Advances all watermarks to `seq` without storing records. Used on the
+  // receive side after a bitmap resync, which transfers data out-of-band:
+  // the next shipped record will carry sequence `seq` + 1. Only valid when
+  // the journal holds no records and `seq` >= the current written mark.
+  Status FastForward(SequenceNumber seq);
+
+ private:
+  uint64_t capacity_bytes_;
+  std::deque<JournalRecord> records_;
+  SequenceNumber written_ = kNoSequence;
+  SequenceNumber shipped_ = kNoSequence;
+  SequenceNumber applied_ = kNoSequence;
+  // Sequence of records_.front(), when non-empty.
+  SequenceNumber first_seq_ = kNoSequence;
+  uint64_t used_bytes_ = 0;
+  uint64_t appends_ = 0;
+  uint64_t overflows_ = 0;
+  uint64_t peak_used_bytes_ = 0;
+};
+
+}  // namespace zerobak::journal
+
+#endif  // ZEROBAK_JOURNAL_JOURNAL_H_

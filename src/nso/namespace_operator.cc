@@ -1,0 +1,114 @@
+#include "nso/namespace_operator.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace zerobak::nso {
+
+using container::kKindNamespace;
+using container::kKindPersistentVolume;
+using container::kKindPersistentVolumeClaim;
+using container::kKindVolumeReplicationGroup;
+using container::Resource;
+using container::WatchEvent;
+using container::WatchEventType;
+
+NamespaceOperator::NamespaceOperator(NamespaceOperatorConfig config)
+    : config_(std::move(config)) {}
+
+void NamespaceOperator::Reconcile(const WatchEvent& event) {
+  const Resource& r = event.resource;
+  if (r.kind == kKindNamespace) {
+    if (event.type == WatchEventType::kDeleted) {
+      RemoveReplicationGroup(r.name);
+      return;
+    }
+    if (r.GetAnnotation(config_.policy_annotation) ==
+        config_.trigger_value) {
+      EnsureReplicationGroup(r.name);
+    } else {
+      RemoveReplicationGroup(r.name);
+    }
+    return;
+  }
+  if (r.kind == kKindPersistentVolumeClaim) {
+    // A volume appeared or changed inside a namespace that is already
+    // protected: refresh the replication group so the new volume joins
+    // the consistency group.
+    if (event.type != WatchEventType::kDeleted &&
+        NamespaceIsTagged(r.ns)) {
+      EnsureReplicationGroup(r.ns);
+    }
+  }
+}
+
+bool NamespaceOperator::NamespaceIsTagged(const std::string& ns) const {
+  auto obj = api_->Get(kKindNamespace, "", ns);
+  if (!obj.ok()) return false;
+  return obj->GetAnnotation(config_.policy_annotation) ==
+         config_.trigger_value;
+}
+
+void NamespaceOperator::EnsureReplicationGroup(const std::string& ns) {
+  // Extract every bound PVC of the namespace and resolve it to an array
+  // volume handle through its PV.
+  Value volumes = Value::MakeArray();
+  for (const Resource& pvc : api_->List(kKindPersistentVolumeClaim, ns)) {
+    const std::string pv_name = pvc.spec.GetString("volumeName");
+    if (pv_name.empty()) continue;  // Unbound; a later event retries.
+    auto pv = api_->Get(kKindPersistentVolume, "", pv_name);
+    if (!pv.ok()) continue;
+    const std::string handle = pv->spec.GetString("volumeHandle");
+    if (handle.empty()) continue;
+    Value entry = Value::MakeObject();
+    entry["handle"] = handle;
+    entry["pvcName"] = pvc.name;
+    entry["capacityBytes"] = pv->spec.GetInt("capacityBytes");
+    volumes.Append(std::move(entry));
+  }
+  if (volumes.AsArray().empty()) return;  // Nothing to protect yet.
+
+  const std::string vrg_name = VrgName(ns);
+  if (!api_->Exists(kKindVolumeReplicationGroup, ns, vrg_name)) {
+    Resource vrg;
+    vrg.kind = kKindVolumeReplicationGroup;
+    vrg.ns = ns;
+    vrg.name = vrg_name;
+    vrg.labels["app.kubernetes.io/managed-by"] = name();
+    vrg.spec["sourceNamespace"] = ns;
+    vrg.spec["volumes"] = volumes;
+    vrg.spec["perVolume"] = config_.per_volume;
+    if (config_.journal_capacity_bytes > 0) {
+      vrg.spec["journalCapacityBytes"] = config_.journal_capacity_bytes;
+    }
+    auto created = api_->Create(std::move(vrg));
+    if (created.ok()) {
+      ++namespaces_configured_;
+    } else if (created.status().code() != StatusCode::kAlreadyExists) {
+      ZB_LOG(Warning) << "VRG create failed: " << created.status();
+    }
+    return;
+  }
+
+  // Refresh the volume list if it changed (e.g. a new PVC was added to
+  // the business process).
+  Status st = api_->Mutate(
+      kKindVolumeReplicationGroup, ns, vrg_name, [&](Resource* r) {
+        r->spec["volumes"] = volumes;
+      });
+  if (!st.ok()) {
+    ZB_LOG(Warning) << "VRG refresh failed: " << st;
+  }
+}
+
+void NamespaceOperator::RemoveReplicationGroup(const std::string& ns) {
+  const std::string vrg_name = VrgName(ns);
+  if (!api_->Exists(kKindVolumeReplicationGroup, ns, vrg_name)) return;
+  Status st = api_->Delete(kKindVolumeReplicationGroup, ns, vrg_name);
+  if (!st.ok() && st.code() != StatusCode::kNotFound) {
+    ZB_LOG(Warning) << "VRG delete failed: " << st;
+  }
+}
+
+}  // namespace zerobak::nso

@@ -1,0 +1,967 @@
+#include "replication/replication.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace zerobak::replication {
+
+const char* PairStateName(PairState state) {
+  switch (state) {
+    case PairState::kCopy:
+      return "COPY";
+    case PairState::kPaired:
+      return "PAIR";
+    case PairState::kSuspended:
+      return "PSUS";
+    case PairState::kSwapped:
+      return "SSWS";
+  }
+  return "?";
+}
+
+const char* ReplicationModeName(ReplicationMode mode) {
+  return mode == ReplicationMode::kSynchronous ? "sync" : "async";
+}
+
+namespace internal {
+
+// Interceptor installed on an async P-VOL: journals the write, acks.
+class AdcInterceptor : public storage::WriteInterceptor {
+ public:
+  AdcInterceptor(ReplicationEngine* engine, Pair* pair)
+      : engine_(engine), pair_(pair) {}
+
+  void OnHostWrite(storage::Volume* volume, block::Lba lba, uint32_t count,
+                   std::string_view data, AckFn ack) override {
+    engine_->OnAsyncHostWrite(pair_, volume, lba, count, data,
+                              std::move(ack));
+  }
+
+ private:
+  ReplicationEngine* engine_;
+  Pair* pair_;
+};
+
+// Interceptor installed on a sync P-VOL: ships the write and delays the
+// host ack until the remote site persisted it.
+class SyncInterceptor : public storage::WriteInterceptor {
+ public:
+  SyncInterceptor(ReplicationEngine* engine, Pair* pair)
+      : engine_(engine), pair_(pair) {}
+
+  void OnHostWrite(storage::Volume* volume, block::Lba lba, uint32_t count,
+                   std::string_view data, AckFn ack) override {
+    engine_->OnSyncHostWrite(pair_, volume, lba, count, data,
+                             std::move(ack));
+  }
+
+ private:
+  ReplicationEngine* engine_;
+  Pair* pair_;
+};
+
+// Interceptor installed on an S-VOL: rejects host writes while the pair is
+// active. The replication applier writes to the volume directly and is
+// therefore unaffected.
+class SecondaryGuard : public storage::WriteInterceptor {
+ public:
+  explicit SecondaryGuard(Pair* pair) : pair_(pair) {}
+
+  Status PreCheck(storage::Volume* volume, block::Lba, uint32_t) override {
+    return FailedPreconditionError(
+        "volume " + volume->name() +
+        " is an S-VOL of pair " + pair_->config().name +
+        " (state " + PairStateName(pair_->state()) + "); host writes are "
+        "disabled until failover");
+  }
+
+  void OnHostWrite(storage::Volume*, block::Lba, uint32_t, std::string_view,
+                   AckFn ack) override {
+    // PreCheck always rejects, so this is unreachable; ack defensively.
+    ack(InternalError("SecondaryGuard::OnHostWrite reached"));
+  }
+
+ private:
+  Pair* pair_;
+};
+
+// Interceptor installed on a promoted S-VOL after failover: the business
+// writes freely, but every touched block is recorded so a later failback
+// ships only the delta back to the main site.
+class ReverseDirtyTracker : public storage::WriteInterceptor {
+ public:
+  explicit ReverseDirtyTracker(Pair* pair) : pair_(pair) {}
+
+  void OnHostWrite(storage::Volume*, block::Lba lba, uint32_t count,
+                   std::string_view, AckFn ack) override {
+    for (uint32_t i = 0; i < count; ++i) {
+      pair_->reverse_dirty_.insert(lba + i);
+    }
+    ack(OkStatus());
+  }
+
+ private:
+  Pair* pair_;
+};
+
+}  // namespace internal
+
+ReplicationEngine::ReplicationEngine(sim::SimEnvironment* env,
+                                     storage::StorageArray* primary,
+                                     storage::StorageArray* secondary,
+                                     sim::NetworkLink* to_secondary,
+                                     sim::NetworkLink* to_primary)
+    : env_(env),
+      primary_(primary),
+      secondary_(secondary),
+      to_secondary_(to_secondary),
+      to_primary_(to_primary) {}
+
+ReplicationEngine::~ReplicationEngine() {
+  for (auto& [id, group] : groups_) {
+    if (group->transfer_task) group->transfer_task->Stop();
+  }
+  // Unregister interceptors so arrays outliving the engine behave.
+  for (auto& [vid, ic] : primary_interceptors_) {
+    primary_->UnregisterInterceptor(vid);
+  }
+  for (auto& [vid, ic] : secondary_guards_) {
+    secondary_->UnregisterInterceptor(vid);
+  }
+}
+
+StatusOr<GroupId> ReplicationEngine::CreateConsistencyGroup(
+    ConsistencyGroupConfig config) {
+  ZB_ASSIGN_OR_RETURN(storage::JournalId pj,
+                      primary_->CreateJournal(config.journal_capacity_bytes));
+  auto sj_or = secondary_->CreateJournal(config.journal_capacity_bytes);
+  if (!sj_or.ok()) {
+    (void)primary_->DeleteJournal(pj);
+    return sj_or.status();
+  }
+  const GroupId id = next_group_id_++;
+  auto group = std::make_unique<Group>();
+  group->id = id;
+  group->config = std::move(config);
+  group->primary_journal = pj;
+  group->secondary_journal = *sj_or;
+  Group* raw = group.get();
+  group->transfer_task = std::make_unique<sim::PeriodicTask>(
+      env_, raw->config.transfer_interval, [this, raw] { PumpGroup(raw); });
+  group->transfer_task->Start();
+  groups_.emplace(id, std::move(group));
+  return id;
+}
+
+Status ReplicationEngine::DeleteConsistencyGroup(GroupId id) {
+  Group* group = FindGroup(id);
+  if (group == nullptr) return NotFoundError("group " + std::to_string(id));
+  if (!group->pairs.empty()) {
+    return FailedPreconditionError("group still has pairs");
+  }
+  group->transfer_task->Stop();
+  (void)primary_->DeleteJournal(group->primary_journal);
+  (void)secondary_->DeleteJournal(group->secondary_journal);
+  groups_.erase(id);
+  return OkStatus();
+}
+
+std::vector<GroupId> ReplicationEngine::ListGroups() const {
+  std::vector<GroupId> out;
+  for (const auto& [id, g] : groups_) out.push_back(id);
+  return out;
+}
+
+StatusOr<GroupStats> ReplicationEngine::GetGroupStats(GroupId id) const {
+  const Group* group = FindGroup(id);
+  if (group == nullptr) return NotFoundError("group " + std::to_string(id));
+  GroupStats stats;
+  // The engine keeps handles to the journal objects through the arrays.
+  auto* pj = const_cast<storage::StorageArray*>(primary_)->GetJournal(
+      group->primary_journal);
+  auto* sj = const_cast<storage::StorageArray*>(secondary_)->GetJournal(
+      group->secondary_journal);
+  if (pj != nullptr) {
+    stats.written = pj->written();
+    stats.shipped = pj->shipped();
+    stats.journal_used_bytes = pj->used_bytes();
+    stats.journal_capacity_bytes = pj->capacity_bytes();
+    stats.journal_overflows = pj->overflows();
+  }
+  if (sj != nullptr) stats.applied = sj->applied();
+  stats.apply_lag = env_->now() - group->last_applied_ack_time;
+  return stats;
+}
+
+StatusOr<std::string> ReplicationEngine::GetGroupName(GroupId id) const {
+  const Group* group = FindGroup(id);
+  if (group == nullptr) return NotFoundError("group " + std::to_string(id));
+  return group->config.name;
+}
+
+StatusOr<PairId> ReplicationEngine::CreateAsyncPair(const PairConfig& config,
+                                                    GroupId group_id) {
+  if (config.mode != ReplicationMode::kAsynchronous) {
+    return InvalidArgumentError("CreateAsyncPair requires async mode");
+  }
+  Group* group = FindGroup(group_id);
+  if (group == nullptr) {
+    return NotFoundError("group " + std::to_string(group_id));
+  }
+  if (group->failed_over) {
+    return FailedPreconditionError("group has been failed over");
+  }
+  ZB_ASSIGN_OR_RETURN(storage::Volume * pvol,
+                      primary_->FindVolume(config.primary));
+  ZB_ASSIGN_OR_RETURN(storage::Volume * svol,
+                      secondary_->FindVolume(config.secondary));
+  if (pvol->block_size() != svol->block_size() ||
+      pvol->block_count() != svol->block_count()) {
+    return InvalidArgumentError("pair volume geometry mismatch");
+  }
+  if (primary_->HasInterceptor(config.primary)) {
+    return AlreadyExistsError("P-VOL already replicated");
+  }
+  if (secondary_->HasInterceptor(config.secondary)) {
+    return AlreadyExistsError("S-VOL already in use");
+  }
+
+  const PairId id = next_pair_id_++;
+  auto pair = std::make_unique<Pair>();
+  pair->id_ = id;
+  pair->config_ = config;
+  pair->group_ = group_id;
+  pair->state_ = PairState::kCopy;
+  Pair* raw = pair.get();
+
+  auto interceptor = std::make_unique<internal::AdcInterceptor>(this, raw);
+  ZB_RETURN_IF_ERROR(
+      primary_->RegisterInterceptor(config.primary, interceptor.get()));
+  auto guard = std::make_unique<internal::SecondaryGuard>(raw);
+  Status gs = secondary_->RegisterInterceptor(config.secondary, guard.get());
+  if (!gs.ok()) {
+    primary_->UnregisterInterceptor(config.primary);
+    return gs;
+  }
+  primary_interceptors_.emplace(config.primary, std::move(interceptor));
+  secondary_guards_.emplace(config.secondary, std::move(guard));
+
+  group->pairs.push_back(id);
+  group->by_primary.emplace(config.primary, id);
+  pairs_.emplace(id, std::move(pair));
+
+  StartInitialCopy(raw, group);
+  return id;
+}
+
+StatusOr<PairId> ReplicationEngine::CreateSyncPair(const PairConfig& config) {
+  if (config.mode != ReplicationMode::kSynchronous) {
+    return InvalidArgumentError("CreateSyncPair requires sync mode");
+  }
+  ZB_ASSIGN_OR_RETURN(storage::Volume * pvol,
+                      primary_->FindVolume(config.primary));
+  ZB_ASSIGN_OR_RETURN(storage::Volume * svol,
+                      secondary_->FindVolume(config.secondary));
+  if (pvol->block_size() != svol->block_size() ||
+      pvol->block_count() != svol->block_count()) {
+    return InvalidArgumentError("pair volume geometry mismatch");
+  }
+  if (primary_->HasInterceptor(config.primary)) {
+    return AlreadyExistsError("P-VOL already replicated");
+  }
+  if (secondary_->HasInterceptor(config.secondary)) {
+    return AlreadyExistsError("S-VOL already in use");
+  }
+
+  const PairId id = next_pair_id_++;
+  auto pair = std::make_unique<Pair>();
+  pair->id_ = id;
+  pair->config_ = config;
+  pair->state_ = PairState::kCopy;
+  Pair* raw = pair.get();
+
+  auto interceptor = std::make_unique<internal::SyncInterceptor>(this, raw);
+  ZB_RETURN_IF_ERROR(
+      primary_->RegisterInterceptor(config.primary, interceptor.get()));
+  auto guard = std::make_unique<internal::SecondaryGuard>(raw);
+  Status gs = secondary_->RegisterInterceptor(config.secondary, guard.get());
+  if (!gs.ok()) {
+    primary_->UnregisterInterceptor(config.primary);
+    return gs;
+  }
+  primary_interceptors_.emplace(config.primary, std::move(interceptor));
+  secondary_guards_.emplace(config.secondary, std::move(guard));
+  pairs_.emplace(id, std::move(pair));
+
+  StartInitialCopy(raw, /*group=*/nullptr);
+  return id;
+}
+
+Status ReplicationEngine::DeletePair(PairId id) {
+  Pair* pair = FindPair(id);
+  if (pair == nullptr) return NotFoundError("pair " + std::to_string(id));
+  primary_->UnregisterInterceptor(pair->config_.primary);
+  secondary_->UnregisterInterceptor(pair->config_.secondary);
+  primary_interceptors_.erase(pair->config_.primary);
+  secondary_guards_.erase(pair->config_.secondary);
+  if (pair->group_ != 0) {
+    Group* group = FindGroup(pair->group_);
+    if (group != nullptr) {
+      std::erase(group->pairs, id);
+      group->by_primary.erase(pair->config_.primary);
+    }
+  }
+  pairs_.erase(id);
+  return OkStatus();
+}
+
+const Pair* ReplicationEngine::GetPair(PairId id) const {
+  auto it = pairs_.find(id);
+  return it == pairs_.end() ? nullptr : it->second.get();
+}
+
+PairId ReplicationEngine::FindPairByPrimary(
+    storage::VolumeId primary) const {
+  for (const auto& [id, pair] : pairs_) {
+    if (pair->config_.primary == primary) return id;
+  }
+  return 0;
+}
+
+std::vector<PairId> ReplicationEngine::ListPairs() const {
+  std::vector<PairId> out;
+  for (const auto& [id, p] : pairs_) out.push_back(id);
+  return out;
+}
+
+std::vector<PairId> ReplicationEngine::ListGroupPairs(GroupId id) const {
+  const Group* group = FindGroup(id);
+  return group == nullptr ? std::vector<PairId>{} : group->pairs;
+}
+
+void ReplicationEngine::OnAsyncHostWrite(
+    Pair* pair, storage::Volume* volume, uint64_t lba, uint32_t count,
+    std::string_view data, storage::WriteInterceptor::AckFn ack) {
+  Group* group = FindGroup(pair->group_);
+  ZB_CHECK(group != nullptr) << "async pair without group";
+  if (group->failed_over) {
+    // The group was taken over by the backup site; stop copying but keep
+    // serving the host (main-site survivors see no error). Track the
+    // divergence so failback can detect a split brain.
+    for (uint32_t i = 0; i < count; ++i) pair->dirty_.insert(lba + i);
+    ack(OkStatus());
+    return;
+  }
+  if (group->suspended) {
+    for (uint32_t i = 0; i < count; ++i) pair->dirty_.insert(lba + i);
+    ack(OkStatus());
+    return;
+  }
+  if (group->giveback_in_flight) {
+    // Remember what the main site rewrites while the giveback batch is on
+    // the wire; those blocks are newer than the batch and must win.
+    for (uint32_t i = 0; i < count; ++i) pair->dirty_.insert(lba + i);
+  }
+  journal::JournalRecord record;
+  record.volume_id = volume->id();
+  record.lba = lba;
+  record.block_count = count;
+  record.data = std::string(data);
+  record.ack_time = env_->now();
+  auto* jnl = primary_->GetJournal(group->primary_journal);
+  ZB_CHECK(jnl != nullptr);
+  auto seq_or = jnl->Append(std::move(record));
+  if (!seq_or.ok()) {
+    // Journal overflow: the classic ADC failure mode. Suspend the whole
+    // group (it shares the journal), keep acking the host.
+    ZB_LOG(Warning) << "group " << group->id
+                    << " journal overflow; suspending: "
+                    << seq_or.status();
+    MarkGroupSuspended(group);
+    for (uint32_t i = 0; i < count; ++i) pair->dirty_.insert(lba + i);
+  }
+  // The ADC ack does not wait for anything remote: this is the paper's
+  // "no system slowdown" property.
+  ack(OkStatus());
+}
+
+void ReplicationEngine::OnSyncHostWrite(
+    Pair* pair, storage::Volume* volume, uint64_t lba, uint32_t count,
+    std::string_view data, storage::WriteInterceptor::AckFn ack) {
+  (void)volume;
+  if (pair->state_ == PairState::kSwapped) {
+    ack(OkStatus());
+    return;
+  }
+  if (pair->state_ == PairState::kSuspended) {
+    for (uint32_t i = 0; i < count; ++i) pair->dirty_.insert(lba + i);
+    ack(OkStatus());
+    return;
+  }
+  const uint64_t bytes =
+      journal::JournalRecord::kHeaderSize +
+      static_cast<uint64_t>(count) * volume->block_size();
+  std::string payload(data);
+  const PairId pair_id = pair->id_;
+  ++pair->inflight_;
+  Status sent = to_secondary_->SendOnChannel(
+      SyncChannel(pair_id), bytes,
+      [this, pair_id, lba, count, payload = std::move(payload),
+              ack]() mutable {
+        Pair* p = FindPair(pair_id);
+        if (p == nullptr || p->state_ == PairState::kSwapped) {
+          ack(OkStatus());
+          return;
+        }
+        --p->inflight_;
+        // Remote persist: model the backup array's media write cost.
+        const SimDuration cost = secondary_->config().media.Cost(
+            block::IoType::kWrite, count, nullptr);
+        env_->Schedule(cost, [this, pair_id, lba, count,
+                              payload = std::move(payload), ack]() mutable {
+          Pair* p2 = FindPair(pair_id);
+          if (p2 == nullptr || p2->state_ == PairState::kSwapped) {
+            ack(OkStatus());
+            return;
+          }
+          storage::Volume* svol =
+              secondary_->GetVolume(p2->config_.secondary);
+          if (svol != nullptr && !secondary_->failed()) {
+            Status ws = svol->Write(lba, count, payload);
+            if (!ws.ok()) {
+              ZB_LOG(Warning) << "sync apply failed: " << ws;
+            }
+          }
+          // Remote ack travels back over the reverse link.
+          Status back = to_primary_->SendOnChannel(
+              SyncChannel(pair_id), kAckMessageBytes,
+              [ack]() mutable { ack(OkStatus()); });
+          if (!back.ok()) {
+            // Reverse link is down: the pair suspends; the host write is
+            // acknowledged locally (fence level "never").
+            p2->state_ = PairState::kSuspended;
+            for (uint32_t i = 0; i < count; ++i) p2->dirty_.insert(lba + i);
+            ack(OkStatus());
+          }
+        });
+      });
+  if (!sent.ok()) {
+    --pair->inflight_;
+    pair->state_ = PairState::kSuspended;
+    for (uint32_t i = 0; i < count; ++i) pair->dirty_.insert(lba + i);
+    ack(OkStatus());
+  }
+}
+
+void ReplicationEngine::PumpGroup(Group* group) {
+  if (group->suspended || group->failed_over) return;
+  if (primary_->failed()) return;
+  auto* jnl = primary_->GetJournal(group->primary_journal);
+  if (jnl == nullptr) return;
+  std::vector<journal::JournalRecord> batch;
+  if (jnl->Peek(jnl->shipped(), group->config.transfer_batch_bytes,
+                &batch) == 0) {
+    return;
+  }
+  uint64_t bytes = 0;
+  for (const auto& rec : batch) bytes += rec.EncodedSize();
+  const journal::SequenceNumber last = batch.back().sequence;
+  const GroupId group_id = group->id;
+  Status sent = to_secondary_->SendOnChannel(
+      group_id, bytes, [this, group_id, batch = std::move(batch)]() mutable {
+        Group* g = FindGroup(group_id);
+        if (g == nullptr || g->failed_over) return;
+        auto* sj = secondary_->GetJournal(g->secondary_journal);
+        if (sj == nullptr || secondary_->failed()) return;
+        for (auto& rec : batch) {
+          Status as = sj->AppendWithSequence(std::move(rec));
+          if (!as.ok()) {
+            ZB_LOG(Warning) << "backup journal append failed: " << as;
+            return;
+          }
+        }
+        ApplyPending(g);
+      });
+  if (sent.ok()) {
+    jnl->MarkShipped(last);
+    records_shipped_ += batch.size();
+  }
+  // On failure (link down) the records stay unshipped; the journal absorbs
+  // the backlog until it overflows and the group suspends.
+}
+
+void ReplicationEngine::ApplyPending(Group* group) {
+  auto* sj = secondary_->GetJournal(group->secondary_journal);
+  if (sj == nullptr) return;
+  journal::SequenceNumber applied = sj->applied();
+  bool progressed = false;
+  while (applied < sj->written()) {
+    const journal::JournalRecord* rec = sj->Find(applied + 1);
+    if (rec == nullptr) break;
+    auto pit = group->by_primary.find(rec->volume_id);
+    if (pit != group->by_primary.end()) {
+      Pair* pair = FindPair(pit->second);
+      if (pair != nullptr && pair->state_ == PairState::kCopy) {
+        // The base image of this S-VOL has not landed yet; the whole group
+        // stalls here to preserve the cross-volume total order.
+        break;
+      }
+      if (pair != nullptr) {
+        storage::Volume* svol = secondary_->GetVolume(pair->config_.secondary);
+        if (svol != nullptr) {
+          Status ws = svol->Write(rec->lba, rec->block_count, rec->data);
+          if (!ws.ok()) {
+            ZB_LOG(Warning) << "journal apply failed: " << ws;
+          }
+        }
+      }
+    }
+    group->last_applied_ack_time = rec->ack_time;
+    ++applied;
+    ++records_applied_;
+    progressed = true;
+  }
+  if (progressed) {
+    ZB_CHECK(sj->TrimThrough(applied).ok());
+    SendApplyAck(group, applied);
+  }
+}
+
+void ReplicationEngine::SendApplyAck(Group* group,
+                                     journal::SequenceNumber seq) {
+  const GroupId group_id = group->id;
+  Status sent = to_primary_->SendOnChannel(
+      group_id, kAckMessageBytes, [this, group_id, seq] {
+        Group* g = FindGroup(group_id);
+        if (g == nullptr) return;
+        auto* pj = primary_->GetJournal(g->primary_journal);
+        if (pj == nullptr) return;
+        // Records applied remotely are safe to trim from the main journal.
+        if (seq <= pj->written()) {
+          (void)pj->TrimThrough(seq);
+        }
+      });
+  (void)sent;  // A lost ack only delays trimming.
+}
+
+void ReplicationEngine::StartInitialCopy(Pair* pair, Group* group) {
+  storage::Volume* pvol = primary_->GetVolume(pair->config_.primary);
+  ZB_CHECK(pvol != nullptr);
+  const uint64_t bytes =
+      pvol->store().allocated_blocks() * pvol->block_size();
+  if (bytes == 0) {
+    pair->state_ = PairState::kPaired;
+    if (group != nullptr) ApplyPending(group);
+    return;
+  }
+  // Freeze the P-VOL image at this instant; updates from now on are
+  // journaled (async) or shipped inline (sync) and applied on top.
+  auto frozen = std::make_shared<block::MemVolume>(pvol->block_count(),
+                                                   pvol->block_size());
+  ZB_CHECK(frozen->CloneFrom(pvol->store()).ok());
+  const PairId pair_id = pair->id_;
+  const GroupId group_id = group == nullptr ? 0 : group->id;
+  // Use the same channel as the pair's subsequent traffic so the base
+  // image is guaranteed to arrive before any update shipped after it.
+  const uint64_t channel =
+      group == nullptr ? SyncChannel(pair_id) : group_id;
+  Status sent = to_secondary_->SendOnChannel(channel, bytes,
+                                             [this, pair_id, group_id,
+                                              frozen] {
+    Pair* p = FindPair(pair_id);
+    if (p == nullptr) return;
+    storage::Volume* svol = secondary_->GetVolume(p->config_.secondary);
+    if (svol == nullptr || secondary_->failed()) {
+      p->state_ = PairState::kSuspended;
+      return;
+    }
+    ZB_CHECK(svol->store().CloneFrom(*frozen).ok());
+    if (p->state_ == PairState::kCopy) p->state_ = PairState::kPaired;
+    if (group_id != 0) {
+      Group* g = FindGroup(group_id);
+      if (g != nullptr) ApplyPending(g);
+    }
+  });
+  if (!sent.ok()) {
+    // The link is down: the pair starts suspended with every allocated
+    // block dirty; a later resync performs the initial copy.
+    pair->state_ = PairState::kSuspended;
+    for (uint64_t lba = 0; lba < pvol->block_count(); ++lba) {
+      if (pvol->store().IsAllocated(lba)) pair->dirty_.insert(lba);
+    }
+  }
+}
+
+void ReplicationEngine::MarkGroupSuspended(Group* group) {
+  group->suspended = true;
+  auto* jnl = primary_->GetJournal(group->primary_journal);
+  // Unshipped journal records become dirty blocks and are dropped; the
+  // sequence watermarks are preserved so post-resync shipping stays dense.
+  if (jnl != nullptr) {
+    std::vector<journal::JournalRecord> rest;
+    jnl->Peek(jnl->shipped(), UINT64_MAX, &rest);
+    for (const auto& rec : rest) {
+      auto pit = group->by_primary.find(rec.volume_id);
+      if (pit == group->by_primary.end()) continue;
+      Pair* pair = FindPair(pit->second);
+      if (pair == nullptr) continue;
+      for (uint32_t i = 0; i < rec.block_count; ++i) {
+        pair->dirty_.insert(rec.lba + i);
+      }
+    }
+    (void)jnl->TrimThrough(jnl->written());
+    jnl->MarkShipped(jnl->written());
+  }
+  for (PairId pid : group->pairs) {
+    Pair* pair = FindPair(pid);
+    if (pair != nullptr && pair->state_ != PairState::kSwapped) {
+      pair->state_ = PairState::kSuspended;
+    }
+  }
+}
+
+Status ReplicationEngine::SuspendGroup(GroupId id) {
+  Group* group = FindGroup(id);
+  if (group == nullptr) return NotFoundError("group " + std::to_string(id));
+  if (group->failed_over) {
+    return FailedPreconditionError("group has been failed over");
+  }
+  if (group->suspended) return OkStatus();
+  MarkGroupSuspended(group);
+  return OkStatus();
+}
+
+Status ReplicationEngine::SuspendSyncPair(PairId id) {
+  Pair* pair = FindPair(id);
+  if (pair == nullptr) return NotFoundError("pair " + std::to_string(id));
+  if (pair->config_.mode != ReplicationMode::kSynchronous) {
+    return InvalidArgumentError("pair is not synchronous");
+  }
+  if (pair->state_ == PairState::kSwapped) {
+    return FailedPreconditionError("pair has been swapped");
+  }
+  pair->state_ = PairState::kSuspended;
+  return OkStatus();
+}
+
+Status ReplicationEngine::ResyncGroup(GroupId id) {
+  Group* group = FindGroup(id);
+  if (group == nullptr) return NotFoundError("group " + std::to_string(id));
+  if (group->failed_over) {
+    return FailedPreconditionError("group has been failed over");
+  }
+  if (!group->suspended) return OkStatus();
+  if (!to_secondary_->connected()) {
+    return UnavailableError("replication link is down");
+  }
+
+  // Capture the dirty-block contents now; journaling resumes immediately,
+  // and the FIFO link guarantees the resync batch applies first.
+  struct ResyncBlock {
+    PairId pair;
+    uint64_t lba;
+    std::string data;
+  };
+  auto blocks = std::make_shared<std::vector<ResyncBlock>>();
+  uint64_t bytes = 0;
+  for (PairId pid : group->pairs) {
+    Pair* pair = FindPair(pid);
+    if (pair == nullptr || pair->state_ == PairState::kSwapped) continue;
+    storage::Volume* pvol = primary_->GetVolume(pair->config_.primary);
+    if (pvol == nullptr) continue;
+    for (uint64_t lba : pair->dirty_) {
+      blocks->push_back(
+          ResyncBlock{pid, lba, pvol->store().ReadBlock(lba)});
+      bytes += pvol->block_size() + journal::JournalRecord::kHeaderSize;
+    }
+    pair->dirty_.clear();
+  }
+
+  auto* pj = primary_->GetJournal(group->primary_journal);
+  const journal::SequenceNumber resume_seq =
+      pj == nullptr ? 0 : pj->written();
+  group->suspended = false;
+
+  const GroupId group_id = id;
+  Status sent = to_secondary_->SendOnChannel(
+      group_id, std::max<uint64_t>(bytes, kAckMessageBytes),
+      [this, group_id, blocks, resume_seq] {
+        Group* g = FindGroup(group_id);
+        if (g == nullptr || g->failed_over) return;
+        for (const auto& blk : *blocks) {
+          Pair* pair = FindPair(blk.pair);
+          if (pair == nullptr) continue;
+          storage::Volume* svol =
+              secondary_->GetVolume(pair->config_.secondary);
+          if (svol == nullptr) continue;
+          Status ws = svol->Write(blk.lba, 1, blk.data);
+          if (!ws.ok()) ZB_LOG(Warning) << "resync apply failed: " << ws;
+        }
+        auto* sj = secondary_->GetJournal(g->secondary_journal);
+        if (sj != nullptr && sj->written() < resume_seq) {
+          Status ff = sj->FastForward(resume_seq);
+          if (!ff.ok()) ZB_LOG(Warning) << "resync fast-forward: " << ff;
+        }
+        for (PairId pid : g->pairs) {
+          Pair* pair = FindPair(pid);
+          if (pair != nullptr && pair->state_ == PairState::kSuspended) {
+            pair->state_ = PairState::kPaired;
+          }
+        }
+        ApplyPending(g);
+      });
+  if (!sent.ok()) {
+    group->suspended = true;
+    return sent;
+  }
+  return OkStatus();
+}
+
+Status ReplicationEngine::ResyncSyncPair(PairId id) {
+  Pair* pair = FindPair(id);
+  if (pair == nullptr) return NotFoundError("pair " + std::to_string(id));
+  if (pair->config_.mode != ReplicationMode::kSynchronous) {
+    return InvalidArgumentError("pair is not synchronous");
+  }
+  if (pair->state_ != PairState::kSuspended) {
+    return FailedPreconditionError("pair is not suspended");
+  }
+  storage::Volume* pvol = primary_->GetVolume(pair->config_.primary);
+  if (pvol == nullptr) return NotFoundError("P-VOL vanished");
+
+  struct ResyncBlock {
+    uint64_t lba;
+    std::string data;
+  };
+  auto blocks = std::make_shared<std::vector<ResyncBlock>>();
+  uint64_t bytes = 0;
+  for (uint64_t lba : pair->dirty_) {
+    blocks->push_back(ResyncBlock{lba, pvol->store().ReadBlock(lba)});
+    bytes += pvol->block_size() + journal::JournalRecord::kHeaderSize;
+  }
+  pair->dirty_.clear();
+  const PairId pair_id = id;
+  Status sent = to_secondary_->SendOnChannel(
+      SyncChannel(pair_id), std::max<uint64_t>(bytes, kAckMessageBytes),
+      [this, pair_id, blocks] {
+        Pair* p = FindPair(pair_id);
+        if (p == nullptr || p->state_ == PairState::kSwapped) return;
+        storage::Volume* svol = secondary_->GetVolume(p->config_.secondary);
+        if (svol != nullptr) {
+          for (const auto& blk : *blocks) {
+            Status ws = svol->Write(blk.lba, 1, blk.data);
+            if (!ws.ok()) ZB_LOG(Warning) << "resync apply failed: " << ws;
+          }
+        }
+        p->state_ = PairState::kPaired;
+      });
+  if (!sent.ok()) {
+    pair->state_ = PairState::kSuspended;
+    return sent;
+  }
+  return OkStatus();
+}
+
+StatusOr<FailoverReport> ReplicationEngine::FailoverGroup(GroupId id) {
+  Group* group = FindGroup(id);
+  if (group == nullptr) return NotFoundError("group " + std::to_string(id));
+  if (group->failed_over) {
+    return FailedPreconditionError("group already failed over");
+  }
+  group->failed_over = true;
+  group->transfer_task->Stop();
+
+  // Apply everything that reached the backup site (Section I: "DR systems
+  // recover the backup site under the condition of data consistency").
+  ApplyPending(group);
+
+  FailoverReport report;
+  auto* sj = secondary_->GetJournal(group->secondary_journal);
+  report.recovery_point = sj == nullptr ? 0 : sj->applied();
+  report.recovery_point_time = group->last_applied_ack_time;
+  auto* pj = primary_->GetJournal(group->primary_journal);
+  if (pj != nullptr && pj->written() >= report.recovery_point) {
+    report.lost_records = pj->written() - report.recovery_point;
+  }
+
+  // Promote the S-VOLs: swap the write guards for dirty trackers so the
+  // business can run on the backup site while failback stays possible.
+  for (PairId pid : group->pairs) {
+    Pair* pair = FindPair(pid);
+    if (pair == nullptr) continue;
+    secondary_->UnregisterInterceptor(pair->config_.secondary);
+    secondary_guards_.erase(pair->config_.secondary);
+    auto tracker = std::make_unique<internal::ReverseDirtyTracker>(pair);
+    if (secondary_->RegisterInterceptor(pair->config_.secondary,
+                                        tracker.get())
+            .ok()) {
+      secondary_guards_.emplace(pair->config_.secondary,
+                                std::move(tracker));
+    }
+    pair->state_ = PairState::kSwapped;
+    pair->dirty_.clear();
+    pair->reverse_dirty_.clear();
+  }
+  return report;
+}
+
+StatusOr<FailbackReport> ReplicationEngine::FailbackGroup(GroupId id,
+                                                          bool force) {
+  Group* group = FindGroup(id);
+  if (group == nullptr) return NotFoundError("group " + std::to_string(id));
+  if (!group->failed_over) {
+    return FailedPreconditionError("group has not been failed over");
+  }
+  if (primary_->failed()) {
+    return FailedPreconditionError("main array is still failed");
+  }
+  if (!to_primary_->connected() || !to_secondary_->connected()) {
+    return UnavailableError("inter-site links are down");
+  }
+
+  // Split-brain check: the main volumes must not have diverged.
+  FailbackReport report;
+  for (PairId pid : group->pairs) {
+    Pair* pair = FindPair(pid);
+    if (pair == nullptr) continue;
+    if (!pair->dirty_.empty()) {
+      if (!force) {
+        return FailedPreconditionError(
+            "pair " + pair->config_.name + " diverged on the main site (" +
+            std::to_string(pair->dirty_.size()) +
+            " blocks); quiesce and retry with force to let the backup "
+            "side win");
+      }
+      report.conflicts_overwritten += pair->dirty_.size();
+    }
+  }
+
+  // Capture the giveback delta NOW: all blocks the backup business wrote,
+  // plus (under force) the main-side diverged blocks, at their current
+  // backup-site content.
+  struct GivebackBlock {
+    PairId pair;
+    uint64_t lba;
+    std::string data;
+  };
+  auto blocks = std::make_shared<std::vector<GivebackBlock>>();
+  uint64_t bytes = 0;
+  for (PairId pid : group->pairs) {
+    Pair* pair = FindPair(pid);
+    if (pair == nullptr) continue;
+    storage::Volume* svol = secondary_->GetVolume(pair->config_.secondary);
+    if (svol == nullptr) continue;
+    std::unordered_set<uint64_t> to_ship = pair->reverse_dirty_;
+    if (force) {
+      to_ship.insert(pair->dirty_.begin(), pair->dirty_.end());
+    }
+    for (uint64_t lba : to_ship) {
+      blocks->push_back(GivebackBlock{pid, lba, svol->store().ReadBlock(lba)});
+      bytes += svol->block_size() + journal::JournalRecord::kHeaderSize;
+    }
+  }
+  report.blocks_shipped = blocks->size();
+
+  // Resume the forward direction immediately: re-protect the S-VOLs,
+  // clear the dirty state, reset both journals (a fresh sequence space)
+  // and restart the transfer engine. Host writes to the P-VOLs from this
+  // instant are journaled again; the giveback batch skips any block the
+  // main site rewrites in the meantime, so newer data always wins.
+  for (PairId pid : group->pairs) {
+    Pair* pair = FindPair(pid);
+    if (pair == nullptr) continue;
+    secondary_->UnregisterInterceptor(pair->config_.secondary);
+    secondary_guards_.erase(pair->config_.secondary);
+    auto guard = std::make_unique<internal::SecondaryGuard>(pair);
+    if (secondary_->RegisterInterceptor(pair->config_.secondary,
+                                        guard.get())
+            .ok()) {
+      secondary_guards_.emplace(pair->config_.secondary, std::move(guard));
+    }
+    pair->state_ = PairState::kPaired;
+    pair->dirty_.clear();
+    pair->reverse_dirty_.clear();
+  }
+  auto* pj = primary_->GetJournal(group->primary_journal);
+  auto* sj = secondary_->GetJournal(group->secondary_journal);
+  if (pj != nullptr) pj->Reset();
+  if (sj != nullptr) sj->Reset();
+  group->failed_over = false;
+  group->suspended = false;
+  group->giveback_in_flight = true;
+  group->last_applied_ack_time = env_->now();
+  group->transfer_task->Start();
+
+  const GroupId group_id = id;
+  Status sent = to_primary_->SendOnChannel(
+      group_id, std::max<uint64_t>(bytes, kAckMessageBytes),
+      [this, group_id, blocks] {
+        Group* g = FindGroup(group_id);
+        if (g == nullptr) return;
+        for (const auto& blk : *blocks) {
+          Pair* pair = FindPair(blk.pair);
+          if (pair == nullptr) continue;
+          // A block the main site rewrote after failback started is newer
+          // than the giveback copy: skip it (it is journaled forward).
+          if (pair->dirty_.contains(blk.lba)) continue;
+          storage::Volume* pvol = primary_->GetVolume(pair->config_.primary);
+          if (pvol == nullptr) continue;
+          Status ws = pvol->Write(blk.lba, 1, blk.data);
+          if (!ws.ok()) ZB_LOG(Warning) << "failback apply failed: " << ws;
+        }
+        g->giveback_in_flight = false;
+        for (PairId pid : g->pairs) {
+          Pair* pair = FindPair(pid);
+          if (pair != nullptr) pair->dirty_.clear();
+        }
+      });
+  if (!sent.ok()) {
+    group->giveback_in_flight = false;
+    return sent;
+  }
+  return report;
+}
+
+bool ReplicationEngine::GroupInitialCopyDone(GroupId id) const {
+  const Group* group = FindGroup(id);
+  if (group == nullptr) return false;
+  for (PairId pid : group->pairs) {
+    auto it = pairs_.find(pid);
+    if (it == pairs_.end()) continue;
+    if (it->second->state_ == PairState::kCopy) return false;
+  }
+  return true;
+}
+
+journal::JournalVolume* ReplicationEngine::primary_journal(GroupId id) {
+  Group* group = FindGroup(id);
+  return group == nullptr ? nullptr
+                          : primary_->GetJournal(group->primary_journal);
+}
+
+journal::JournalVolume* ReplicationEngine::secondary_journal(GroupId id) {
+  Group* group = FindGroup(id);
+  return group == nullptr ? nullptr
+                          : secondary_->GetJournal(group->secondary_journal);
+}
+
+ReplicationEngine::Group* ReplicationEngine::FindGroup(GroupId id) {
+  auto it = groups_.find(id);
+  return it == groups_.end() ? nullptr : it->second.get();
+}
+
+const ReplicationEngine::Group* ReplicationEngine::FindGroup(
+    GroupId id) const {
+  auto it = groups_.find(id);
+  return it == groups_.end() ? nullptr : it->second.get();
+}
+
+Pair* ReplicationEngine::FindPair(PairId id) {
+  auto it = pairs_.find(id);
+  return it == pairs_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace zerobak::replication

@@ -1,0 +1,294 @@
+#ifndef ZEROBAK_REPLICATION_REPLICATION_H_
+#define ZEROBAK_REPLICATION_REPLICATION_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "journal/journal.h"
+#include "sim/environment.h"
+#include "sim/network.h"
+#include "storage/array.h"
+
+namespace zerobak::replication {
+
+// Remote-copy mode (Section V: SDC vs ADC).
+enum class ReplicationMode {
+  kSynchronous,   // SDC: host ack waits for the remote site.
+  kAsynchronous,  // ADC: host ack after the local journal write.
+};
+
+// Pair state machine, following the conventional remote-copy states.
+enum class PairState {
+  kCopy,       // Initial copy in progress; S-VOL not yet usable.
+  kPaired,     // Steady state: updates flowing, S-VOL consistent.
+  kSuspended,  // Replication stopped (overflow, link down or operator);
+               // P-VOL writes are tracked in a dirty bitmap.
+  kSwapped,    // After failover: S-VOL promoted, pair dissolved logically.
+};
+
+const char* PairStateName(PairState state);
+const char* ReplicationModeName(ReplicationMode mode);
+
+using PairId = uint64_t;
+using GroupId = uint64_t;
+
+// Configuration of a consistency group: the shared journal and the
+// transfer engine parameters (Section III-A-1).
+struct ConsistencyGroupConfig {
+  std::string name;
+  uint64_t journal_capacity_bytes = 256ull << 20;  // 256 MiB.
+  // How often the transfer engine wakes up to ship journal batches.
+  SimDuration transfer_interval = Milliseconds(2);
+  // Maximum bytes shipped per wakeup.
+  uint64_t transfer_batch_bytes = 4ull << 20;  // 4 MiB.
+};
+
+struct PairConfig {
+  std::string name;
+  storage::VolumeId primary = 0;    // P-VOL on the main array.
+  storage::VolumeId secondary = 0;  // S-VOL on the backup array.
+  ReplicationMode mode = ReplicationMode::kAsynchronous;
+};
+
+// Point-in-time replication health of a consistency group.
+struct GroupStats {
+  journal::SequenceNumber written = 0;   // Main journal head.
+  journal::SequenceNumber shipped = 0;   // Handed to the link.
+  journal::SequenceNumber applied = 0;   // Applied on the backup array.
+  uint64_t journal_used_bytes = 0;
+  uint64_t journal_capacity_bytes = 0;
+  uint64_t journal_overflows = 0;
+  // Age of the newest applied record relative to the newest written one
+  // (an RPO estimate while the system is healthy).
+  SimDuration apply_lag = 0;
+};
+
+// Result of a failover (disaster recovery takeover) on a group.
+struct FailoverReport {
+  // Sequence of the last record applied to the backup volumes.
+  journal::SequenceNumber recovery_point = 0;
+  // Records that were written at the main site but never made it.
+  uint64_t lost_records = 0;
+  // Ack-time of the last applied record; the backup image corresponds to
+  // the main site as of this instant (RPO in time units).
+  SimTime recovery_point_time = 0;
+};
+
+// Result of a failback (giveback to the repaired main site).
+struct FailbackReport {
+  // Blocks copied from the backup volumes onto the main volumes.
+  uint64_t blocks_shipped = 0;
+  // Main-side blocks that had diverged and were overwritten because
+  // `force` was set.
+  uint64_t conflicts_overwritten = 0;
+};
+
+class ReplicationEngine;
+
+namespace internal {
+class AdcInterceptor;
+class SyncInterceptor;
+class SecondaryGuard;
+class ReverseDirtyTracker;
+}  // namespace internal
+
+// A replication pair (P-VOL on the main array, S-VOL on the backup array).
+class Pair {
+ public:
+  PairId id() const { return id_; }
+  const PairConfig& config() const { return config_; }
+  PairState state() const { return state_; }
+  GroupId group() const { return group_; }
+  // Blocks written while suspended (or, after a failover, on the P-VOL);
+  // shipped again on resync / reconciled on failback.
+  size_t dirty_blocks() const { return dirty_.size(); }
+  // Blocks the business wrote on the S-VOL after a failover.
+  size_t reverse_dirty_blocks() const { return reverse_dirty_.size(); }
+
+ private:
+  friend class ReplicationEngine;
+  friend class internal::AdcInterceptor;
+  friend class internal::SyncInterceptor;
+  friend class internal::ReverseDirtyTracker;
+
+  PairId id_ = 0;
+  PairConfig config_;
+  GroupId group_ = 0;  // 0 for synchronous pairs.
+  PairState state_ = PairState::kCopy;
+  std::unordered_set<uint64_t> dirty_;
+  std::unordered_set<uint64_t> reverse_dirty_;
+  // Sync-mode bookkeeping: writes in flight to the remote site.
+  uint64_t inflight_ = 0;
+};
+
+// The remote-copy feature of a main/backup array pair: creates and drives
+// consistency groups (shared-journal ADC), standalone synchronous pairs,
+// initial copy, journal transfer/apply, suspend/resync and failover.
+//
+// One engine instance manages replication in one direction
+// (primary array -> secondary array), like the demonstration system's
+// main-to-backup copy (Fig. 1).
+class ReplicationEngine {
+ public:
+  ReplicationEngine(sim::SimEnvironment* env, storage::StorageArray* primary,
+                    storage::StorageArray* secondary,
+                    sim::NetworkLink* to_secondary,
+                    sim::NetworkLink* to_primary);
+  ~ReplicationEngine();
+
+  ReplicationEngine(const ReplicationEngine&) = delete;
+  ReplicationEngine& operator=(const ReplicationEngine&) = delete;
+
+  // --- Consistency groups -------------------------------------------------
+  StatusOr<GroupId> CreateConsistencyGroup(ConsistencyGroupConfig config);
+  // Group must have no pairs.
+  Status DeleteConsistencyGroup(GroupId id);
+  std::vector<GroupId> ListGroups() const;
+  StatusOr<GroupStats> GetGroupStats(GroupId id) const;
+  StatusOr<std::string> GetGroupName(GroupId id) const;
+
+  // --- Pairs ---------------------------------------------------------------
+  // Creates an asynchronous pair inside a consistency group. The initial
+  // copy starts immediately; the pair reaches kPaired once the base image
+  // has been transferred.
+  StatusOr<PairId> CreateAsyncPair(const PairConfig& config, GroupId group);
+
+  // Creates a standalone synchronous pair (no journal, no group).
+  StatusOr<PairId> CreateSyncPair(const PairConfig& config);
+
+  // Dissolves a pair, unregistering all interceptors. The S-VOL keeps its
+  // current content.
+  Status DeletePair(PairId id);
+
+  const Pair* GetPair(PairId id) const;
+  // Finds the pair whose P-VOL is `primary`, or 0 if none.
+  PairId FindPairByPrimary(storage::VolumeId primary) const;
+  std::vector<PairId> ListPairs() const;
+  std::vector<PairId> ListGroupPairs(GroupId id) const;
+
+  // --- Operations ----------------------------------------------------------
+  // Suspends a whole consistency group (all its pairs) or one sync pair.
+  Status SuspendGroup(GroupId id);
+  Status SuspendSyncPair(PairId id);
+
+  // Re-establishes replication after a suspension by shipping the dirty
+  // blocks; pairs return to kPaired when the resync batch lands.
+  Status ResyncGroup(GroupId id);
+  Status ResyncSyncPair(PairId id);
+
+  // Disaster-recovery takeover: stops the group, applies every record that
+  // reached the backup site, promotes the S-VOLs to writable and reports
+  // the recovery point. Works even when the main array has failed. Writes
+  // made to the S-VOLs after the takeover are dirty-tracked so a later
+  // failback ships only the delta.
+  StatusOr<FailoverReport> FailoverGroup(GroupId id);
+
+  // Giveback after the main site is repaired: ships the blocks the
+  // business wrote on the backup site during the outage back onto the
+  // main volumes, write-protects the S-VOLs again and resumes forward
+  // (main -> backup) replication with fresh journals.
+  //
+  // Preconditions: the group is failed over, the main array is healthy
+  // and both links are connected. The backup-site application must be
+  // quiesced before calling (its volumes become S-VOLs again
+  // immediately). If the main volumes also changed after the failover
+  // (split brain), failback is rejected unless `force` is set, in which
+  // case the backup side wins.
+  StatusOr<FailbackReport> FailbackGroup(GroupId id, bool force = false);
+
+  // True once every pair of the group has finished its initial copy.
+  bool GroupInitialCopyDone(GroupId id) const;
+
+  // --- Introspection for tests/benches -------------------------------------
+  journal::JournalVolume* primary_journal(GroupId id);
+  journal::JournalVolume* secondary_journal(GroupId id);
+  uint64_t total_records_shipped() const { return records_shipped_; }
+  uint64_t total_records_applied() const { return records_applied_; }
+
+ private:
+  friend class internal::AdcInterceptor;
+  friend class internal::SyncInterceptor;
+
+  struct Group {
+    GroupId id = 0;
+    ConsistencyGroupConfig config;
+    storage::JournalId primary_journal = 0;
+    storage::JournalId secondary_journal = 0;
+    std::vector<PairId> pairs;
+    // P-VOL id -> pair, for the applier.
+    std::unordered_map<storage::VolumeId, PairId> by_primary;
+    std::unique_ptr<sim::PeriodicTask> transfer_task;
+    bool suspended = false;
+    bool failed_over = false;
+    // A failback giveback batch is on the wire: P-VOL writes are recorded
+    // so stale giveback blocks do not overwrite newer data.
+    bool giveback_in_flight = false;
+    // Apply-side: ack_time of the newest applied record.
+    SimTime last_applied_ack_time = 0;
+  };
+
+  // Write-path handlers, called by the interceptors.
+  void OnAsyncHostWrite(Pair* pair, storage::Volume* volume,
+                        uint64_t lba, uint32_t count, std::string_view data,
+                        storage::WriteInterceptor::AckFn ack);
+  void OnSyncHostWrite(Pair* pair, storage::Volume* volume, uint64_t lba,
+                       uint32_t count, std::string_view data,
+                       storage::WriteInterceptor::AckFn ack);
+
+  // Transfer engine: ships one batch from the group's primary journal.
+  void PumpGroup(Group* group);
+  // Applies contiguous received records to the S-VOLs.
+  void ApplyPending(Group* group);
+  // Sends the applied watermark back to trim the primary journal.
+  void SendApplyAck(Group* group, journal::SequenceNumber seq);
+
+  void StartInitialCopy(Pair* pair, Group* group);
+  void MarkGroupSuspended(Group* group);
+
+  Group* FindGroup(GroupId id);
+  const Group* FindGroup(GroupId id) const;
+  Pair* FindPair(PairId id);
+
+  sim::SimEnvironment* env_;
+  storage::StorageArray* primary_;
+  storage::StorageArray* secondary_;
+  sim::NetworkLink* to_secondary_;
+  sim::NetworkLink* to_primary_;
+
+  std::map<GroupId, std::unique_ptr<Group>> groups_;
+  GroupId next_group_id_ = 1;
+  std::map<PairId, std::unique_ptr<Pair>> pairs_;
+  PairId next_pair_id_ = 1;
+
+  // Interceptors owned by the engine, one per protected P-VOL / S-VOL.
+  std::unordered_map<storage::VolumeId,
+                     std::unique_ptr<storage::WriteInterceptor>>
+      primary_interceptors_;
+  std::unordered_map<storage::VolumeId,
+                     std::unique_ptr<storage::WriteInterceptor>>
+      secondary_guards_;
+
+  uint64_t records_shipped_ = 0;
+  uint64_t records_applied_ = 0;
+
+  static constexpr uint64_t kAckMessageBytes = 64;
+
+  // Channel scheme on the inter-site links: a consistency group's traffic
+  // uses channel == its group id (one ordered stream per group — the
+  // essence of the consistency-group guarantee); synchronous pairs use a
+  // disjoint per-pair channel range.
+  static constexpr uint64_t kSyncChannelBase = 1ull << 32;
+  static uint64_t SyncChannel(PairId id) { return kSyncChannelBase + id; }
+};
+
+}  // namespace zerobak::replication
+
+#endif  // ZEROBAK_REPLICATION_REPLICATION_H_

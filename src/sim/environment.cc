@@ -1,0 +1,76 @@
+#include "sim/environment.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace zerobak::sim {
+
+EventId SimEnvironment::Schedule(SimDuration delay, EventFn fn) {
+  ZB_CHECK(delay >= 0) << "negative delay " << delay;
+  return queue_.Push(now_ + delay, std::move(fn));
+}
+
+EventId SimEnvironment::ScheduleAt(SimTime t, EventFn fn) {
+  ZB_CHECK(t >= now_) << "scheduling in the past: " << t << " < " << now_;
+  return queue_.Push(t, std::move(fn));
+}
+
+bool SimEnvironment::RunOne() {
+  if (queue_.empty()) return false;
+  auto ev = queue_.Pop();
+  if (!ev.fn) return false;
+  now_ = ev.time;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+size_t SimEnvironment::RunUntil(SimTime t) {
+  ZB_CHECK(t >= now_);
+  size_t n = 0;
+  while (!queue_.empty() && queue_.NextTime() <= t) {
+    if (!RunOne()) break;
+    ++n;
+  }
+  now_ = t;
+  return n;
+}
+
+size_t SimEnvironment::RunUntilIdle(size_t max_events) {
+  size_t n = 0;
+  while (!queue_.empty()) {
+    if (!RunOne()) break;
+    ++n;
+    if (max_events != 0 && n >= max_events) break;
+  }
+  return n;
+}
+
+PeriodicTask::PeriodicTask(SimEnvironment* env, SimDuration interval,
+                           std::function<void()> fn)
+    : env_(env), interval_(interval), fn_(std::move(fn)) {
+  ZB_CHECK(interval_ > 0);
+}
+
+void PeriodicTask::Start() {
+  if (running_) return;
+  running_ = true;
+  pending_ = env_->Schedule(interval_, [this] { Fire(); });
+}
+
+void PeriodicTask::Stop() {
+  if (!running_) return;
+  running_ = false;
+  env_->Cancel(pending_);
+  pending_ = EventId{};
+}
+
+void PeriodicTask::Fire() {
+  if (!running_) return;
+  // Reschedule before running so `fn_` may Stop() the task.
+  pending_ = env_->Schedule(interval_, [this] { Fire(); });
+  fn_();
+}
+
+}  // namespace zerobak::sim

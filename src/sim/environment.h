@@ -1,0 +1,87 @@
+#ifndef ZEROBAK_SIM_ENVIRONMENT_H_
+#define ZEROBAK_SIM_ENVIRONMENT_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/time.h"
+#include "sim/event_queue.h"
+
+namespace zerobak::sim {
+
+// The discrete-event simulation environment: a virtual clock plus an event
+// queue. Every asynchronous completion in the system (device IO, network
+// delivery, journal transfer, controller reconciles) is an event scheduled
+// here, which makes whole-system experiments deterministic and allows
+// simulating hours of wall time in milliseconds.
+class SimEnvironment {
+ public:
+  SimEnvironment() = default;
+  SimEnvironment(const SimEnvironment&) = delete;
+  SimEnvironment& operator=(const SimEnvironment&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` to run `delay` from now (delay >= 0).
+  EventId Schedule(SimDuration delay, EventFn fn);
+
+  // Schedules `fn` at absolute time `t` (>= now()).
+  EventId ScheduleAt(SimTime t, EventFn fn);
+
+  // Cancels a pending event; returns true if it had not yet fired.
+  bool Cancel(EventId id) { return queue_.Cancel(id); }
+
+  // Runs the next event, advancing the clock to its time. Returns false if
+  // no events are pending.
+  bool RunOne();
+
+  // Runs all events with time <= t, then advances the clock to exactly t.
+  // Returns the number of events executed.
+  size_t RunUntil(SimTime t);
+
+  // Runs for `d` of simulated time from now().
+  size_t RunFor(SimDuration d) { return RunUntil(now_ + d); }
+
+  // Runs until no events remain. `max_events` guards against runaway
+  // self-rescheduling loops (0 means unlimited).
+  size_t RunUntilIdle(size_t max_events = 0);
+
+  size_t pending_events() const { return queue_.size(); }
+  uint64_t executed_events() const { return executed_; }
+
+ private:
+  SimTime now_ = 0;
+  uint64_t executed_ = 0;
+  EventQueue queue_;
+};
+
+// Repeating task helper: reschedules itself every `interval` until
+// Stop()ped. Used for background engines (journal transfer, controller
+// resync loops).
+class PeriodicTask {
+ public:
+  PeriodicTask(SimEnvironment* env, SimDuration interval,
+               std::function<void()> fn);
+  ~PeriodicTask() { Stop(); }
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void Start();
+  void Stop();
+  bool running() const { return running_; }
+  SimDuration interval() const { return interval_; }
+
+ private:
+  void Fire();
+
+  SimEnvironment* env_;
+  SimDuration interval_;
+  std::function<void()> fn_;
+  EventId pending_{};
+  bool running_ = false;
+};
+
+}  // namespace zerobak::sim
+
+#endif  // ZEROBAK_SIM_ENVIRONMENT_H_

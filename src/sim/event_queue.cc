@@ -1,0 +1,50 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace zerobak::sim {
+
+EventId EventQueue::Push(SimTime t, EventFn fn) {
+  const uint64_t id = next_id_++;
+  heap_.push(Entry{t, next_seq_++, id});
+  functions_.emplace(id, std::move(fn));
+  ++live_count_;
+  return EventId{id};
+}
+
+bool EventQueue::Cancel(EventId id) {
+  auto it = functions_.find(id.id);
+  if (it == functions_.end()) return false;
+  functions_.erase(it);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::SkipCancelled() {
+  while (!heap_.empty() &&
+         functions_.find(heap_.top().id) == functions_.end()) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::NextTime() {
+  SkipCancelled();
+  ZB_CHECK(!heap_.empty()) << "NextTime() on empty queue";
+  return heap_.top().time;
+}
+
+EventQueue::PoppedEvent EventQueue::Pop() {
+  SkipCancelled();
+  if (heap_.empty()) return {};
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = functions_.find(top.id);
+  PoppedEvent out{top.time, std::move(it->second)};
+  functions_.erase(it);
+  --live_count_;
+  return out;
+}
+
+}  // namespace zerobak::sim

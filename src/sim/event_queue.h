@@ -1,0 +1,72 @@
+#ifndef ZEROBAK_SIM_EVENT_QUEUE_H_
+#define ZEROBAK_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.h"
+
+namespace zerobak::sim {
+
+using EventFn = std::function<void()>;
+
+// Handle for a scheduled event; can be used to cancel it.
+struct EventId {
+  uint64_t id = 0;
+  bool valid() const { return id != 0; }
+};
+
+// Time-ordered event queue with stable FIFO ordering for events scheduled
+// at the same instant, and O(log n) cancellation via lazy deletion.
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Schedules `fn` at absolute time `t` (must be >= the last popped time).
+  EventId Push(SimTime t, EventFn fn);
+
+  // Cancels a pending event. Returns true if it was still pending.
+  bool Cancel(EventId id);
+
+  bool empty() const { return live_count_ == 0; }
+  size_t size() const { return live_count_; }
+
+  // Time of the earliest pending event; undefined when empty().
+  SimTime NextTime();
+
+  // Pops the earliest event. Returns an empty function when empty.
+  struct PoppedEvent {
+    SimTime time = 0;
+    EventFn fn;
+  };
+  PoppedEvent Pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    uint64_t seq;  // Tie-break: FIFO among same-time events.
+    uint64_t id;
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  // Drops cancelled entries from the head of the heap.
+  void SkipCancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  std::unordered_map<uint64_t, EventFn> functions_;
+  uint64_t next_seq_ = 0;
+  uint64_t next_id_ = 1;
+  size_t live_count_ = 0;
+};
+
+}  // namespace zerobak::sim
+
+#endif  // ZEROBAK_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,65 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace zerobak::sim {
+
+NetworkLink::NetworkLink(SimEnvironment* env, NetworkLinkConfig config,
+                         std::string name)
+    : env_(env),
+      config_(config),
+      name_(std::move(name)),
+      rng_(config.seed) {}
+
+Status NetworkLink::SendOnChannel(uint64_t channel, uint64_t bytes,
+                                  EventFn on_delivered) {
+  if (!connected_) {
+    ++send_failures_;
+    return UnavailableError(name_ + " is disconnected");
+  }
+  const SimTime now = env_->now();
+  // Serialization: the message occupies the wire for bytes/bandwidth.
+  SimDuration serialization = 0;
+  if (config_.bandwidth_bytes_per_sec > 0) {
+    serialization = static_cast<SimDuration>(
+        static_cast<double>(bytes) / config_.bandwidth_bytes_per_sec *
+        static_cast<double>(kSecond));
+  }
+  const SimTime start = std::max(now, wire_free_at_);
+  wire_free_at_ = start + serialization;
+
+  SimDuration jitter = 0;
+  if (config_.jitter > 0) {
+    jitter = static_cast<SimDuration>(
+        rng_.Uniform(static_cast<uint64_t>(config_.jitter)));
+  }
+  SimTime arrival = wire_free_at_ + config_.base_latency + jitter;
+  // FIFO within the channel: never deliver before an earlier message on
+  // the same channel.
+  SimTime& last = last_arrival_[channel];
+  arrival = std::max(arrival, last);
+  last = arrival;
+
+  ++messages_sent_;
+  bytes_sent_ += bytes;
+  env_->ScheduleAt(arrival, std::move(on_delivered));
+  return OkStatus();
+}
+
+SimTime NetworkLink::EstimateArrival(uint64_t bytes) const {
+  const SimTime now = env_->now();
+  SimDuration serialization = 0;
+  if (config_.bandwidth_bytes_per_sec > 0) {
+    serialization = static_cast<SimDuration>(
+        static_cast<double>(bytes) / config_.bandwidth_bytes_per_sec *
+        static_cast<double>(kSecond));
+  }
+  const SimTime start = std::max(now, wire_free_at_);
+  SimTime floor = start + serialization + config_.base_latency;
+  auto it = last_arrival_.find(0);
+  if (it != last_arrival_.end()) floor = std::max(floor, it->second);
+  return floor;
+}
+
+}  // namespace zerobak::sim

@@ -1,0 +1,49 @@
+#ifndef ZEROBAK_STORAGE_ARRAY_DEVICE_H_
+#define ZEROBAK_STORAGE_ARRAY_DEVICE_H_
+
+#include <string>
+
+#include "block/block_device.h"
+#include "storage/array.h"
+
+namespace zerobak::storage {
+
+// Presents one array volume as a BlockDevice, routing IO through the
+// array's host front end (synchronous functional path). This is how the
+// mini-databases sit on array volumes: every block write they make is
+// seen — and journaled — by the replication layer, exactly like a real
+// database running on SAN storage.
+class ArrayVolumeDevice : public block::BlockDevice {
+ public:
+  ArrayVolumeDevice(StorageArray* array, VolumeId volume_id)
+      : array_(array), volume_id_(volume_id) {}
+
+  uint32_t block_size() const override {
+    const Volume* v = array_->GetVolume(volume_id_);
+    return v == nullptr ? block::kDefaultBlockSize : v->block_size();
+  }
+  uint64_t block_count() const override {
+    const Volume* v = array_->GetVolume(volume_id_);
+    return v == nullptr ? 0 : v->block_count();
+  }
+
+  Status Read(block::Lba lba, uint32_t count, std::string* out) override {
+    return array_->ReadSync(volume_id_, lba, count, out);
+  }
+
+  Status Write(block::Lba lba, uint32_t count,
+               std::string_view data) override {
+    (void)count;
+    return array_->WriteSync(volume_id_, lba, data);
+  }
+
+  VolumeId volume_id() const { return volume_id_; }
+
+ private:
+  StorageArray* array_;
+  VolumeId volume_id_;
+};
+
+}  // namespace zerobak::storage
+
+#endif  // ZEROBAK_STORAGE_ARRAY_DEVICE_H_

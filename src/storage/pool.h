@@ -1,0 +1,60 @@
+#ifndef ZEROBAK_STORAGE_POOL_H_
+#define ZEROBAK_STORAGE_POOL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace zerobak::storage {
+
+using PoolId = uint64_t;
+
+// A thin-provisioning capacity pool: volumes carved from a pool consume
+// physical blocks only when first written, and writes fail with
+// RESOURCE_EXHAUSTED once the pool is full. Real arrays work this way,
+// and an exhausted pool on the backup array is a production incident this
+// library can reproduce (a journal applies until the pool fills).
+class StoragePool {
+ public:
+  StoragePool(PoolId id, std::string name, uint64_t capacity_blocks)
+      : id_(id), name_(std::move(name)), capacity_blocks_(capacity_blocks) {}
+
+  PoolId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  uint64_t capacity_blocks() const { return capacity_blocks_; }
+  uint64_t used_blocks() const { return used_blocks_; }
+  uint64_t free_blocks() const { return capacity_blocks_ - used_blocks_; }
+  double utilization() const {
+    return capacity_blocks_ == 0
+               ? 0.0
+               : static_cast<double>(used_blocks_) /
+                     static_cast<double>(capacity_blocks_);
+  }
+
+  // Reserves `n` physical blocks; false when the pool cannot hold them.
+  bool TryAllocate(uint64_t n) {
+    if (used_blocks_ + n > capacity_blocks_) {
+      ++allocation_failures_;
+      return false;
+    }
+    used_blocks_ += n;
+    return true;
+  }
+
+  // Returns blocks to the pool (volume deletion).
+  void Release(uint64_t n) {
+    used_blocks_ = n > used_blocks_ ? 0 : used_blocks_ - n;
+  }
+
+  uint64_t allocation_failures() const { return allocation_failures_; }
+
+ private:
+  PoolId id_;
+  std::string name_;
+  uint64_t capacity_blocks_;
+  uint64_t used_blocks_ = 0;
+  uint64_t allocation_failures_ = 0;
+};
+
+}  // namespace zerobak::storage
+
+#endif  // ZEROBAK_STORAGE_POOL_H_

@@ -1,0 +1,63 @@
+#include "workload/analytics.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/value.h"
+#include "workload/ecommerce.h"
+
+namespace zerobak::workload {
+
+SalesSummary SummarizeSales(db::MiniDb* sales_db) {
+  SalesSummary summary;
+  for (const auto& [key, json] : sales_db->Scan(kOrderTable)) {
+    auto row = Value::FromJson(json);
+    if (!row.ok()) continue;
+    ++summary.order_count;
+    summary.revenue_cents += row->GetInt("amountCents");
+  }
+  if (summary.order_count > 0) {
+    summary.average_order_cents =
+        static_cast<double>(summary.revenue_cents) /
+        static_cast<double>(summary.order_count);
+  }
+  return summary;
+}
+
+std::vector<ItemSales> TopItems(db::MiniDb* sales_db, size_t k) {
+  std::map<std::string, ItemSales> by_item;
+  for (const auto& [key, json] : sales_db->Scan(kOrderTable)) {
+    auto row = Value::FromJson(json);
+    if (!row.ok()) continue;
+    const std::string item = row->GetString("item");
+    ItemSales& entry = by_item[item];
+    entry.item = item;
+    ++entry.orders;
+    entry.quantity += row->GetInt("quantity");
+  }
+  std::vector<ItemSales> out;
+  out.reserve(by_item.size());
+  for (auto& [item, entry] : by_item) out.push_back(std::move(entry));
+  std::sort(out.begin(), out.end(),
+            [](const ItemSales& a, const ItemSales& b) {
+              if (a.orders != b.orders) return a.orders > b.orders;
+              return a.item < b.item;
+            });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+StockSummary SummarizeStock(db::MiniDb* stock_db) {
+  StockSummary summary;
+  for (const auto& [item, json] : stock_db->Scan(kStockTable)) {
+    auto row = Value::FromJson(json);
+    if (!row.ok()) continue;
+    ++summary.item_count;
+    summary.total_quantity += row->GetInt("quantity");
+    summary.total_sold +=
+        row->GetInt("initialQuantity") - row->GetInt("quantity");
+  }
+  return summary;
+}
+
+}  // namespace zerobak::workload

@@ -1,0 +1,44 @@
+#ifndef ZEROBAK_WORKLOAD_ANALYTICS_H_
+#define ZEROBAK_WORKLOAD_ANALYTICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "db/minidb.h"
+
+namespace zerobak::workload {
+
+// The data-analytics application of the demonstration's third step
+// (Fig. 6): read-only aggregate queries that run against databases opened
+// on backup-site snapshot volumes, while replication keeps flowing.
+struct SalesSummary {
+  uint64_t order_count = 0;
+  int64_t revenue_cents = 0;
+  double average_order_cents = 0;
+};
+
+struct ItemSales {
+  std::string item;
+  uint64_t orders = 0;
+  int64_t quantity = 0;
+};
+
+struct StockSummary {
+  uint64_t item_count = 0;
+  int64_t total_quantity = 0;
+  int64_t total_sold = 0;  // Sum of initialQuantity - quantity.
+};
+
+// Aggregates the sales database (full scan of the order table).
+SalesSummary SummarizeSales(db::MiniDb* sales_db);
+
+// Top-k items by order count across the sales database.
+std::vector<ItemSales> TopItems(db::MiniDb* sales_db, size_t k);
+
+// Aggregates the stock database.
+StockSummary SummarizeStock(db::MiniDb* stock_db);
+
+}  // namespace zerobak::workload
+
+#endif  // ZEROBAK_WORKLOAD_ANALYTICS_H_

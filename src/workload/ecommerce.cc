@@ -1,0 +1,127 @@
+#include "workload/ecommerce.h"
+
+#include <utility>
+
+#include "common/value.h"
+
+namespace zerobak::workload {
+
+std::string ItemKey(uint32_t item) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "item-%06u", item);
+  return buf;
+}
+
+std::string OrderKey(uint64_t order_id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "order-%012llu",
+                static_cast<unsigned long long>(order_id));
+  return buf;
+}
+
+std::string MovementKey(uint64_t order_id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "mv-%012llu",
+                static_cast<unsigned long long>(order_id));
+  return buf;
+}
+
+std::string PaymentKey(uint64_t order_id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "pay-%012llu",
+                static_cast<unsigned long long>(order_id));
+  return buf;
+}
+
+EcommerceApp::EcommerceApp(db::MiniDb* sales_db, db::MiniDb* stock_db,
+                           EcommerceConfig config)
+    : sales_db_(sales_db),
+      stock_db_(stock_db),
+      config_(config),
+      rng_(config.seed) {}
+
+EcommerceApp::EcommerceApp(db::MiniDb* sales_db, db::MiniDb* stock_db,
+                           db::MiniDb* payments_db, EcommerceConfig config)
+    : sales_db_(sales_db),
+      stock_db_(stock_db),
+      payments_db_(payments_db),
+      config_(config),
+      rng_(config.seed) {}
+
+Status EcommerceApp::InitializeCatalog() {
+  db::Transaction txn = stock_db_->Begin();
+  for (uint32_t i = 0; i < config_.num_items; ++i) {
+    const std::string key = ItemKey(i);
+    if (stock_db_->Exists(kStockTable, key)) continue;
+    Value row = Value::MakeObject();
+    row["quantity"] = config_.initial_stock_per_item;
+    row["initialQuantity"] = config_.initial_stock_per_item;
+    txn.Put(kStockTable, key, row.ToJson());
+  }
+  if (txn.empty()) return OkStatus();
+  return stock_db_->Commit(std::move(txn));
+}
+
+StatusOr<OrderResult> EcommerceApp::PlaceOrder() {
+  OrderResult result;
+  result.order_id = next_order_id_;
+  const uint32_t item_index =
+      config_.zipf_theta > 0
+          ? static_cast<uint32_t>(
+                rng_.Zipf(config_.num_items, config_.zipf_theta))
+          : static_cast<uint32_t>(rng_.Uniform(config_.num_items));
+  result.item = ItemKey(item_index);
+  result.quantity = rng_.UniformInt(1, 3);
+  result.amount_cents = rng_.UniformInt(500, 50000);
+
+  // Step 1: the stock database — decrement quantity, record the movement.
+  ZB_ASSIGN_OR_RETURN(std::string stock_json,
+                      stock_db_->Get(kStockTable, result.item));
+  ZB_ASSIGN_OR_RETURN(Value stock_row, Value::FromJson(stock_json));
+  const int64_t quantity = stock_row.GetInt("quantity");
+  if (quantity < result.quantity) {
+    return FailedPreconditionError("item " + result.item + " out of stock");
+  }
+  stock_row["quantity"] = quantity - result.quantity;
+
+  Value movement = Value::MakeObject();
+  movement["orderId"] = static_cast<int64_t>(result.order_id);
+  movement["item"] = result.item;
+  movement["quantity"] = result.quantity;
+
+  db::Transaction stock_txn = stock_db_->Begin();
+  stock_txn.Put(kStockTable, result.item, stock_row.ToJson());
+  stock_txn.Put(kMovementTable, MovementKey(result.order_id),
+                movement.ToJson());
+  ZB_RETURN_IF_ERROR(stock_db_->Commit(std::move(stock_txn)));
+
+  // Step 2 (three-resource variant): the payment database, only after
+  // the stock commit is durable.
+  if (payments_db_ != nullptr) {
+    Value payment = Value::MakeObject();
+    payment["orderId"] = static_cast<int64_t>(result.order_id);
+    payment["amountCents"] = result.amount_cents;
+    payment["method"] = rng_.Bernoulli(0.7) ? "card" : "invoice";
+    db::Transaction pay_txn = payments_db_->Begin();
+    pay_txn.Put(kPaymentTable, PaymentKey(result.order_id),
+                payment.ToJson());
+    ZB_RETURN_IF_ERROR(payments_db_->Commit(std::move(pay_txn)));
+  }
+
+  // Final step (only after every upstream commit is durable): the sales
+  // database.
+  Value order = Value::MakeObject();
+  order["item"] = result.item;
+  order["quantity"] = result.quantity;
+  order["amountCents"] = result.amount_cents;
+
+  db::Transaction sales_txn = sales_db_->Begin();
+  sales_txn.Put(kOrderTable, OrderKey(result.order_id), order.ToJson());
+  ZB_RETURN_IF_ERROR(sales_db_->Commit(std::move(sales_txn)));
+
+  ++next_order_id_;
+  ++orders_placed_;
+  return result;
+}
+
+}  // namespace zerobak::workload

@@ -1,0 +1,91 @@
+#ifndef ZEROBAK_WORKLOAD_ECOMMERCE_H_
+#define ZEROBAK_WORKLOAD_ECOMMERCE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "db/minidb.h"
+
+namespace zerobak::workload {
+
+// The business process of the demonstration (Section II): a transactional
+// e-commerce application over two databases — a stock database and a
+// sales database. Placing an order touches both:
+//
+//   1. stock DB:  decrement the item quantity and record a stock movement
+//                 tagged with the order id   (commit, ack'd)
+//   2. sales DB:  insert the order row       (commit, ack'd)
+//
+// Step 2 starts only after step 1's commit is acknowledged, so in the
+// storage-level total order every sales order is preceded by its stock
+// movement. A backup image that preserves that order can never contain an
+// order without its movement; one that reorders across volumes can — that
+// is the paper's "collapsed backup data" (Section I), which
+// workload::CheckConsistency detects.
+struct EcommerceConfig {
+  uint32_t num_items = 64;
+  int64_t initial_stock_per_item = 1000000;
+  // Zipf skew for item popularity; 0 = uniform.
+  double zipf_theta = 0.0;
+  uint64_t seed = 1234;
+};
+
+struct OrderResult {
+  uint64_t order_id = 0;
+  std::string item;
+  int64_t quantity = 0;
+  int64_t amount_cents = 0;
+};
+
+// Table and key conventions shared with the checker and analytics.
+inline constexpr char kStockTable[] = "stock";
+inline constexpr char kMovementTable[] = "movements";
+inline constexpr char kOrderTable[] = "orders";
+inline constexpr char kPaymentTable[] = "payments";
+
+std::string ItemKey(uint32_t item);
+std::string OrderKey(uint64_t order_id);
+std::string MovementKey(uint64_t order_id);
+std::string PaymentKey(uint64_t order_id);
+
+class EcommerceApp {
+ public:
+  EcommerceApp(db::MiniDb* sales_db, db::MiniDb* stock_db,
+               EcommerceConfig config = {});
+
+  // Three-resource variant (Section I names "inventory and payment
+  // databases"): the order flow becomes
+  //   stock commit -> payment commit -> sales commit,
+  // extending the happens-before chain across THREE volumes. The collapse
+  // checker then also demands a payment for every order.
+  EcommerceApp(db::MiniDb* sales_db, db::MiniDb* stock_db,
+               db::MiniDb* payments_db, EcommerceConfig config = {});
+
+  // Populates the stock catalog (idempotent: existing items are kept).
+  Status InitializeCatalog();
+
+  // Executes one order transaction across both databases.
+  StatusOr<OrderResult> PlaceOrder();
+
+  uint64_t orders_placed() const { return orders_placed_; }
+  const EcommerceConfig& config() const { return config_; }
+
+  db::MiniDb* sales_db() { return sales_db_; }
+  db::MiniDb* stock_db() { return stock_db_; }
+  db::MiniDb* payments_db() { return payments_db_; }
+
+ private:
+  db::MiniDb* sales_db_;
+  db::MiniDb* stock_db_;
+  db::MiniDb* payments_db_ = nullptr;  // Optional third resource.
+  EcommerceConfig config_;
+  Rng rng_;
+  uint64_t next_order_id_ = 1;
+  uint64_t orders_placed_ = 0;
+};
+
+}  // namespace zerobak::workload
+
+#endif  // ZEROBAK_WORKLOAD_ECOMMERCE_H_

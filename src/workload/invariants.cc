@@ -1,0 +1,107 @@
+#include "workload/invariants.h"
+
+#include <cstdio>
+#include <map>
+
+#include "common/value.h"
+#include "workload/ecommerce.h"
+
+namespace zerobak::workload {
+
+std::string CollapseReport::ToString() const {
+  std::string payment_part;
+  if (payments > 0 || orders_without_payment > 0) {
+    payment_part = " payments=" + std::to_string(payments) +
+                   " unpaid_orders=" +
+                   std::to_string(orders_without_payment);
+  }
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "orders=%llu movements=%llu orphan_orders=%llu "
+                "pending_movements=%llu stock_errors=%llu%s (%s)",
+                static_cast<unsigned long long>(sales_orders),
+                static_cast<unsigned long long>(stock_movements),
+                static_cast<unsigned long long>(orphan_orders),
+                static_cast<unsigned long long>(pending_movements),
+                static_cast<unsigned long long>(stock_accounting_errors),
+                payment_part.c_str(),
+                collapsed() ? "COLLAPSED" : "consistent");
+  return buf;
+}
+
+CollapseReport CheckConsistency(db::MiniDb* sales_db,
+                                db::MiniDb* stock_db) {
+  return CheckConsistency(sales_db, stock_db, /*payments_db=*/nullptr);
+}
+
+CollapseReport CheckConsistency(db::MiniDb* sales_db, db::MiniDb* stock_db,
+                                db::MiniDb* payments_db) {
+  CollapseReport report;
+
+  const auto& orders = sales_db->Scan(kOrderTable);
+  const auto& movements = stock_db->Scan(kMovementTable);
+  report.sales_orders = orders.size();
+  report.stock_movements = movements.size();
+
+  // Index movements by order id and accumulate per-item decrements.
+  std::map<int64_t, const std::string*> by_order;
+  std::map<std::string, int64_t> decremented;
+  for (const auto& [key, json] : movements) {
+    auto row = Value::FromJson(json);
+    if (!row.ok()) continue;
+    by_order[row->GetInt("orderId")] = &key;
+    decremented[row->GetString("item")] += row->GetInt("quantity");
+  }
+
+  // Payment index, for the three-resource variant.
+  std::map<uint64_t, bool> paid;
+  if (payments_db != nullptr) {
+    for (const auto& [key, json] : payments_db->Scan(kPaymentTable)) {
+      auto row = Value::FromJson(json);
+      if (!row.ok()) continue;
+      ++report.payments;
+      paid[static_cast<uint64_t>(row->GetInt("orderId"))] = true;
+    }
+  }
+
+  // Every order must have its movement (the collapse check) and, when a
+  // payments database participates, its payment.
+  for (const auto& [key, json] : orders) {
+    auto row = Value::FromJson(json);
+    if (!row.ok()) {
+      ++report.orphan_orders;
+      continue;
+    }
+    // The order id is encoded in the key: "order-%012llu".
+    const uint64_t order_id =
+        std::strtoull(key.c_str() + 6, nullptr, 10);
+    if (!by_order.contains(static_cast<int64_t>(order_id))) {
+      ++report.orphan_orders;
+    }
+    if (payments_db != nullptr && !paid.contains(order_id)) {
+      ++report.orders_without_payment;
+    }
+  }
+  const uint64_t matched_orders =
+      report.sales_orders - report.orphan_orders;
+  if (report.stock_movements > matched_orders) {
+    report.pending_movements = report.stock_movements - matched_orders;
+  }
+
+  // Internal stock accounting: quantity == initialQuantity - decrements.
+  for (const auto& [item, json] : stock_db->Scan(kStockTable)) {
+    auto row = Value::FromJson(json);
+    if (!row.ok()) {
+      ++report.stock_accounting_errors;
+      continue;
+    }
+    const int64_t expected =
+        row->GetInt("initialQuantity") - decremented[item];
+    if (row->GetInt("quantity") != expected) {
+      ++report.stock_accounting_errors;
+    }
+  }
+  return report;
+}
+
+}  // namespace zerobak::workload

@@ -1,0 +1,62 @@
+#ifndef ZEROBAK_WORKLOAD_INVARIANTS_H_
+#define ZEROBAK_WORKLOAD_INVARIANTS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "db/minidb.h"
+
+namespace zerobak::workload {
+
+// Business-level consistency report over a (sales, stock) database pair —
+// typically one recovered from a backup image. It operationalizes the
+// paper's notion of "collapsed" backup data: "some transaction data are
+// included in the inventory backup data but not in the payment backup
+// data, and vice versa" (Section I).
+struct CollapseReport {
+  uint64_t sales_orders = 0;
+  uint64_t stock_movements = 0;
+
+  // Orders present in the sales DB whose stock movement is missing. The
+  // application commits the movement strictly before the order, so with
+  // order-preserving backup this MUST be zero; any positive count means
+  // the backup collapsed.
+  uint64_t orphan_orders = 0;
+
+  // Movements without a matching order. These are legitimate in-flight
+  // transactions (movement committed, order not yet) and are bounded by
+  // the application's concurrency — not a consistency violation.
+  uint64_t pending_movements = 0;
+
+  // Items whose quantity does not equal initialQuantity minus the sum of
+  // their movements (internal stock-DB accounting check).
+  uint64_t stock_accounting_errors = 0;
+
+  // Three-resource variant: payment records seen, and orders whose
+  // payment is missing (payments commit strictly before orders, so a
+  // missing payment is a collapse too).
+  uint64_t payments = 0;
+  uint64_t orders_without_payment = 0;
+
+  bool collapsed() const {
+    return orphan_orders > 0 || orders_without_payment > 0;
+  }
+  bool internally_consistent() const {
+    return stock_accounting_errors == 0;
+  }
+
+  std::string ToString() const;
+};
+
+// Scans both databases and cross-checks every order against the stock
+// movements (and the per-item quantity accounting).
+CollapseReport CheckConsistency(db::MiniDb* sales_db, db::MiniDb* stock_db);
+
+// Three-resource variant: additionally demands a payment record for
+// every order (pass nullptr to skip the payment check).
+CollapseReport CheckConsistency(db::MiniDb* sales_db, db::MiniDb* stock_db,
+                                db::MiniDb* payments_db);
+
+}  // namespace zerobak::workload
+
+#endif  // ZEROBAK_WORKLOAD_INVARIANTS_H_

@@ -1,0 +1,75 @@
+#include "workload/kv_workload.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace zerobak::workload {
+
+KvWorkload::KvWorkload(db::MiniDb* database, KvWorkloadConfig config)
+    : database_(database), config_(config), rng_(config.seed) {
+  ZB_CHECK(config_.read_fraction + config_.update_fraction +
+               config_.insert_fraction >
+           0.999)
+      << "operation mix must sum to 1.0";
+}
+
+std::string KvWorkload::Key(uint64_t k) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "user%012llu",
+                static_cast<unsigned long long>(k));
+  return buf;
+}
+
+std::string KvWorkload::MakeValue() {
+  std::string value(config_.value_bytes, '\0');
+  for (auto& c : value) {
+    c = static_cast<char>('a' + rng_.Uniform(26));
+  }
+  return value;
+}
+
+uint64_t KvWorkload::PickExistingKey() {
+  if (next_key_ == 0) return 0;
+  if (config_.zipf_theta > 0) {
+    return rng_.Zipf(next_key_, config_.zipf_theta);
+  }
+  return rng_.Uniform(next_key_);
+}
+
+Status KvWorkload::Load() {
+  const uint64_t kBatch = 32;
+  while (next_key_ < config_.record_count) {
+    db::Transaction txn = database_->Begin();
+    for (uint64_t i = 0; i < kBatch && next_key_ < config_.record_count;
+         ++i) {
+      txn.Put(config_.table, Key(next_key_++), MakeValue());
+    }
+    ZB_RETURN_IF_ERROR(database_->Commit(std::move(txn)));
+  }
+  return OkStatus();
+}
+
+Status KvWorkload::Run(uint64_t n) {
+  for (uint64_t i = 0; i < n; ++i) {
+    const double dice = rng_.NextDouble();
+    if (dice < config_.read_fraction) {
+      ++stats_.reads;
+      auto value = database_->Get(config_.table, Key(PickExistingKey()));
+      if (!value.ok()) ++stats_.read_misses;
+    } else if (dice < config_.read_fraction + config_.update_fraction) {
+      ++stats_.updates;
+      db::Transaction txn = database_->Begin();
+      txn.Put(config_.table, Key(PickExistingKey()), MakeValue());
+      ZB_RETURN_IF_ERROR(database_->Commit(std::move(txn)));
+    } else {
+      ++stats_.inserts;
+      db::Transaction txn = database_->Begin();
+      txn.Put(config_.table, Key(next_key_++), MakeValue());
+      ZB_RETURN_IF_ERROR(database_->Commit(std::move(txn)));
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace zerobak::workload

@@ -1,0 +1,69 @@
+#ifndef ZEROBAK_WORKLOAD_KV_WORKLOAD_H_
+#define ZEROBAK_WORKLOAD_KV_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "db/minidb.h"
+
+namespace zerobak::workload {
+
+// YCSB-style key-value workload over a MiniDb: a load phase that inserts
+// `record_count` rows, then an operation mix of reads/updates/inserts/
+// scans with uniform or Zipf key popularity. Used to exercise the
+// database (and, when the database sits on a replicated volume, the
+// backup pipeline) with a tunable, industry-standard access pattern —
+// complementary to the structured e-commerce workload.
+struct KvWorkloadConfig {
+  uint64_t record_count = 1000;
+  uint32_t value_bytes = 100;
+  // Operation mix; must sum to 1.0.
+  double read_fraction = 0.5;
+  double update_fraction = 0.45;
+  double insert_fraction = 0.05;
+  // Key popularity: 0 = uniform, otherwise Zipf theta in (0, 1).
+  double zipf_theta = 0.0;
+  std::string table = "usertable";
+  uint64_t seed = 2024;
+};
+
+struct KvWorkloadStats {
+  uint64_t reads = 0;
+  uint64_t read_misses = 0;
+  uint64_t updates = 0;
+  uint64_t inserts = 0;
+  uint64_t operations() const { return reads + updates + inserts; }
+};
+
+class KvWorkload {
+ public:
+  KvWorkload(db::MiniDb* database, KvWorkloadConfig config = {});
+
+  // Inserts the initial `record_count` rows (batched commits).
+  Status Load();
+
+  // Runs `n` operations of the configured mix.
+  Status Run(uint64_t n);
+
+  const KvWorkloadStats& stats() const { return stats_; }
+  // Keys inserted so far (load + run-phase inserts).
+  uint64_t key_count() const { return next_key_; }
+
+  static std::string Key(uint64_t k);
+
+ private:
+  std::string MakeValue();
+  uint64_t PickExistingKey();
+
+  db::MiniDb* database_;
+  KvWorkloadConfig config_;
+  Rng rng_;
+  uint64_t next_key_ = 0;
+  KvWorkloadStats stats_;
+};
+
+}  // namespace zerobak::workload
+
+#endif  // ZEROBAK_WORKLOAD_KV_WORKLOAD_H_

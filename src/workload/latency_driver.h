@@ -1,0 +1,76 @@
+#ifndef ZEROBAK_WORKLOAD_LATENCY_DRIVER_H_
+#define ZEROBAK_WORKLOAD_LATENCY_DRIVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "sim/environment.h"
+#include "storage/array.h"
+
+namespace zerobak::workload {
+
+// Timing-accurate transaction driver for the slowdown experiments (E1,
+// E5). Each simulated client runs a closed loop of business transactions;
+// a transaction is a chain of dependent host writes (WAL append to the
+// stock volume, then to the sales volume — the same IO pattern the
+// e-commerce application produces), issued through the array's
+// asynchronous front end so that every latency contribution (media,
+// journal, SDC round trip) lands in the measurement.
+struct TxnIoStep {
+  storage::VolumeId volume = 0;
+  uint32_t blocks = 1;
+  // False: host write (the default). True: host read (e.g. an index
+  // lookup preceding the WAL append).
+  bool read = false;
+};
+
+struct DriverConfig {
+  // Dependent write chain executed per transaction, in order.
+  std::vector<TxnIoStep> steps;
+  int clients = 4;
+  // Optional pause between a client's transactions (0 = saturating).
+  SimDuration think_time = 0;
+  uint64_t seed = 77;
+};
+
+class ClosedLoopDriver {
+ public:
+  ClosedLoopDriver(sim::SimEnvironment* env, storage::StorageArray* array,
+                   DriverConfig config);
+
+  // Launches all clients. Transactions flow until Stop().
+  void Start();
+  // Stops issuing new transactions (in-flight ones complete).
+  void Stop();
+
+  uint64_t completed_txns() const { return completed_; }
+  uint64_t failed_txns() const { return failed_; }
+  // End-to-end transaction latency (ns).
+  const Histogram& txn_latency() const { return latency_; }
+  // Throughput over the driven interval.
+  double TxnPerSecond() const;
+
+ private:
+  void StartTxn(int client);
+  void RunStep(int client, size_t step_index, SimTime txn_start);
+  std::string MakePayload(uint32_t blocks, uint32_t block_size);
+
+  sim::SimEnvironment* env_;
+  storage::StorageArray* array_;
+  DriverConfig config_;
+  Rng rng_;
+  bool running_ = false;
+  SimTime started_at_ = 0;
+  SimTime stopped_at_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t failed_ = 0;
+  Histogram latency_;
+};
+
+}  // namespace zerobak::workload
+
+#endif  // ZEROBAK_WORKLOAD_LATENCY_DRIVER_H_

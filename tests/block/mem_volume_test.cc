@@ -1,0 +1,104 @@
+#include "block/mem_volume.h"
+
+#include <gtest/gtest.h>
+
+namespace zerobak::block {
+namespace {
+
+std::string BlockOf(char c, uint32_t size = kDefaultBlockSize) {
+  return std::string(size, c);
+}
+
+TEST(MemVolumeTest, Geometry) {
+  MemVolume v(100, 512);
+  EXPECT_EQ(v.block_size(), 512u);
+  EXPECT_EQ(v.block_count(), 100u);
+  EXPECT_EQ(v.size_bytes(), 51200u);
+}
+
+TEST(MemVolumeTest, UnwrittenBlocksReadAsZeros) {
+  MemVolume v(10);
+  std::string out;
+  ASSERT_TRUE(v.Read(3, 2, &out).ok());
+  EXPECT_EQ(out, std::string(2 * kDefaultBlockSize, '\0'));
+  EXPECT_EQ(v.allocated_blocks(), 0u);
+}
+
+TEST(MemVolumeTest, WriteReadRoundTrip) {
+  MemVolume v(10);
+  ASSERT_TRUE(v.Write(2, 1, BlockOf('x')).ok());
+  std::string out;
+  ASSERT_TRUE(v.Read(2, 1, &out).ok());
+  EXPECT_EQ(out, BlockOf('x'));
+  EXPECT_EQ(v.allocated_blocks(), 1u);
+}
+
+TEST(MemVolumeTest, MultiBlockWrite) {
+  MemVolume v(10);
+  ASSERT_TRUE(v.Write(1, 3, BlockOf('a') + BlockOf('b') + BlockOf('c')).ok());
+  std::string out;
+  ASSERT_TRUE(v.Read(2, 1, &out).ok());
+  EXPECT_EQ(out, BlockOf('b'));
+  ASSERT_TRUE(v.Read(1, 3, &out).ok());
+  EXPECT_EQ(out.size(), 3u * kDefaultBlockSize);
+}
+
+TEST(MemVolumeTest, RangeChecks) {
+  MemVolume v(10);
+  std::string out;
+  EXPECT_EQ(v.Read(10, 1, &out).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(v.Read(9, 2, &out).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(v.Write(10, 1, BlockOf('x')).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(v.Read(0, 0, &out).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MemVolumeTest, PayloadSizeValidated) {
+  MemVolume v(10);
+  EXPECT_EQ(v.Write(0, 2, BlockOf('x')).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(v.Write(0, 1, "short").code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MemVolumeTest, CloneFromCopiesContent) {
+  MemVolume a(10), b(10);
+  ASSERT_TRUE(a.Write(0, 1, BlockOf('p')).ok());
+  ASSERT_TRUE(a.Write(7, 1, BlockOf('q')).ok());
+  ASSERT_TRUE(b.CloneFrom(a).ok());
+  EXPECT_TRUE(a.ContentEquals(b));
+  // Clone is a snapshot: further writes to `a` do not affect `b`.
+  ASSERT_TRUE(a.Write(0, 1, BlockOf('z')).ok());
+  EXPECT_FALSE(a.ContentEquals(b));
+}
+
+TEST(MemVolumeTest, CloneGeometryMismatchRejected) {
+  MemVolume a(10), b(20);
+  EXPECT_EQ(b.CloneFrom(a).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MemVolumeTest, ContentEqualsTreatsZeroBlocksAsHoles) {
+  MemVolume a(10), b(10);
+  // a has an explicit zero block; b has a hole there.
+  ASSERT_TRUE(a.Write(4, 1, std::string(kDefaultBlockSize, '\0')).ok());
+  EXPECT_TRUE(a.ContentEquals(b));
+  EXPECT_TRUE(b.ContentEquals(a));
+}
+
+TEST(MemVolumeTest, ResetDropsEverything) {
+  MemVolume v(10);
+  ASSERT_TRUE(v.Write(1, 1, BlockOf('x')).ok());
+  v.Reset();
+  EXPECT_EQ(v.allocated_blocks(), 0u);
+  std::string out;
+  ASSERT_TRUE(v.Read(1, 1, &out).ok());
+  EXPECT_EQ(out, std::string(kDefaultBlockSize, '\0'));
+}
+
+TEST(MemVolumeTest, ReadBlockConvenience) {
+  MemVolume v(10);
+  EXPECT_EQ(v.ReadBlock(5), std::string(kDefaultBlockSize, '\0'));
+  ASSERT_TRUE(v.Write(5, 1, BlockOf('k')).ok());
+  EXPECT_EQ(v.ReadBlock(5), BlockOf('k'));
+}
+
+}  // namespace
+}  // namespace zerobak::block

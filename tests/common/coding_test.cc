@@ -1,0 +1,98 @@
+#include "common/coding.h"
+
+#include <gtest/gtest.h>
+
+#include "common/time.h"
+
+namespace zerobak {
+namespace {
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0);
+  PutFixed32(&buf, 1);
+  PutFixed32(&buf, 0xdeadbeef);
+  PutFixed32(&buf, 0xffffffff);
+  EXPECT_EQ(buf.size(), 16u);
+  std::string_view in(buf);
+  uint32_t v;
+  ASSERT_TRUE(GetFixed32(&in, &v));
+  EXPECT_EQ(v, 0u);
+  ASSERT_TRUE(GetFixed32(&in, &v));
+  EXPECT_EQ(v, 1u);
+  ASSERT_TRUE(GetFixed32(&in, &v));
+  EXPECT_EQ(v, 0xdeadbeefu);
+  ASSERT_TRUE(GetFixed32(&in, &v));
+  EXPECT_EQ(v, 0xffffffffu);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  std::string buf;
+  PutFixed64(&buf, 0x0123456789abcdefULL);
+  std::string_view in(buf);
+  uint64_t v;
+  ASSERT_TRUE(GetFixed64(&in, &v));
+  EXPECT_EQ(v, 0x0123456789abcdefULL);
+}
+
+TEST(CodingTest, UnderflowReturnsFalse) {
+  std::string buf = "abc";  // 3 bytes: too short for either width.
+  std::string_view in(buf);
+  uint32_t v32;
+  uint64_t v64;
+  EXPECT_FALSE(GetFixed32(&in, &v32));
+  EXPECT_FALSE(GetFixed64(&in, &v64));
+  EXPECT_EQ(in.size(), 3u);  // Cursor untouched on failure.
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, "hello");
+  std::string binary("\x00\x01\x02", 3);
+  PutLengthPrefixed(&buf, binary);
+  std::string_view in(buf);
+  std::string a, b, c;
+  ASSERT_TRUE(GetLengthPrefixed(&in, &a));
+  ASSERT_TRUE(GetLengthPrefixed(&in, &b));
+  ASSERT_TRUE(GetLengthPrefixed(&in, &c));
+  EXPECT_EQ(a, "");
+  EXPECT_EQ(b, "hello");
+  EXPECT_EQ(c, binary);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, LengthPrefixedTruncatedPayloadFails) {
+  std::string buf;
+  PutFixed32(&buf, 100);  // Claims 100 bytes...
+  buf += "short";         // ...but only 5 follow.
+  std::string_view in(buf);
+  std::string_view out;
+  EXPECT_FALSE(GetLengthPrefixed(&in, &out));
+}
+
+TEST(CodingTest, EncodeDecodeInPlace) {
+  char buf[8];
+  EncodeFixed32(buf, 77);
+  EXPECT_EQ(DecodeFixed32(buf), 77u);
+  EncodeFixed64(buf, 1ull << 40);
+  EXPECT_EQ(DecodeFixed64(buf), 1ull << 40);
+}
+
+TEST(TimeTest, UnitConversions) {
+  EXPECT_EQ(Milliseconds(1), 1000 * Microseconds(1));
+  EXPECT_EQ(Seconds(1), 1000 * Milliseconds(1));
+  EXPECT_DOUBLE_EQ(ToMilliseconds(Milliseconds(5)), 5.0);
+  EXPECT_DOUBLE_EQ(ToSeconds(Milliseconds(1500)), 1.5);
+}
+
+TEST(TimeTest, FormatDurationAdaptsUnits) {
+  EXPECT_EQ(FormatDuration(Nanoseconds(730)), "730ns");
+  EXPECT_EQ(FormatDuration(Microseconds(2) + Nanoseconds(500)), "2.50us");
+  EXPECT_EQ(FormatDuration(Milliseconds(1) + Microseconds(500)), "1.50ms");
+  EXPECT_EQ(FormatDuration(Seconds(2)), "2.000s");
+}
+
+}  // namespace
+}  // namespace zerobak

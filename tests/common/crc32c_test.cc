@@ -1,0 +1,57 @@
+#include "common/crc32c.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace zerobak {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 / standard CRC-32C test vectors.
+  EXPECT_EQ(Crc32c("", 0), 0u);
+  const std::string digits = "123456789";
+  EXPECT_EQ(Crc32c(digits.data(), digits.size()), 0xe3069283u);
+
+  std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8a9136aau);
+
+  std::string ffs(32, '\xff');
+  EXPECT_EQ(Crc32c(ffs.data(), ffs.size()), 0x62a8ab43u);
+}
+
+TEST(Crc32cTest, ExtendMatchesOneShot) {
+  const std::string data = "hello world, this is a journal record";
+  const uint32_t whole = Crc32c(data.data(), data.size());
+  uint32_t crc = 0;
+  crc = Crc32cExtend(crc, data.data(), 10);
+  crc = Crc32cExtend(crc, data.data() + 10, data.size() - 10);
+  EXPECT_EQ(crc, whole);
+}
+
+TEST(Crc32cTest, DifferentInputsDiffer) {
+  const std::string a = "payload-a";
+  const std::string b = "payload-b";
+  EXPECT_NE(Crc32c(a.data(), a.size()), Crc32c(b.data(), b.size()));
+}
+
+TEST(Crc32cTest, MaskRoundTrips) {
+  for (uint32_t crc : {0u, 1u, 0xdeadbeefu, 0xffffffffu, 0xe3069283u}) {
+    EXPECT_EQ(Crc32cUnmask(Crc32cMask(crc)), crc);
+    EXPECT_NE(Crc32cMask(crc), crc);  // Masking must change the value.
+  }
+}
+
+TEST(Crc32cTest, SingleBitFlipDetected) {
+  std::string data(128, 'x');
+  const uint32_t base = Crc32c(data.data(), data.size());
+  for (size_t i = 0; i < data.size(); i += 17) {
+    std::string mutated = data;
+    mutated[i] ^= 0x4;
+    EXPECT_NE(Crc32c(mutated.data(), mutated.size()), base)
+        << "flip at " << i << " undetected";
+  }
+}
+
+}  // namespace
+}  // namespace zerobak

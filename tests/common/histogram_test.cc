@@ -1,0 +1,113 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace zerobak {
+namespace {
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Add(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1000u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 1000.0);
+  EXPECT_EQ(h.Percentile(50), 1000.0);
+}
+
+TEST(HistogramTest, ExactStatsAreExact) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 100; ++v) h.Add(v * 10);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 505.0);
+}
+
+TEST(HistogramTest, PercentilesApproximateUniform) {
+  Histogram h;
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    h.Add(rng.Uniform(1000000));
+  }
+  // Exponential buckets guarantee percentiles within a factor of ~1.5.
+  EXPECT_NEAR(h.Percentile(50), 500000, 250000);
+  EXPECT_GT(h.Percentile(99), h.Percentile(50));
+  EXPECT_GE(h.Percentile(100), h.Percentile(99));
+  EXPECT_LE(h.Percentile(100), static_cast<double>(h.max()));
+}
+
+TEST(HistogramTest, PercentilesMonotonic) {
+  Histogram h;
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) h.Add(rng.Uniform(1 << 20));
+  double prev = 0;
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9}) {
+    const double v = h.Percentile(p);
+    EXPECT_GE(v, prev) << "p=" << p;
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, MergeEqualsCombined) {
+  Histogram a, b, combined;
+  Rng rng(8);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = rng.Uniform(100000);
+    if (i % 2 == 0) {
+      a.Add(v);
+    } else {
+      b.Add(v);
+    }
+    combined.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_DOUBLE_EQ(a.Mean(), combined.Mean());
+  EXPECT_DOUBLE_EQ(a.Percentile(95), combined.Percentile(95));
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.Add(5);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(HistogramTest, ToStringMentionsCount) {
+  Histogram h;
+  h.Add(100);
+  h.Add(200);
+  EXPECT_NE(h.ToString().find("count=2"), std::string::npos);
+}
+
+TEST(MeanVarTest, KnownSequence) {
+  MeanVar mv;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) mv.Add(x);
+  EXPECT_EQ(mv.count(), 8u);
+  EXPECT_DOUBLE_EQ(mv.mean(), 5.0);
+  EXPECT_NEAR(mv.stddev(), 2.138, 0.001);  // Sample stddev.
+}
+
+TEST(MeanVarTest, SingleValueHasZeroVariance) {
+  MeanVar mv;
+  mv.Add(3.0);
+  EXPECT_DOUBLE_EQ(mv.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace zerobak

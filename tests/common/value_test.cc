@@ -1,0 +1,141 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace zerobak {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.ToJson(), "null");
+}
+
+TEST(ValueTest, Scalars) {
+  EXPECT_EQ(Value(true).ToJson(), "true");
+  EXPECT_EQ(Value(false).ToJson(), "false");
+  EXPECT_EQ(Value(42).ToJson(), "42");
+  EXPECT_EQ(Value(int64_t{-7}).ToJson(), "-7");
+  EXPECT_EQ(Value("hi").ToJson(), "\"hi\"");
+  EXPECT_TRUE(Value(1.5).is_double());
+}
+
+TEST(ValueTest, IntPromotesToDoubleAccessor) {
+  Value v(10);
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 10.0);
+}
+
+TEST(ValueTest, ObjectBuildingIsFluent) {
+  Value v;
+  v["a"] = 1;
+  v["b"]["c"] = "deep";
+  EXPECT_TRUE(v.is_object());
+  EXPECT_EQ(v.GetInt("a"), 1);
+  EXPECT_EQ(v.Find("b")->GetString("c"), "deep");
+  EXPECT_EQ(v.ToJson(), R"({"a":1,"b":{"c":"deep"}})");
+}
+
+TEST(ValueTest, ArrayBuilding) {
+  Value v;
+  v.Append(1);
+  v.Append("two");
+  v.Append(Value::MakeObject());
+  EXPECT_TRUE(v.is_array());
+  EXPECT_EQ(v.AsArray().size(), 3u);
+  EXPECT_EQ(v.ToJson(), R"([1,"two",{}])");
+}
+
+TEST(ValueTest, LookupDefaults) {
+  Value v = Value::MakeObject();
+  v["present"] = "yes";
+  v["num"] = 9;
+  EXPECT_EQ(v.GetString("present"), "yes");
+  EXPECT_EQ(v.GetString("missing", "fallback"), "fallback");
+  EXPECT_EQ(v.GetInt("num"), 9);
+  EXPECT_EQ(v.GetInt("missing", -1), -1);
+  EXPECT_EQ(v.GetBool("missing", true), true);
+  // Wrong type falls back too.
+  EXPECT_EQ(v.GetInt("present", 5), 5);
+  EXPECT_EQ(v.Find("missing"), nullptr);
+}
+
+TEST(ValueTest, StringEscaping) {
+  Value v(std::string("line\nquote\"back\\slash\ttab"));
+  const std::string json = v.ToJson();
+  auto back = Value::FromJson(json);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->AsString(), "line\nquote\"back\\slash\ttab");
+}
+
+TEST(ValueTest, ControlCharactersRoundTrip) {
+  std::string s = "a";
+  s.push_back('\x01');
+  s += "b";
+  auto back = Value::FromJson(Value(s).ToJson());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->AsString(), s);
+}
+
+class JsonRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JsonRoundTripTest, ParseSerializeFixpoint) {
+  auto v = Value::FromJson(GetParam());
+  ASSERT_TRUE(v.ok()) << v.status();
+  const std::string json = v->ToJson();
+  auto v2 = Value::FromJson(json);
+  ASSERT_TRUE(v2.ok()) << v2.status();
+  EXPECT_EQ(*v, *v2);
+  EXPECT_EQ(v2->ToJson(), json);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, JsonRoundTripTest,
+    ::testing::Values(
+        "null", "true", "false", "0", "-12", "3.25", "\"\"", "\"abc\"",
+        "[]", "[1,2,3]", "{}", R"({"k":"v"})",
+        R"({"nested":{"arr":[1,{"deep":true},null]},"n":-4})",
+        R"([[[[1]]]])", R"({"a":1.5,"b":[true,false,null]})",
+        R"({"volumeHandles":["G370-MAIN:1","G370-MAIN:2"]})"));
+
+class JsonErrorTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JsonErrorTest, MalformedInputsRejected) {
+  auto v = Value::FromJson(GetParam());
+  EXPECT_FALSE(v.ok()) << "accepted: " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, JsonErrorTest,
+    ::testing::Values("", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "tru",
+                      "\"unterminated", "[1 2]", "{\"a\":1} extra",
+                      "{'single':1}", "\"bad\\u00zz\"", "nul"));
+
+TEST(ValueTest, ParseNumbers) {
+  auto i = Value::FromJson("123");
+  ASSERT_TRUE(i.ok());
+  EXPECT_TRUE(i->is_int());
+  EXPECT_EQ(i->AsInt(), 123);
+
+  auto d = Value::FromJson("-1.5e2");
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->is_double());
+  EXPECT_DOUBLE_EQ(d->AsDouble(), -150.0);
+}
+
+TEST(ValueTest, WhitespaceTolerated) {
+  auto v = Value::FromJson("  { \"a\" : [ 1 , 2 ] }  ");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Find("a")->AsArray().size(), 2u);
+}
+
+TEST(ValueTest, EqualityIsDeep) {
+  Value a, b;
+  a["x"]["y"] = 1;
+  b["x"]["y"] = 1;
+  EXPECT_TRUE(a == b);
+  b["x"]["y"] = 2;
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace zerobak

@@ -1,0 +1,133 @@
+// API machinery edge cases: conflict storms, watch reentrancy, status
+// updates on missing objects, and delivery-after-stop races.
+#include <gtest/gtest.h>
+
+#include "container/api_server.h"
+#include "container/resource.h"
+
+namespace zerobak::container {
+namespace {
+
+Resource MakePod(const std::string& name) {
+  Resource r;
+  r.kind = kKindPod;
+  r.ns = "ns";
+  r.name = name;
+  return r;
+}
+
+class ApiEdgeTest : public ::testing::Test {
+ protected:
+  sim::SimEnvironment env_;
+  ApiServer api_{&env_, "edge"};
+};
+
+TEST_F(ApiEdgeTest, UpdateOfMissingObjectIsNotFound) {
+  Resource r = MakePod("ghost");
+  r.resource_version = 1;
+  EXPECT_EQ(api_.Update(r).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(api_.UpdateStatus(r).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ApiEdgeTest, ConflictStormResolvedByMutate) {
+  ASSERT_TRUE(api_.Create(MakePod("p")).ok());
+  // Two "controllers" racing through Mutate: both edits land.
+  ASSERT_TRUE(api_.Mutate(kKindPod, "ns", "p", [](Resource* r) {
+                    r->labels["a"] = "1";
+                  })
+                  .ok());
+  ASSERT_TRUE(api_.Mutate(kKindPod, "ns", "p", [](Resource* r) {
+                    r->labels["b"] = "2";
+                  })
+                  .ok());
+  auto got = api_.Get(kKindPod, "ns", "p");
+  EXPECT_EQ(got->GetLabel("a"), "1");
+  EXPECT_EQ(got->GetLabel("b"), "2");
+}
+
+TEST_F(ApiEdgeTest, WatchHandlerMayWriteDuringDelivery) {
+  // Reentrancy: a handler mutating the same object must not deadlock or
+  // corrupt the store; its write produces a further event.
+  int events = 0;
+  api_.Watch(kKindPod, [&](const WatchEvent& e) {
+    ++events;
+    if (e.type == WatchEventType::kAdded) {
+      (void)api_.Mutate(e.resource.kind, e.resource.ns, e.resource.name,
+                        [](Resource* r) { r->labels["seen"] = "y"; });
+    }
+  });
+  ASSERT_TRUE(api_.Create(MakePod("p")).ok());
+  env_.RunUntilIdle();
+  EXPECT_GE(events, 2);  // ADDED plus the MODIFIED it triggered.
+  EXPECT_EQ(api_.Get(kKindPod, "ns", "p")->GetLabel("seen"), "y");
+}
+
+TEST_F(ApiEdgeTest, StopWatchDropsInFlightDeliveries) {
+  int events = 0;
+  const uint64_t id =
+      api_.Watch(kKindPod, [&](const WatchEvent&) { ++events; });
+  ASSERT_TRUE(api_.Create(MakePod("p")).ok());
+  // The event is scheduled but not yet delivered; stopping now must
+  // swallow it.
+  api_.StopWatch(id);
+  env_.RunUntilIdle();
+  EXPECT_EQ(events, 0);
+}
+
+TEST_F(ApiEdgeTest, GenerationTracksSpecChangesOnly) {
+  auto created = api_.Create(MakePod("p"));
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ(created->generation, 1u);
+
+  // Label-only update: no spec change, no generation bump.
+  Resource r = *created;
+  r.labels["x"] = "y";
+  auto updated = api_.Update(r);
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(updated->generation, 1u);
+
+  // Spec change bumps it.
+  r = *updated;
+  r.spec["image"] = "v2";
+  updated = api_.Update(r);
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(updated->generation, 2u);
+}
+
+TEST_F(ApiEdgeTest, ResourceVersionsAreMonotonic) {
+  uint64_t last = 0;
+  for (int i = 0; i < 5; ++i) {
+    auto created = api_.Create(MakePod("p" + std::to_string(i)));
+    ASSERT_TRUE(created.ok());
+    EXPECT_GT(created->resource_version, last);
+    last = created->resource_version;
+  }
+}
+
+TEST_F(ApiEdgeTest, NamespaceIsolationInKeys) {
+  Resource a = MakePod("same");
+  Resource b = MakePod("same");
+  b.ns = "other";
+  ASSERT_TRUE(api_.Create(a).ok());
+  ASSERT_TRUE(api_.Create(b).ok());  // Same name, different namespace.
+  EXPECT_EQ(api_.List(kKindPod).size(), 2u);
+  EXPECT_EQ(api_.List(kKindPod, "ns").size(), 1u);
+  ASSERT_TRUE(api_.Delete(kKindPod, "other", "same").ok());
+  EXPECT_TRUE(api_.Exists(kKindPod, "ns", "same"));
+}
+
+TEST_F(ApiEdgeTest, KindPrefixDoesNotBleedAcrossKinds) {
+  // "Pod" must not match "PodTemplate" in the ordered-map prefix scan.
+  Resource pod = MakePod("p");
+  Resource tmpl;
+  tmpl.kind = "PodTemplate";
+  tmpl.ns = "ns";
+  tmpl.name = "t";
+  ASSERT_TRUE(api_.Create(pod).ok());
+  ASSERT_TRUE(api_.Create(tmpl).ok());
+  EXPECT_EQ(api_.List(kKindPod).size(), 1u);
+  EXPECT_EQ(api_.List("PodTemplate").size(), 1u);
+}
+
+}  // namespace
+}  // namespace zerobak::container

@@ -1,0 +1,143 @@
+#include "core/console.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+
+namespace zerobak::core {
+namespace {
+
+class ConsoleTest : public ::testing::Test {
+ protected:
+  ConsoleTest() {
+    DemoSystemConfig config = bench::FunctionalConfig();
+    config.link.base_latency = Milliseconds(2);
+    system_ = std::make_unique<DemoSystem>(&env_, config);
+    console_ = std::make_unique<Console>(system_.get(), &out_);
+  }
+
+  std::string Output() { return out_.str(); }
+
+  sim::SimEnvironment env_;
+  std::unique_ptr<DemoSystem> system_;
+  std::ostringstream out_;
+  std::unique_ptr<Console> console_;
+};
+
+TEST_F(ConsoleTest, TokenizeSplitsOnWhitespace) {
+  EXPECT_EQ(Console::Tokenize("a  b\tc"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(Console::Tokenize("").empty());
+  EXPECT_TRUE(Console::Tokenize("   ").empty());
+}
+
+TEST_F(ConsoleTest, UnknownCommandRejected) {
+  EXPECT_EQ(console_->Execute("frobnicate").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ConsoleTest, MissingArgumentsRejected) {
+  EXPECT_EQ(console_->Execute("deploy").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(console_->Execute("order shop").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(console_->Execute("run -5").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ConsoleTest, HelpListsCommands) {
+  ASSERT_TRUE(console_->Execute("help").ok());
+  EXPECT_NE(Output().find("failover"), std::string::npos);
+  EXPECT_NE(Output().find("snapshot"), std::string::npos);
+}
+
+TEST_F(ConsoleTest, DeployOrderStatusFlow) {
+  ASSERT_TRUE(console_->Execute("deploy shop").ok());
+  EXPECT_EQ(console_->Execute("deploy shop").code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(console_->Execute("order shop 10").ok());
+  EXPECT_EQ(console_->Execute("order ghost 1").code(),
+            StatusCode::kNotFound);
+
+  ASSERT_TRUE(console_->Execute("status shop").ok());
+  EXPECT_NE(Output().find("not protected"), std::string::npos);
+
+  ASSERT_TRUE(console_->Execute("tag shop").ok());
+  ASSERT_TRUE(console_->Execute("run 100").ok());
+  out_.str("");
+  ASSERT_TRUE(console_->Execute("status shop").ok());
+  EXPECT_NE(Output().find("applied="), std::string::npos);
+  EXPECT_NE(Output().find("[PAIR]"), std::string::npos);
+}
+
+TEST_F(ConsoleTest, FullDemoScript) {
+  const char* script = R"(
+# The ICDE demo, as a script.
+deploy shop
+order shop 20
+tag shop
+run 100
+snapshot shop analytics
+analytics shop analytics
+verify shop analytics
+check shop
+)";
+  Status st = console_->ExecuteScript(script);
+  EXPECT_TRUE(st.ok()) << st << "\noutput:\n" << Output();
+  EXPECT_NE(Output().find("PASS"), std::string::npos);
+  EXPECT_NE(Output().find("consistent"), std::string::npos);
+}
+
+TEST_F(ConsoleTest, DisasterRecoveryScript) {
+  const char* script = R"(
+deploy shop
+tag shop
+order shop 30
+run 100
+fail-main
+failover shop
+check shop
+repair-main
+failback shop
+run 100
+status shop
+)";
+  Status st = console_->ExecuteScript(script);
+  EXPECT_TRUE(st.ok()) << st << "\noutput:\n" << Output();
+  EXPECT_NE(Output().find("failover complete"), std::string::npos);
+  EXPECT_NE(Output().find("failback complete"), std::string::npos);
+}
+
+TEST_F(ConsoleTest, ScheduleAndVerifyLatest) {
+  ASSERT_TRUE(console_->ExecuteScript(R"(
+deploy shop
+tag shop
+order shop 10
+run 50
+schedule shop nightly 40 2
+run 200
+verify-latest shop nightly
+)").ok()) << Output();
+  EXPECT_NE(Output().find("PASS"), std::string::npos);
+}
+
+TEST_F(ConsoleTest, ScriptStopsAtFirstFailure) {
+  Status st = console_->ExecuteScript(R"(
+deploy shop
+bogus-command
+order shop 5
+)");
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  // The order command never ran.
+  EXPECT_EQ(Output().find("5 orders"), std::string::npos);
+}
+
+TEST_F(ConsoleTest, CommentsAndBlankLinesIgnored) {
+  ASSERT_TRUE(console_->ExecuteScript("\n  # only comments\n\n").ok());
+  EXPECT_EQ(console_->commands_executed(), 0u);
+}
+
+}  // namespace
+}  // namespace zerobak::core

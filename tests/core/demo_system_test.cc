@@ -1,0 +1,297 @@
+// End-to-end integration tests: the three demonstration steps of Section
+// IV (backup configuration, snapshot development, data analytics) plus a
+// disaster-recovery drill, run against the fully wired two-site system.
+#include "core/demo_system.h"
+
+#include <gtest/gtest.h>
+
+#include "db/minidb.h"
+#include "storage/array_device.h"
+#include "workload/analytics.h"
+#include "workload/ecommerce.h"
+#include "workload/invariants.h"
+
+namespace zerobak::core {
+namespace {
+
+class DemoSystemTest : public ::testing::Test {
+ protected:
+  DemoSystemTest() {
+    DemoSystemConfig config;
+    // Functional tests: zero media latency so DB writes ack inline.
+    config.main_array.media = block::DeviceLatencyModel{0, 0, 0, 0, 1};
+    config.backup_array.media = block::DeviceLatencyModel{0, 0, 0, 0, 2};
+    config.link.base_latency = Milliseconds(5);
+    config.link.jitter = 0;
+    system_ = std::make_unique<DemoSystem>(&env_, config);
+  }
+
+  // Deploys the business process: a namespace with two database PVCs.
+  void DeployBusinessProcess() {
+    ASSERT_TRUE(system_->CreateBusinessNamespace("shop").ok());
+    ASSERT_TRUE(system_->CreatePvc("shop", "sales-db", 8 << 20).ok());
+    ASSERT_TRUE(system_->CreatePvc("shop", "stock-db", 8 << 20).ok());
+    env_.RunFor(Milliseconds(10));  // Provisioner binds.
+  }
+
+  db::DbOptions DbOpts() {
+    db::DbOptions opts;
+    opts.checkpoint_blocks = 256;
+    opts.wal_blocks = 1024;
+    return opts;
+  }
+
+  // Opens (formatting first) the two databases on the main site.
+  void OpenMainDatabases() {
+    auto sales_vol = system_->ResolveMainVolume("shop", "sales-db");
+    auto stock_vol = system_->ResolveMainVolume("shop", "stock-db");
+    ASSERT_TRUE(sales_vol.ok()) << sales_vol.status();
+    ASSERT_TRUE(stock_vol.ok()) << stock_vol.status();
+    sales_dev_ = std::make_unique<storage::ArrayVolumeDevice>(
+        system_->main_site()->array(), *sales_vol);
+    stock_dev_ = std::make_unique<storage::ArrayVolumeDevice>(
+        system_->main_site()->array(), *stock_vol);
+    ASSERT_TRUE(db::MiniDb::Format(sales_dev_.get(), DbOpts()).ok());
+    ASSERT_TRUE(db::MiniDb::Format(stock_dev_.get(), DbOpts()).ok());
+    auto sales = db::MiniDb::Open(sales_dev_.get(), DbOpts());
+    auto stock = db::MiniDb::Open(stock_dev_.get(), DbOpts());
+    ASSERT_TRUE(sales.ok() && stock.ok());
+    sales_db_ = std::move(sales).value();
+    stock_db_ = std::move(stock).value();
+    app_ = std::make_unique<workload::EcommerceApp>(sales_db_.get(),
+                                                    stock_db_.get());
+    ASSERT_TRUE(app_->InitializeCatalog().ok());
+  }
+
+  sim::SimEnvironment env_;
+  std::unique_ptr<DemoSystem> system_;
+  std::unique_ptr<storage::ArrayVolumeDevice> sales_dev_;
+  std::unique_ptr<storage::ArrayVolumeDevice> stock_dev_;
+  std::unique_ptr<db::MiniDb> sales_db_;
+  std::unique_ptr<db::MiniDb> stock_db_;
+  std::unique_ptr<workload::EcommerceApp> app_;
+};
+
+TEST_F(DemoSystemTest, ProvisionerBindsBusinessPvcs) {
+  DeployBusinessProcess();
+  auto pvc = system_->main_site()->api()->Get(
+      container::kKindPersistentVolumeClaim, "shop", "sales-db");
+  ASSERT_TRUE(pvc.ok());
+  EXPECT_EQ(pvc->StatusPhase(), "Bound");
+  EXPECT_TRUE(system_->ResolveMainVolume("shop", "sales-db").ok());
+}
+
+TEST_F(DemoSystemTest, BackupConfigurationStep) {
+  DeployBusinessProcess();
+  // Before tagging: no PVs in the backup site (Fig. 3).
+  EXPECT_EQ(system_->backup_site()
+                ->api()
+                ->List(container::kKindPersistentVolume)
+                .size(),
+            0u);
+  EXPECT_FALSE(system_->BackupConfigured("shop"));
+
+  // The single user action.
+  ASSERT_TRUE(system_->TagNamespaceForBackup("shop").ok());
+  ASSERT_TRUE(system_->WaitForBackupConfigured("shop").ok());
+
+  // After tagging: PVs and PVCs appear in the backup site (Fig. 4).
+  EXPECT_EQ(system_->backup_site()
+                ->api()
+                ->List(container::kKindPersistentVolume)
+                .size(),
+            2u);
+  auto backup_pvcs = system_->backup_site()->api()->List(
+      container::kKindPersistentVolumeClaim, "shop");
+  EXPECT_EQ(backup_pvcs.size(), 2u);
+  for (const auto& pvc : backup_pvcs) {
+    EXPECT_EQ(pvc.StatusPhase(), "Bound");
+  }
+
+  // One consistency group with two pairs exists on the arrays.
+  auto group = system_->ReplicationGroupOf("shop");
+  ASSERT_TRUE(group.ok());
+  EXPECT_EQ(system_->replication()->ListGroupPairs(*group).size(), 2u);
+}
+
+TEST_F(DemoSystemTest, ReplicationConvergesUnderLoad) {
+  DeployBusinessProcess();
+  OpenMainDatabases();
+  ASSERT_TRUE(system_->TagNamespaceForBackup("shop").ok());
+  ASSERT_TRUE(system_->WaitForBackupConfigured("shop").ok());
+
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(app_->PlaceOrder().ok());
+    env_.RunFor(Microseconds(200));
+  }
+  env_.RunFor(Milliseconds(100));  // Drain the journal.
+
+  // The backup volumes are byte-identical to the main volumes.
+  auto main_sales = system_->ResolveMainVolume("shop", "sales-db");
+  auto backup_sales = system_->ResolveBackupVolume("shop", "sales-db");
+  ASSERT_TRUE(main_sales.ok() && backup_sales.ok());
+  EXPECT_TRUE(system_->main_site()
+                  ->array()
+                  ->GetVolume(*main_sales)
+                  ->ContentEquals(*system_->backup_site()->array()->GetVolume(
+                      *backup_sales)));
+
+  // A database opened on the backup volume recovers all orders.
+  storage::ArrayVolumeDevice backup_dev(system_->backup_site()->array(),
+                                        *backup_sales);
+  db::DbOptions ro = DbOpts();
+  ro.read_only = true;
+  auto recovered = db::MiniDb::Open(&backup_dev, ro);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ((*recovered)->RowCount(workload::kOrderTable), 50u);
+}
+
+TEST_F(DemoSystemTest, SnapshotDevelopmentStep) {
+  DeployBusinessProcess();
+  OpenMainDatabases();
+  ASSERT_TRUE(system_->TagNamespaceForBackup("shop").ok());
+  ASSERT_TRUE(system_->WaitForBackupConfigured("shop").ok());
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(app_->PlaceOrder().ok());
+  env_.RunFor(Milliseconds(100));
+
+  ASSERT_TRUE(system_->CreateSnapshotGroupCr("shop", "analytics").ok());
+  ASSERT_TRUE(system_->WaitForSnapshotGroup("shop", "analytics").ok());
+
+  // VolumeSnapshot objects exist for both databases (Fig. 5).
+  EXPECT_EQ(system_->backup_site()
+                ->api()
+                ->List(container::kKindVolumeSnapshot, "shop")
+                .size(),
+            2u);
+  EXPECT_TRUE(
+      system_->ResolveSnapshot("shop", "analytics", "sales-db").ok());
+  EXPECT_TRUE(
+      system_->ResolveSnapshot("shop", "analytics", "stock-db").ok());
+}
+
+TEST_F(DemoSystemTest, AnalyticsOnSnapshotWhileReplicationContinues) {
+  DeployBusinessProcess();
+  OpenMainDatabases();
+  ASSERT_TRUE(system_->TagNamespaceForBackup("shop").ok());
+  ASSERT_TRUE(system_->WaitForBackupConfigured("shop").ok());
+  for (int i = 0; i < 30; ++i) ASSERT_TRUE(app_->PlaceOrder().ok());
+  env_.RunFor(Milliseconds(100));
+
+  ASSERT_TRUE(system_->CreateSnapshotGroupCr("shop", "analytics").ok());
+  ASSERT_TRUE(system_->WaitForSnapshotGroup("shop", "analytics").ok());
+  auto sales_snap = system_->ResolveSnapshot("shop", "analytics",
+                                             "sales-db");
+  auto stock_snap = system_->ResolveSnapshot("shop", "analytics",
+                                             "stock-db");
+  ASSERT_TRUE(sales_snap.ok() && stock_snap.ok());
+
+  // Business keeps running while analytics reads the snapshot.
+  for (int i = 0; i < 25; ++i) ASSERT_TRUE(app_->PlaceOrder().ok());
+  env_.RunFor(Milliseconds(100));
+
+  auto sales_ro = db::MiniDb::Open(*sales_snap, DbOpts());
+  auto stock_ro = db::MiniDb::Open(*stock_snap, DbOpts());
+  ASSERT_TRUE(sales_ro.ok() && stock_ro.ok());
+
+  // The snapshot froze at 30 orders; the new 25 are invisible to it.
+  auto summary = workload::SummarizeSales(sales_ro->get());
+  EXPECT_EQ(summary.order_count, 30u);
+  EXPECT_GT(summary.revenue_cents, 0);
+
+  // Cross-database consistency of the snapshot group (Fig. 6 relies on
+  // it): every order has its stock movement.
+  auto report =
+      workload::CheckConsistency(sales_ro->get(), stock_ro->get());
+  EXPECT_FALSE(report.collapsed()) << report.ToString();
+  EXPECT_TRUE(report.internally_consistent()) << report.ToString();
+
+  // Replication kept flowing during the scan: the backup volume itself
+  // contains all 55 orders.
+  auto backup_sales = system_->ResolveBackupVolume("shop", "sales-db");
+  storage::ArrayVolumeDevice backup_dev(system_->backup_site()->array(),
+                                        *backup_sales);
+  db::DbOptions ro = DbOpts();
+  ro.read_only = true;
+  auto live = db::MiniDb::Open(&backup_dev, ro);
+  ASSERT_TRUE(live.ok());
+  EXPECT_EQ((*live)->RowCount(workload::kOrderTable), 55u);
+}
+
+TEST_F(DemoSystemTest, DisasterRecoveryDrill) {
+  DeployBusinessProcess();
+  OpenMainDatabases();
+  ASSERT_TRUE(system_->TagNamespaceForBackup("shop").ok());
+  ASSERT_TRUE(system_->WaitForBackupConfigured("shop").ok());
+
+  // 40 orders fully replicated, then 10 more that may be in flight.
+  for (int i = 0; i < 40; ++i) ASSERT_TRUE(app_->PlaceOrder().ok());
+  env_.RunFor(Milliseconds(100));
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(app_->PlaceOrder().ok());
+
+  system_->FailMainSite();
+  auto report = system_->Failover("shop");
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  // Open the promoted backup volumes and run recovery.
+  auto sales_vol = system_->ResolveBackupVolume("shop", "sales-db");
+  auto stock_vol = system_->ResolveBackupVolume("shop", "stock-db");
+  ASSERT_TRUE(sales_vol.ok() && stock_vol.ok());
+  storage::ArrayVolumeDevice sales_dev(system_->backup_site()->array(),
+                                       *sales_vol);
+  storage::ArrayVolumeDevice stock_dev(system_->backup_site()->array(),
+                                       *stock_vol);
+  auto sales = db::MiniDb::Open(&sales_dev, DbOpts());
+  auto stock = db::MiniDb::Open(&stock_dev, DbOpts());
+  ASSERT_TRUE(sales.ok() && stock.ok());
+
+  // Bounded loss: at least the 40 drained orders survive, at most 50.
+  const size_t orders = (*sales)->RowCount(workload::kOrderTable);
+  EXPECT_GE(orders, 40u);
+  EXPECT_LE(orders, 50u);
+
+  // And — the paper's core claim — the recovered state is consistent:
+  // no sales order without its stock movement.
+  auto consistency =
+      workload::CheckConsistency(sales->get(), stock->get());
+  EXPECT_FALSE(consistency.collapsed()) << consistency.ToString();
+  EXPECT_TRUE(consistency.internally_consistent())
+      << consistency.ToString();
+
+  // The business can resume on the backup site: volumes are writable.
+  workload::EcommerceApp resumed(sales->get(), stock->get());
+  EXPECT_TRUE(resumed.InitializeCatalog().ok());
+}
+
+TEST_F(DemoSystemTest, UntaggingTearsDownReplication) {
+  DeployBusinessProcess();
+  ASSERT_TRUE(system_->TagNamespaceForBackup("shop").ok());
+  ASSERT_TRUE(system_->WaitForBackupConfigured("shop").ok());
+  EXPECT_EQ(system_->replication()->ListPairs().size(), 2u);
+
+  ASSERT_TRUE(system_->UntagNamespace("shop").ok());
+  env_.RunFor(Milliseconds(100));
+  EXPECT_TRUE(system_->replication()->ListPairs().empty());
+  EXPECT_TRUE(system_->replication()->ListGroups().empty());
+}
+
+TEST_F(DemoSystemTest, SecondNamespaceGetsItsOwnGroup) {
+  DeployBusinessProcess();
+  ASSERT_TRUE(system_->CreateBusinessNamespace("billing").ok());
+  ASSERT_TRUE(system_->CreatePvc("billing", "ledger-db", 4 << 20).ok());
+  env_.RunFor(Milliseconds(10));
+
+  ASSERT_TRUE(system_->TagNamespaceForBackup("shop").ok());
+  ASSERT_TRUE(system_->TagNamespaceForBackup("billing").ok());
+  ASSERT_TRUE(system_->WaitForBackupConfigured("shop").ok());
+  ASSERT_TRUE(system_->WaitForBackupConfigured("billing").ok());
+
+  auto g1 = system_->ReplicationGroupOf("shop");
+  auto g2 = system_->ReplicationGroupOf("billing");
+  ASSERT_TRUE(g1.ok() && g2.ok());
+  EXPECT_NE(*g1, *g2);
+  EXPECT_EQ(system_->replication()->ListGroupPairs(*g1).size(), 2u);
+  EXPECT_EQ(system_->replication()->ListGroupPairs(*g2).size(), 1u);
+}
+
+}  // namespace
+}  // namespace zerobak::core

@@ -1,0 +1,69 @@
+#include "core/inspect.h"
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+#include "core/console.h"
+
+namespace zerobak::core {
+namespace {
+
+TEST(InspectTest, DescribesFullyConfiguredSystem) {
+  sim::SimEnvironment env;
+  DemoSystemConfig config = bench::FunctionalConfig();
+  config.link.base_latency = Milliseconds(2);
+  DemoSystem system(&env, config);
+  bench::BusinessProcess bp =
+      bench::DeployBusinessProcess(&system, "shop");
+  ASSERT_TRUE(system.TagNamespaceForBackup("shop").ok());
+  ASSERT_TRUE(system.WaitForBackupConfigured("shop").ok());
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(bp.app->PlaceOrder().ok());
+  env.RunFor(Milliseconds(50));
+  ASSERT_TRUE(system.CreateSnapshotGroupCr("shop", "g").ok());
+  ASSERT_TRUE(system.WaitForSnapshotGroup("shop", "g").ok());
+
+  const std::string report = DescribeSystem(&system);
+  // Sites, arrays and volumes appear.
+  EXPECT_NE(report.find("site main"), std::string::npos);
+  EXPECT_NE(report.find("site backup"), std::string::npos);
+  EXPECT_NE(report.find("pvc-shop-sales-db"), std::string::npos);
+  EXPECT_NE(report.find("[replicated]"), std::string::npos);
+  // Replication health.
+  EXPECT_NE(report.find("replication: 1 groups, 2 pairs"),
+            std::string::npos);
+  EXPECT_NE(report.find("[PAIR]"), std::string::npos);
+  // Snapshots and links.
+  EXPECT_NE(report.find("snapshots: 2 in 1 groups"), std::string::npos);
+  EXPECT_NE(report.find("links: main->backup up"), std::string::npos);
+  // Cluster object counts.
+  EXPECT_NE(report.find("VolumeReplicationGroup"), std::string::npos);
+}
+
+TEST(InspectTest, ShowsFailureStates) {
+  sim::SimEnvironment env;
+  DemoSystemConfig config = bench::FunctionalConfig();
+  DemoSystem system(&env, config);
+  bench::BusinessProcess bp =
+      bench::DeployBusinessProcess(&system, "shop");
+  ASSERT_TRUE(system.TagNamespaceForBackup("shop").ok());
+  ASSERT_TRUE(system.WaitForBackupConfigured("shop").ok());
+  system.FailMainSite();
+  ASSERT_TRUE(system.Failover("shop").ok());
+
+  const std::string report = DescribeSystem(&system);
+  EXPECT_NE(report.find("[FAILED]"), std::string::npos);
+  EXPECT_NE(report.find("DOWN"), std::string::npos);
+  EXPECT_NE(report.find("[SSWS]"), std::string::npos);
+}
+
+TEST(InspectTest, ConsoleInspectCommand) {
+  sim::SimEnvironment env;
+  DemoSystem system(&env, bench::FunctionalConfig());
+  std::ostringstream out;
+  Console console(&system, &out);
+  ASSERT_TRUE(console.Execute("inspect").ok());
+  EXPECT_NE(out.str().find("demo system"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zerobak::core

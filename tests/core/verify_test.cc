@@ -1,0 +1,113 @@
+#include "core/verify.h"
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+#include "workload/ecommerce.h"
+
+namespace zerobak::core {
+namespace {
+
+class VerifyTest : public ::testing::Test {
+ protected:
+  VerifyTest() {
+    DemoSystemConfig config = bench::FunctionalConfig();
+    config.link.base_latency = Milliseconds(2);
+    system_ = std::make_unique<DemoSystem>(&env_, config);
+    bp_ = bench::DeployBusinessProcess(system_.get(), "shop");
+    EXPECT_TRUE(system_->TagNamespaceForBackup("shop").ok());
+    EXPECT_TRUE(system_->WaitForBackupConfigured("shop").ok());
+  }
+
+  void PlaceOrders(int n) {
+    for (int i = 0; i < n; ++i) {
+      ASSERT_TRUE(bp_.app->PlaceOrder().ok());
+      env_.RunFor(Microseconds(100));
+    }
+    env_.RunFor(Milliseconds(50));  // Drain.
+  }
+
+  sim::SimEnvironment env_;
+  std::unique_ptr<DemoSystem> system_;
+  bench::BusinessProcess bp_;
+};
+
+TEST_F(VerifyTest, HealthyBackupPasses) {
+  PlaceOrders(40);
+  ASSERT_TRUE(system_->CreateSnapshotGroupCr("shop", "check").ok());
+  ASSERT_TRUE(system_->WaitForSnapshotGroup("shop", "check").ok());
+
+  auto report = VerifySnapshotGroup(system_.get(), "shop", "check");
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->passed()) << report->ToString();
+  EXPECT_TRUE(report->databases_recovered);
+  EXPECT_EQ(report->orders, 40u);
+  EXPECT_EQ(report->stock_movements, 40u);
+  EXPECT_NE(report->ToString().find("PASS"), std::string::npos);
+}
+
+TEST_F(VerifyTest, MissingGroupIsNotFound) {
+  auto report = VerifySnapshotGroup(system_.get(), "shop", "nope");
+  EXPECT_EQ(report.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(VerifyTest, VerificationDoesNotDisturbTheSnapshot) {
+  PlaceOrders(10);
+  ASSERT_TRUE(system_->CreateSnapshotGroupCr("shop", "check").ok());
+  ASSERT_TRUE(system_->WaitForSnapshotGroup("shop", "check").ok());
+  auto first = VerifySnapshotGroup(system_.get(), "shop", "check");
+  ASSERT_TRUE(first.ok());
+  // Verify twice: identical results, and no snapshot-delta writes.
+  auto second = VerifySnapshotGroup(system_.get(), "shop", "check");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->orders, second->orders);
+  auto snap = system_->ResolveSnapshot("shop", "check", "sales-db");
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ((*snap)->delta_blocks(), 0u);
+}
+
+TEST_F(VerifyTest, LatestScheduledPicksNewestGeneration) {
+  PlaceOrders(5);
+  ASSERT_TRUE(system_
+                  ->CreateSnapshotSchedule("shop", "nightly",
+                                           Milliseconds(40), /*retain=*/3)
+                  .ok());
+  env_.RunFor(Milliseconds(100));  // g1, g2 fired.
+  PlaceOrders(15);                 // 20 orders total before g3+.
+  env_.RunFor(Milliseconds(60));
+
+  auto report = VerifyLatestScheduled(system_.get(), "shop", "nightly");
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->passed()) << report->ToString();
+  // The newest generation saw all 20 orders.
+  EXPECT_EQ(report->orders, 20u);
+}
+
+TEST_F(VerifyTest, NoScheduledGroupsIsNotFound) {
+  auto report = VerifyLatestScheduled(system_.get(), "shop", "ghost");
+  EXPECT_EQ(report.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(VerifyTest, ScheduledVerificationUnderContinuousLoad) {
+  ASSERT_TRUE(system_
+                  ->CreateSnapshotSchedule("shop", "cont", Milliseconds(20),
+                                           /*retain=*/4)
+                  .ok());
+  // Run business and verify the newest backup repeatedly, while pruning
+  // churns old generations underneath.
+  for (int round = 0; round < 8; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(bp_.app->PlaceOrder().ok());
+      env_.RunFor(Microseconds(500));
+    }
+    env_.RunFor(Milliseconds(25));
+    auto report = VerifyLatestScheduled(system_.get(), "shop", "cont");
+    ASSERT_TRUE(report.ok()) << "round " << round << ": "
+                             << report.status();
+    EXPECT_TRUE(report->passed())
+        << "round " << round << ": " << report->ToString();
+  }
+}
+
+}  // namespace
+}  // namespace zerobak::core

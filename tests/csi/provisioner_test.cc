@@ -1,0 +1,139 @@
+#include "csi/provisioner.h"
+
+#include <gtest/gtest.h>
+
+#include "container/cluster.h"
+
+namespace zerobak::csi {
+namespace {
+
+using container::kKindPersistentVolume;
+using container::kKindPersistentVolumeClaim;
+using container::kKindStorageClass;
+using container::Resource;
+
+storage::ArrayConfig ZeroLatency() {
+  storage::ArrayConfig cfg;
+  cfg.serial = "ARR";
+  cfg.media = block::DeviceLatencyModel{0, 0, 0, 0, 1};
+  return cfg;
+}
+
+class ProvisionerTest : public ::testing::Test {
+ protected:
+  ProvisionerTest() : array_(&env_, ZeroLatency()), cluster_(&env_, "c") {
+    cluster_.controllers()->Register(std::make_unique<Provisioner>(&array_));
+    Resource sc;
+    sc.kind = kKindStorageClass;
+    sc.name = "fast";
+    sc.spec["provisioner"] = kProvisionerName;
+    sc.spec["arraySerial"] = array_.serial();
+    EXPECT_TRUE(cluster_.api()->Create(std::move(sc)).ok());
+  }
+
+  Status CreateClaim(const std::string& name, int64_t bytes,
+                     const std::string& sc = "fast") {
+    Resource pvc;
+    pvc.kind = kKindPersistentVolumeClaim;
+    pvc.ns = "shop";
+    pvc.name = name;
+    pvc.spec["storageClassName"] = sc;
+    pvc.spec["capacityBytes"] = bytes;
+    auto created = cluster_.api()->Create(std::move(pvc));
+    return created.ok() ? OkStatus() : created.status();
+  }
+
+  sim::SimEnvironment env_;
+  storage::StorageArray array_;
+  container::Cluster cluster_;
+};
+
+TEST_F(ProvisionerTest, ProvisionsAndBindsClaim) {
+  ASSERT_TRUE(CreateClaim("sales-db", 1 << 20).ok());
+  env_.RunUntilIdle();
+
+  auto pvc = cluster_.api()->Get(kKindPersistentVolumeClaim, "shop",
+                                 "sales-db");
+  ASSERT_TRUE(pvc.ok());
+  EXPECT_EQ(pvc->StatusPhase(), "Bound");
+  const std::string pv_name = pvc->spec.GetString("volumeName");
+  EXPECT_EQ(pv_name, "pvc-shop-sales-db");
+
+  auto pv = cluster_.api()->Get(kKindPersistentVolume, "", pv_name);
+  ASSERT_TRUE(pv.ok());
+  EXPECT_EQ(pv->spec.Find("claimRef")->GetString("namespace"), "shop");
+  EXPECT_EQ(pv->spec.Find("claimRef")->GetString("name"), "sales-db");
+
+  // The array volume exists with the right geometry.
+  auto parsed = storage::StorageArray::ParseVolumeHandle(
+      pv->spec.GetString("volumeHandle"));
+  ASSERT_TRUE(parsed.ok());
+  storage::Volume* vol = array_.GetVolume(parsed->second);
+  ASSERT_NE(vol, nullptr);
+  EXPECT_EQ(vol->block_count() * vol->block_size(), 1u << 20);
+}
+
+TEST_F(ProvisionerTest, IgnoresForeignStorageClass) {
+  Resource sc;
+  sc.kind = kKindStorageClass;
+  sc.name = "other-vendor";
+  sc.spec["provisioner"] = "csi.other.io";
+  sc.spec["arraySerial"] = "X";
+  ASSERT_TRUE(cluster_.api()->Create(std::move(sc)).ok());
+  ASSERT_TRUE(CreateClaim("foreign", 4096, "other-vendor").ok());
+  env_.RunUntilIdle();
+  auto pvc = cluster_.api()->Get(kKindPersistentVolumeClaim, "shop",
+                                 "foreign");
+  EXPECT_NE(pvc->StatusPhase(), "Bound");
+  EXPECT_EQ(array_.volume_count(), 0u);
+}
+
+TEST_F(ProvisionerTest, MissingStorageClassRetriesViaResync) {
+  ASSERT_TRUE(CreateClaim("early", 4096, "late-class").ok());
+  env_.RunUntilIdle();
+  EXPECT_EQ(array_.volume_count(), 0u);
+
+  Resource sc;
+  sc.kind = kKindStorageClass;
+  sc.name = "late-class";
+  sc.spec["provisioner"] = kProvisionerName;
+  sc.spec["arraySerial"] = array_.serial();
+  ASSERT_TRUE(cluster_.api()->Create(std::move(sc)).ok());
+  cluster_.controllers()->EnableResync(Milliseconds(10));
+  env_.RunFor(Milliseconds(50));
+  auto pvc = cluster_.api()->Get(kKindPersistentVolumeClaim, "shop",
+                                 "early");
+  EXPECT_EQ(pvc->StatusPhase(), "Bound");
+}
+
+TEST_F(ProvisionerTest, ReconcileIsIdempotent) {
+  ASSERT_TRUE(CreateClaim("sales-db", 1 << 20).ok());
+  cluster_.controllers()->EnableResync(Milliseconds(10));
+  env_.RunFor(Milliseconds(200));
+  auto* prov = static_cast<Provisioner*>(
+      cluster_.controllers()->Find("csi-provisioner"));
+  EXPECT_EQ(prov->provisioned_volumes(), 1u);
+  EXPECT_EQ(array_.volume_count(), 1u);
+}
+
+TEST_F(ProvisionerTest, DeleteReleasesVolume) {
+  ASSERT_TRUE(CreateClaim("tmp", 1 << 20).ok());
+  env_.RunUntilIdle();
+  EXPECT_EQ(array_.volume_count(), 1u);
+  ASSERT_TRUE(cluster_.api()
+                  ->Delete(kKindPersistentVolumeClaim, "shop", "tmp")
+                  .ok());
+  env_.RunUntilIdle();
+  EXPECT_EQ(array_.volume_count(), 0u);
+  EXPECT_FALSE(cluster_.api()->Exists(kKindPersistentVolume, "",
+                                      "pvc-shop-tmp"));
+}
+
+TEST_F(ProvisionerTest, ZeroCapacityClaimIgnored) {
+  ASSERT_TRUE(CreateClaim("bad", 0).ok());
+  env_.RunUntilIdle();
+  EXPECT_EQ(array_.volume_count(), 0u);
+}
+
+}  // namespace
+}  // namespace zerobak::csi

@@ -1,0 +1,155 @@
+// Failure-injection tests for the replication plugin: the controller must
+// converge to the declared state across backup-site outages, partial
+// reconciles and re-creation — the level-triggered guarantee operators
+// rely on.
+#include "csi/replication_controller.h"
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+#include "core/demo_system.h"
+
+namespace zerobak::csi {
+namespace {
+
+using container::kKindPersistentVolumeClaim;
+using container::kKindVolumeReplicationGroup;
+using container::Resource;
+
+class ReplicationControllerTest : public ::testing::Test {
+ protected:
+  ReplicationControllerTest() {
+    core::DemoSystemConfig config = bench::FunctionalConfig();
+    config.link.base_latency = Milliseconds(1);
+    system_ = std::make_unique<core::DemoSystem>(&env_, config);
+    EXPECT_TRUE(system_->CreateBusinessNamespace("shop").ok());
+    EXPECT_TRUE(system_->CreatePvc("shop", "sales-db", 4 << 20).ok());
+    EXPECT_TRUE(system_->CreatePvc("shop", "stock-db", 4 << 20).ok());
+    env_.RunFor(Milliseconds(10));
+  }
+
+  sim::SimEnvironment env_;
+  std::unique_ptr<core::DemoSystem> system_;
+};
+
+TEST_F(ReplicationControllerTest, ConfiguresFromManuallyCreatedVrg) {
+  // The CR route without the namespace operator: a user (or GitOps)
+  // creates the VolumeReplicationGroup directly.
+  auto pv_handle = [&](const std::string& pvc) {
+    auto vol = system_->ResolveMainVolume("shop", pvc);
+    EXPECT_TRUE(vol.ok());
+    return system_->main_site()->array()->VolumeHandle(*vol);
+  };
+  Resource vrg;
+  vrg.kind = kKindVolumeReplicationGroup;
+  vrg.ns = "shop";
+  vrg.name = "manual";
+  vrg.spec["sourceNamespace"] = "shop";
+  Value volumes = Value::MakeArray();
+  Value entry = Value::MakeObject();
+  entry["handle"] = pv_handle("sales-db");
+  entry["pvcName"] = "sales-db";
+  entry["capacityBytes"] = 4 << 20;
+  volumes.Append(std::move(entry));
+  vrg.spec["volumes"] = volumes;
+  ASSERT_TRUE(system_->main_site()->api()->Create(std::move(vrg)).ok());
+  env_.RunFor(Milliseconds(50));
+
+  auto stored = system_->main_site()->api()->Get(
+      kKindVolumeReplicationGroup, "shop", "manual");
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ(stored->StatusPhase(), "Replicating");
+  EXPECT_EQ(system_->replication()->ListPairs().size(), 1u);
+}
+
+TEST_F(ReplicationControllerTest, BackupOutageDuringConfigureConverges) {
+  // The backup array is down when the user tags the namespace; the
+  // controller must keep retrying (resync) and converge once the array
+  // returns.
+  system_->backup_site()->array()->SetFailed(true);
+  ASSERT_TRUE(system_->TagNamespaceForBackup("shop").ok());
+  env_.RunFor(Milliseconds(200));
+  EXPECT_FALSE(system_->BackupConfigured("shop"));
+
+  system_->backup_site()->array()->SetFailed(false);
+  ASSERT_TRUE(system_->WaitForBackupConfigured("shop").ok());
+  EXPECT_EQ(system_->replication()->ListPairs().size(), 2u);
+}
+
+TEST_F(ReplicationControllerTest, ForeignHandlesAreSkippedNotFatal) {
+  Resource vrg;
+  vrg.kind = kKindVolumeReplicationGroup;
+  vrg.ns = "shop";
+  vrg.name = "mixed";
+  vrg.spec["sourceNamespace"] = "shop";
+  Value volumes = Value::MakeArray();
+  Value foreign = Value::MakeObject();
+  foreign["handle"] = "OTHER-ARRAY:99";
+  foreign["pvcName"] = "alien";
+  volumes.Append(std::move(foreign));
+  auto vol = system_->ResolveMainVolume("shop", "sales-db");
+  ASSERT_TRUE(vol.ok());
+  Value ours = Value::MakeObject();
+  ours["handle"] = system_->main_site()->array()->VolumeHandle(*vol);
+  ours["pvcName"] = "sales-db";
+  ours["capacityBytes"] = 4 << 20;
+  volumes.Append(std::move(ours));
+  vrg.spec["volumes"] = volumes;
+  ASSERT_TRUE(system_->main_site()->api()->Create(std::move(vrg)).ok());
+  env_.RunFor(Milliseconds(50));
+
+  // The local volume is protected; the foreign one simply skipped.
+  EXPECT_EQ(system_->replication()->ListPairs().size(), 1u);
+}
+
+TEST_F(ReplicationControllerTest, RetagAfterUntagRebuildsProtection) {
+  ASSERT_TRUE(system_->TagNamespaceForBackup("shop").ok());
+  ASSERT_TRUE(system_->WaitForBackupConfigured("shop").ok());
+  ASSERT_TRUE(system_->UntagNamespace("shop").ok());
+  env_.RunFor(Milliseconds(100));
+  EXPECT_TRUE(system_->replication()->ListPairs().empty());
+
+  // Protect again: backup volumes are reused, fresh pairs and group.
+  ASSERT_TRUE(system_->TagNamespaceForBackup("shop").ok());
+  ASSERT_TRUE(system_->WaitForBackupConfigured("shop").ok());
+  EXPECT_EQ(system_->replication()->ListPairs().size(), 2u);
+  // Data still flows end to end after the rebuild.
+  auto vol = system_->ResolveMainVolume("shop", "sales-db");
+  ASSERT_TRUE(vol.ok());
+  ASSERT_TRUE(system_->main_site()
+                  ->array()
+                  ->WriteSync(*vol, 0,
+                              std::string(block::kDefaultBlockSize, 'r'))
+                  .ok());
+  env_.RunFor(Milliseconds(50));
+  auto backup_vol = system_->ResolveBackupVolume("shop", "sales-db");
+  ASSERT_TRUE(backup_vol.ok());
+  EXPECT_EQ(system_->backup_site()
+                ->array()
+                ->GetVolume(*backup_vol)
+                ->store()
+                .ReadBlock(0),
+            std::string(block::kDefaultBlockSize, 'r'));
+}
+
+TEST_F(ReplicationControllerTest, StatusCarriesPairTopology) {
+  ASSERT_TRUE(system_->TagNamespaceForBackup("shop").ok());
+  ASSERT_TRUE(system_->WaitForBackupConfigured("shop").ok());
+  auto vrg = system_->main_site()->api()->Get(
+      kKindVolumeReplicationGroup, "shop", "vrg-shop");
+  ASSERT_TRUE(vrg.ok());
+  const Value* pairs = vrg->status.Find("pairs");
+  ASSERT_NE(pairs, nullptr);
+  EXPECT_EQ(pairs->AsObject().size(), 2u);
+  for (const auto& [handle, rec] : pairs->AsObject()) {
+    EXPECT_GT(rec.GetInt("pairId"), 0);
+    EXPECT_FALSE(rec.GetString("backupHandle").empty());
+    EXPECT_GT(rec.GetInt("group"), 0);
+  }
+  const Value* groups = vrg->status.Find("groups");
+  ASSERT_NE(groups, nullptr);
+  EXPECT_EQ(groups->AsArray().size(), 1u);  // One shared CG.
+}
+
+}  // namespace
+}  // namespace zerobak::csi

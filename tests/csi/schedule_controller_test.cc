@@ -1,0 +1,125 @@
+#include "csi/schedule_controller.h"
+
+#include <gtest/gtest.h>
+
+#include "container/cluster.h"
+#include "core/demo_system.h"
+#include "snapshot/snapshot.h"
+
+namespace zerobak::csi {
+namespace {
+
+using container::kKindSnapshotSchedule;
+using container::kKindVolumeSnapshotGroup;
+using container::Resource;
+
+// End-to-end fixture: schedules run on a full DemoSystem backup cluster
+// so that the created VolumeSnapshotGroup CRs are actually realized as
+// array snapshot groups by the snapshot plugin.
+class ScheduleTest : public ::testing::Test {
+ protected:
+  ScheduleTest() {
+    core::DemoSystemConfig config;
+    config.main_array.media = block::DeviceLatencyModel{0, 0, 0, 0, 1};
+    config.backup_array.media = block::DeviceLatencyModel{0, 0, 0, 0, 2};
+    config.link.base_latency = Milliseconds(1);
+    system_ = std::make_unique<core::DemoSystem>(&env_, config);
+    EXPECT_TRUE(system_->CreateBusinessNamespace("shop").ok());
+    EXPECT_TRUE(system_->CreatePvc("shop", "db", 1 << 20).ok());
+    env_.RunFor(Milliseconds(10));
+    EXPECT_TRUE(system_->TagNamespaceForBackup("shop").ok());
+    EXPECT_TRUE(system_->WaitForBackupConfigured("shop").ok());
+  }
+
+  size_t GroupCrCount() {
+    return system_->backup_site()
+        ->api()
+        ->List(kKindVolumeSnapshotGroup, "shop")
+        .size();
+  }
+
+  sim::SimEnvironment env_;
+  std::unique_ptr<core::DemoSystem> system_;
+};
+
+TEST_F(ScheduleTest, FiresAtIntervalAndCreatesRealSnapshots) {
+  ASSERT_TRUE(system_
+                  ->CreateSnapshotSchedule("shop", "nightly",
+                                           Milliseconds(100), /*retain=*/10)
+                  .ok());
+  env_.RunFor(Milliseconds(350));
+  // Fired at 100, 200, 300 ms.
+  EXPECT_EQ(GroupCrCount(), 3u);
+  // The groups are realized on the array.
+  EXPECT_EQ(system_->backup_site()->snapshots()->ListGroups().size(), 3u);
+
+  auto schedule = system_->backup_site()->api()->Get(
+      kKindSnapshotSchedule, "shop", "nightly");
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_EQ(schedule->StatusPhase(), "Active");
+  EXPECT_EQ(schedule->status.GetInt("generations"), 3);
+  EXPECT_EQ(schedule->status.GetString("lastGroup"), "nightly-g3");
+}
+
+TEST_F(ScheduleTest, RetentionPrunesOldestGenerations) {
+  ASSERT_TRUE(system_
+                  ->CreateSnapshotSchedule("shop", "freq",
+                                           Milliseconds(50), /*retain=*/2)
+                  .ok());
+  env_.RunFor(Milliseconds(420));  // 8 firings, retain 2.
+  EXPECT_EQ(GroupCrCount(), 2u);
+  // Array snapshots pruned along with the CRs.
+  EXPECT_EQ(system_->backup_site()->snapshots()->ListGroups().size(), 2u);
+  // The survivors are the newest generations.
+  bool saw_g7 = false, saw_g8 = false;
+  for (const Resource& vsg : system_->backup_site()->api()->List(
+           kKindVolumeSnapshotGroup, "shop")) {
+    saw_g7 |= vsg.name == "freq-g7";
+    saw_g8 |= vsg.name == "freq-g8";
+  }
+  EXPECT_TRUE(saw_g7);
+  EXPECT_TRUE(saw_g8);
+}
+
+TEST_F(ScheduleTest, DeletingScheduleStopsFiring) {
+  ASSERT_TRUE(system_
+                  ->CreateSnapshotSchedule("shop", "tmp", Milliseconds(50),
+                                           /*retain=*/5)
+                  .ok());
+  env_.RunFor(Milliseconds(120));
+  const size_t count = GroupCrCount();
+  EXPECT_GE(count, 2u);
+  ASSERT_TRUE(system_->backup_site()
+                  ->api()
+                  ->Delete(kKindSnapshotSchedule, "shop", "tmp")
+                  .ok());
+  env_.RunFor(Milliseconds(300));
+  EXPECT_EQ(GroupCrCount(), count);  // No new groups.
+}
+
+TEST_F(ScheduleTest, IntervalChangeRearmsTask) {
+  ASSERT_TRUE(system_
+                  ->CreateSnapshotSchedule("shop", "tune", Milliseconds(200),
+                                           /*retain=*/10)
+                  .ok());
+  env_.RunFor(Milliseconds(450));  // 2 firings at 200 ms cadence.
+  EXPECT_EQ(GroupCrCount(), 2u);
+  ASSERT_TRUE(system_->backup_site()->api()->Mutate(
+      kKindSnapshotSchedule, "shop", "tune", [](Resource* r) {
+        r->spec["intervalMs"] = 50;
+      }).ok());
+  env_.RunFor(Milliseconds(250));  // ~5 firings at 50 ms cadence.
+  EXPECT_GE(GroupCrCount(), 6u);
+}
+
+TEST_F(ScheduleTest, ZeroIntervalIgnored) {
+  ASSERT_TRUE(system_
+                  ->CreateSnapshotSchedule("shop", "broken",
+                                           SimDuration{0}, /*retain=*/2)
+                  .ok());
+  env_.RunFor(Milliseconds(300));
+  EXPECT_EQ(GroupCrCount(), 0u);
+}
+
+}  // namespace
+}  // namespace zerobak::csi

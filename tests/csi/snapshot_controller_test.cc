@@ -1,0 +1,160 @@
+// Snapshot plugin tests: group CRs, standalone VolumeSnapshot CRs and
+// handle parsing.
+#include "csi/snapshot_controller.h"
+
+#include <gtest/gtest.h>
+
+#include "container/cluster.h"
+
+namespace zerobak::csi {
+namespace {
+
+using container::kKindVolumeSnapshot;
+using container::kKindVolumeSnapshotGroup;
+using container::Resource;
+
+class SnapshotControllerTest : public ::testing::Test {
+ protected:
+  SnapshotControllerTest()
+      : array_(&env_, Config()), snapshots_(&array_), cluster_(&env_, "b") {
+    cluster_.controllers()->Register(
+        std::make_unique<SnapshotGroupController>(&snapshots_, &array_));
+    auto a = array_.CreateVolume("vol-a", 64);
+    auto b = array_.CreateVolume("vol-b", 64);
+    EXPECT_TRUE(a.ok() && b.ok());
+    vol_a_ = *a;
+    vol_b_ = *b;
+  }
+
+  static storage::ArrayConfig Config() {
+    storage::ArrayConfig cfg;
+    cfg.serial = "SNAPARR";
+    cfg.media = block::DeviceLatencyModel{0, 0, 0, 0, 1};
+    return cfg;
+  }
+
+  sim::SimEnvironment env_;
+  storage::StorageArray array_;
+  snapshot::SnapshotManager snapshots_;
+  container::Cluster cluster_;
+  storage::VolumeId vol_a_ = 0;
+  storage::VolumeId vol_b_ = 0;
+};
+
+TEST_F(SnapshotControllerTest, HandleRoundTrip) {
+  const std::string handle =
+      SnapshotGroupController::SnapshotHandle("SNAPARR", 42);
+  EXPECT_EQ(handle, "SNAPARR:snap:42");
+  auto parsed =
+      SnapshotGroupController::ParseSnapshotHandle("SNAPARR", handle);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, 42u);
+  EXPECT_FALSE(SnapshotGroupController::ParseSnapshotHandle(
+                   "OTHER", handle)
+                   .ok());
+  EXPECT_FALSE(SnapshotGroupController::ParseSnapshotHandle(
+                   "SNAPARR", "SNAPARR:snap:abc")
+                   .ok());
+}
+
+TEST_F(SnapshotControllerTest, GroupCrByHandles) {
+  Resource vsg;
+  vsg.kind = kKindVolumeSnapshotGroup;
+  vsg.ns = "apps";
+  vsg.name = "pair-snap";
+  Value handles = Value::MakeArray();
+  handles.Append(array_.VolumeHandle(vol_a_));
+  handles.Append(array_.VolumeHandle(vol_b_));
+  vsg.spec["volumeHandles"] = handles;
+  ASSERT_TRUE(cluster_.api()->Create(std::move(vsg)).ok());
+  env_.RunUntilIdle();
+
+  auto stored = cluster_.api()->Get(kKindVolumeSnapshotGroup, "apps",
+                                    "pair-snap");
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ(stored->StatusPhase(), "Ready");
+  EXPECT_EQ(snapshots_.snapshot_count(), 2u);
+  EXPECT_EQ(cluster_.api()->List(kKindVolumeSnapshot, "apps").size(), 2u);
+}
+
+TEST_F(SnapshotControllerTest, StandaloneVolumeSnapshot) {
+  Resource vs;
+  vs.kind = kKindVolumeSnapshot;
+  vs.ns = "apps";
+  vs.name = "manual-snap";
+  vs.spec["sourceHandle"] = array_.VolumeHandle(vol_a_);
+  ASSERT_TRUE(cluster_.api()->Create(std::move(vs)).ok());
+  env_.RunUntilIdle();
+
+  auto stored = cluster_.api()->Get(kKindVolumeSnapshot, "apps",
+                                    "manual-snap");
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ(stored->StatusPhase(), "Ready");
+  const std::string handle = stored->status.GetString("snapshotHandle");
+  auto sid =
+      SnapshotGroupController::ParseSnapshotHandle("SNAPARR", handle);
+  ASSERT_TRUE(sid.ok());
+  EXPECT_NE(snapshots_.GetSnapshot(*sid), nullptr);
+
+  // Deleting the CR removes the array snapshot.
+  ASSERT_TRUE(cluster_.api()
+                  ->Delete(kKindVolumeSnapshot, "apps", "manual-snap")
+                  .ok());
+  env_.RunUntilIdle();
+  EXPECT_EQ(snapshots_.GetSnapshot(*sid), nullptr);
+}
+
+TEST_F(SnapshotControllerTest, StandaloneForeignHandleIgnored) {
+  Resource vs;
+  vs.kind = kKindVolumeSnapshot;
+  vs.ns = "apps";
+  vs.name = "alien";
+  vs.spec["sourceHandle"] = "OTHER:9";
+  ASSERT_TRUE(cluster_.api()->Create(std::move(vs)).ok());
+  env_.RunUntilIdle();
+  auto stored = cluster_.api()->Get(kKindVolumeSnapshot, "apps", "alien");
+  EXPECT_NE(stored->StatusPhase(), "Ready");
+  EXPECT_EQ(snapshots_.snapshot_count(), 0u);
+}
+
+TEST_F(SnapshotControllerTest, GroupMembersNotDoubleManaged) {
+  // A group's member VolumeSnapshot objects (spec.groupName set) must not
+  // trigger additional standalone snapshots.
+  Resource vsg;
+  vsg.kind = kKindVolumeSnapshotGroup;
+  vsg.ns = "apps";
+  vsg.name = "g";
+  Value handles = Value::MakeArray();
+  handles.Append(array_.VolumeHandle(vol_a_));
+  vsg.spec["volumeHandles"] = handles;
+  ASSERT_TRUE(cluster_.api()->Create(std::move(vsg)).ok());
+  env_.RunUntilIdle();
+  EXPECT_EQ(snapshots_.snapshot_count(), 1u);
+  // Resync replays everything; still exactly one snapshot.
+  cluster_.controllers()->EnableResync(Milliseconds(5));
+  env_.RunFor(Milliseconds(30));
+  EXPECT_EQ(snapshots_.snapshot_count(), 1u);
+}
+
+TEST_F(SnapshotControllerTest, GroupDeletionRemovesSnapshotsAndMembers) {
+  Resource vsg;
+  vsg.kind = kKindVolumeSnapshotGroup;
+  vsg.ns = "apps";
+  vsg.name = "g";
+  Value handles = Value::MakeArray();
+  handles.Append(array_.VolumeHandle(vol_a_));
+  handles.Append(array_.VolumeHandle(vol_b_));
+  vsg.spec["volumeHandles"] = handles;
+  ASSERT_TRUE(cluster_.api()->Create(std::move(vsg)).ok());
+  env_.RunUntilIdle();
+  EXPECT_EQ(snapshots_.snapshot_count(), 2u);
+
+  ASSERT_TRUE(
+      cluster_.api()->Delete(kKindVolumeSnapshotGroup, "apps", "g").ok());
+  env_.RunUntilIdle();
+  EXPECT_EQ(snapshots_.snapshot_count(), 0u);
+  EXPECT_TRUE(cluster_.api()->List(kKindVolumeSnapshot, "apps").empty());
+}
+
+}  // namespace
+}  // namespace zerobak::csi

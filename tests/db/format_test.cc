@@ -1,0 +1,140 @@
+#include "db/format.h"
+
+#include <gtest/gtest.h>
+
+#include "block/block_device.h"
+
+namespace zerobak::db {
+namespace {
+
+TEST(SuperblockTest, EncodeDecodeRoundTrip) {
+  Superblock sb;
+  sb.checkpoint_blocks = 128;
+  sb.wal_blocks = 512;
+  sb.generation = 7;
+  sb.active_slot = 1;
+  sb.checkpoint_lsn = 999;
+  sb.checkpoint_length = 12345;
+  sb.checkpoint_crc = 0xabcdef01;
+  const std::string block = sb.Encode(block::kDefaultBlockSize);
+  EXPECT_EQ(block.size(), block::kDefaultBlockSize);
+
+  auto decoded = Superblock::Decode(block);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->checkpoint_blocks, 128u);
+  EXPECT_EQ(decoded->wal_blocks, 512u);
+  EXPECT_EQ(decoded->generation, 7u);
+  EXPECT_EQ(decoded->active_slot, 1u);
+  EXPECT_EQ(decoded->checkpoint_lsn, 999u);
+  EXPECT_EQ(decoded->checkpoint_length, 12345u);
+  EXPECT_EQ(decoded->checkpoint_crc, 0xabcdef01u);
+}
+
+TEST(SuperblockTest, CorruptionDetected) {
+  Superblock sb;
+  std::string block = sb.Encode(block::kDefaultBlockSize);
+  block[10] ^= 0x1;
+  EXPECT_EQ(Superblock::Decode(block).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(SuperblockTest, ZeroBlockIsNotASuperblock) {
+  std::string zeros(block::kDefaultBlockSize, '\0');
+  EXPECT_FALSE(Superblock::Decode(zeros).ok());
+}
+
+WalRecord SampleRecord() {
+  WalRecord rec;
+  rec.lsn = 42;
+  rec.txn_id = 7;
+  rec.generation = 3;
+  rec.ops.push_back(Op{OpType::kPut, "orders", "o-1", "{\"x\":1}"});
+  rec.ops.push_back(Op{OpType::kDelete, "stock", "item-2", ""});
+  return rec;
+}
+
+TEST(WalRecordTest, EncodeDecodeRoundTrip) {
+  const std::string bytes = SampleRecord().Encode();
+  std::string_view in(bytes);
+  auto decoded = WalRecord::Decode(&in);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(in.empty());
+  EXPECT_EQ(decoded->lsn, 42u);
+  EXPECT_EQ(decoded->txn_id, 7u);
+  EXPECT_EQ(decoded->generation, 3u);
+  ASSERT_EQ(decoded->ops.size(), 2u);
+  EXPECT_EQ(decoded->ops[0].type, OpType::kPut);
+  EXPECT_EQ(decoded->ops[0].table, "orders");
+  EXPECT_EQ(decoded->ops[0].value, "{\"x\":1}");
+  EXPECT_EQ(decoded->ops[1].type, OpType::kDelete);
+}
+
+TEST(WalRecordTest, SequentialRecordsParse) {
+  std::string log;
+  for (int i = 1; i <= 5; ++i) {
+    WalRecord rec = SampleRecord();
+    rec.lsn = static_cast<uint64_t>(i);
+    log += rec.Encode();
+  }
+  std::string_view in(log);
+  for (int i = 1; i <= 5; ++i) {
+    auto rec = WalRecord::Decode(&in);
+    ASSERT_TRUE(rec.ok());
+    EXPECT_EQ(rec->lsn, static_cast<uint64_t>(i));
+  }
+  EXPECT_FALSE(WalRecord::Decode(&in).ok());
+}
+
+TEST(WalRecordTest, ZeroedTailIsCleanEnd) {
+  std::string log = SampleRecord().Encode();
+  log += std::string(64, '\0');
+  std::string_view in(log);
+  ASSERT_TRUE(WalRecord::Decode(&in).ok());
+  auto end = WalRecord::Decode(&in);
+  EXPECT_EQ(end.status().code(), StatusCode::kNotFound);  // Clean end.
+}
+
+TEST(WalRecordTest, TornRecordIsDataLoss) {
+  const std::string bytes = SampleRecord().Encode();
+  // Cut the record in half — simulating a crash mid-write.
+  std::string torn = bytes.substr(0, bytes.size() / 2);
+  torn += std::string(64, '\0');
+  std::string_view in(torn);
+  EXPECT_EQ(WalRecord::Decode(&in).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(WalRecordTest, BitFlipIsDataLoss) {
+  std::string bytes = SampleRecord().Encode();
+  bytes[bytes.size() - 1] ^= 0x10;
+  std::string_view in(bytes);
+  EXPECT_EQ(WalRecord::Decode(&in).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(CheckpointTest, RoundTrip) {
+  TableData tables;
+  tables["orders"]["o-1"] = "v1";
+  tables["orders"]["o-2"] = "v2";
+  tables["stock"]["item-1"] = "{\"q\":5}";
+  tables["empty"] = {};
+  const std::string image = EncodeCheckpoint(tables);
+  auto decoded = DecodeCheckpoint(image);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, tables);
+}
+
+TEST(CheckpointTest, EmptyDatabase) {
+  auto decoded = DecodeCheckpoint(EncodeCheckpoint(TableData{}));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(CheckpointTest, TruncationDetected) {
+  TableData tables;
+  tables["t"]["k"] = "value";
+  std::string image = EncodeCheckpoint(tables);
+  image.resize(image.size() - 3);
+  EXPECT_EQ(DecodeCheckpoint(image).status().code(), StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace zerobak::db

@@ -1,0 +1,198 @@
+// Edge cases and adversarial scenarios for the mini database: stale-log
+// resurrection, torn multi-block records, oversized transactions, and
+// image-level corruption.
+#include <gtest/gtest.h>
+
+#include "block/mem_volume.h"
+#include "common/crc32c.h"
+#include "db/minidb.h"
+
+namespace zerobak::db {
+namespace {
+
+DbOptions Opts() {
+  DbOptions o;
+  o.checkpoint_blocks = 32;
+  o.wal_blocks = 64;
+  return o;
+}
+
+constexpr uint64_t kBlocks = 1 + 2 * 32 + 64;
+
+class MiniDbEdgeTest : public ::testing::Test {
+ protected:
+  MiniDbEdgeTest() : device_(kBlocks) {
+    EXPECT_TRUE(MiniDb::Format(&device_, Opts()).ok());
+  }
+  block::MemVolume device_;
+};
+
+TEST_F(MiniDbEdgeTest, StaleGenerationRecordsCannotResurrect) {
+  {
+    auto db = std::move(MiniDb::Open(&device_, Opts())).value();
+    // Generation 1: write a secret, then delete it.
+    Transaction t1 = db->Begin();
+    t1.Put("t", "secret", "v");
+    ASSERT_TRUE(db->Commit(std::move(t1)).ok());
+    // Checkpoint captures the state WITH the secret; then delete it and
+    // checkpoint again: the delete is in the image, the old "put secret"
+    // record bytes may still sit in the WAL region.
+    ASSERT_TRUE(db->Checkpoint().ok());
+    Transaction t2 = db->Begin();
+    t2.Delete("t", "secret");
+    ASSERT_TRUE(db->Commit(std::move(t2)).ok());
+    ASSERT_TRUE(db->Checkpoint().ok());
+  }
+  auto db = MiniDb::Open(&device_, Opts());
+  ASSERT_TRUE(db.ok());
+  // The stale generation-1/2 WAL leftovers must not replay.
+  EXPECT_FALSE((*db)->Exists("t", "secret"));
+  EXPECT_EQ((*db)->recovered_txns(), 0u);
+}
+
+TEST_F(MiniDbEdgeTest, TornMultiBlockRecordRecoversPrefix) {
+  uint64_t committed_before = 0;
+  {
+    auto db = std::move(MiniDb::Open(&device_, Opts())).value();
+    Transaction t1 = db->Begin();
+    t1.Put("t", "small", "x");
+    ASSERT_TRUE(db->Commit(std::move(t1)).ok());
+    committed_before = db->last_lsn();
+    // A record spanning several blocks.
+    Transaction t2 = db->Begin();
+    t2.Put("t", "big", std::string(3 * block::kDefaultBlockSize, 'B'));
+    ASSERT_TRUE(db->Commit(std::move(t2)).ok());
+  }
+  // Tear the big record: zero its last WAL block (as if the final block
+  // write never reached the media).
+  const uint64_t wal_start = 1 + 2 * 32;
+  // Find the last allocated WAL block and zero it.
+  uint64_t last = wal_start;
+  for (uint64_t b = wal_start; b < wal_start + 64; ++b) {
+    if (device_.IsAllocated(b)) last = b;
+  }
+  ASSERT_TRUE(device_
+                  .Write(last, 1,
+                         std::string(block::kDefaultBlockSize, '\0'))
+                  .ok());
+
+  auto db = MiniDb::Open(&device_, Opts());
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE((*db)->Exists("t", "small"));
+  EXPECT_FALSE((*db)->Exists("t", "big"));  // Torn txn rolled away.
+  EXPECT_EQ((*db)->last_lsn(), committed_before);
+
+  // And the database keeps working: the WAL tail is reusable.
+  Transaction t3 = (*db)->Begin();
+  t3.Put("t", "after", "y");
+  EXPECT_TRUE((*db)->Commit(std::move(t3)).ok());
+}
+
+TEST_F(MiniDbEdgeTest, TransactionLargerThanWalRejected) {
+  auto db = std::move(MiniDb::Open(&device_, Opts())).value();
+  Transaction txn = db->Begin();
+  // 64 WAL blocks = 256 KiB; this value alone exceeds it.
+  txn.Put("t", "huge", std::string(300 * 1024, 'H'));
+  EXPECT_EQ(db->Commit(std::move(txn)).code(),
+            StatusCode::kResourceExhausted);
+  // State unchanged and usable.
+  EXPECT_FALSE(db->Exists("t", "huge"));
+  Transaction ok = db->Begin();
+  ok.Put("t", "k", "v");
+  EXPECT_TRUE(db->Commit(std::move(ok)).ok());
+}
+
+TEST_F(MiniDbEdgeTest, CorruptCheckpointImageDetected) {
+  {
+    auto db = std::move(MiniDb::Open(&device_, Opts())).value();
+    Transaction txn = db->Begin();
+    txn.Put("t", "k", "v");
+    ASSERT_TRUE(db->Commit(std::move(txn)).ok());
+    ASSERT_TRUE(db->Checkpoint().ok());
+  }
+  // Flip a bit in the active checkpoint slot (slot 1 after the first
+  // checkpoint, starting at block 1 + 32) — inside the image itself,
+  // whose first bytes are the table count and table name.
+  std::string block;
+  ASSERT_TRUE(device_.Read(1 + 32, 1, &block).ok());
+  block[2] ^= 0x1;
+  ASSERT_TRUE(device_.Write(1 + 32, 1, block).ok());
+  auto db = MiniDb::Open(&device_, Opts());
+  EXPECT_EQ(db.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(MiniDbEdgeTest, EmptyDatabaseCheckpointAndReopen) {
+  {
+    auto db = std::move(MiniDb::Open(&device_, Opts())).value();
+    ASSERT_TRUE(db->Checkpoint().ok());
+  }
+  auto db = MiniDb::Open(&device_, Opts());
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE((*db)->ListTables().empty());
+}
+
+TEST_F(MiniDbEdgeTest, ManyReopensAreIdempotent) {
+  {
+    auto db = std::move(MiniDb::Open(&device_, Opts())).value();
+    Transaction txn = db->Begin();
+    txn.Put("t", "k", "v");
+    ASSERT_TRUE(db->Commit(std::move(txn)).ok());
+  }
+  for (int i = 0; i < 5; ++i) {
+    auto db = MiniDb::Open(&device_, Opts());
+    ASSERT_TRUE(db.ok()) << "reopen " << i;
+    EXPECT_EQ((*db)->Get("t", "k").value(), "v");
+    EXPECT_EQ((*db)->RowCount("t"), 1u);
+  }
+}
+
+TEST_F(MiniDbEdgeTest, DeleteOfMissingKeyIsHarmless) {
+  auto db = std::move(MiniDb::Open(&device_, Opts())).value();
+  Transaction txn = db->Begin();
+  txn.Delete("ghost-table", "ghost-key");
+  EXPECT_TRUE(db->Commit(std::move(txn)).ok());
+  EXPECT_EQ(db->RowCount("ghost-table"), 0u);
+}
+
+TEST_F(MiniDbEdgeTest, BinaryKeysAndValuesSurvive) {
+  std::string key("k\0ey", 4);
+  std::string value;
+  for (int i = 0; i < 256; ++i) value.push_back(static_cast<char>(i));
+  {
+    auto db = std::move(MiniDb::Open(&device_, Opts())).value();
+    Transaction txn = db->Begin();
+    txn.Put("bin", key, value);
+    ASSERT_TRUE(db->Commit(std::move(txn)).ok());
+  }
+  auto db = MiniDb::Open(&device_, Opts());
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->Get("bin", key).value(), value);
+}
+
+class WalSizeTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Property sweep: the WAL-full/auto-checkpoint machinery works at any
+// WAL size that fits a record.
+TEST_P(WalSizeTest, SustainedWritesAtAnyWalSize) {
+  DbOptions opts;
+  opts.checkpoint_blocks = 32;
+  opts.wal_blocks = GetParam();
+  block::MemVolume device(1 + 2 * 32 + GetParam());
+  ASSERT_TRUE(MiniDb::Format(&device, opts).ok());
+  auto db = std::move(MiniDb::Open(&device, opts)).value();
+  for (int i = 0; i < 300; ++i) {
+    Transaction txn = db->Begin();
+    txn.Put("t", "k" + std::to_string(i % 20), std::string(500, 'v'));
+    ASSERT_TRUE(db->Commit(std::move(txn)).ok()) << "i=" << i;
+  }
+  EXPECT_EQ(db->RowCount("t"), 20u);
+  auto reopened = MiniDb::Open(&device, opts);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->RowCount("t"), 20u);
+}
+
+INSTANTIATE_TEST_SUITE_P(WalSizes, WalSizeTest,
+                         ::testing::Values(2, 4, 16, 64, 256));
+
+}  // namespace
+}  // namespace zerobak::db

@@ -1,0 +1,253 @@
+#include "db/minidb.h"
+
+#include <gtest/gtest.h>
+
+#include "block/mem_volume.h"
+
+namespace zerobak::db {
+namespace {
+
+DbOptions SmallOptions() {
+  DbOptions opts;
+  opts.checkpoint_blocks = 64;
+  opts.wal_blocks = 128;
+  return opts;
+}
+
+constexpr uint64_t kDeviceBlocks = 1 + 2 * 64 + 128;
+
+class MiniDbTest : public ::testing::Test {
+ protected:
+  MiniDbTest() : device_(kDeviceBlocks) {
+    EXPECT_TRUE(MiniDb::Format(&device_, SmallOptions()).ok());
+  }
+
+  std::unique_ptr<MiniDb> OpenDb() {
+    auto db = MiniDb::Open(&device_, SmallOptions());
+    EXPECT_TRUE(db.ok()) << db.status();
+    return std::move(db).value();
+  }
+
+  block::MemVolume device_;
+};
+
+TEST_F(MiniDbTest, FormatRequiresEnoughSpace) {
+  block::MemVolume tiny(10);
+  EXPECT_EQ(MiniDb::Format(&tiny, SmallOptions()).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(MiniDbTest, OpenUnformattedDeviceFails) {
+  block::MemVolume raw(kDeviceBlocks);
+  EXPECT_EQ(MiniDb::Open(&raw, SmallOptions()).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST_F(MiniDbTest, CommitAndRead) {
+  auto db = OpenDb();
+  Transaction txn = db->Begin();
+  txn.Put("users", "alice", "admin");
+  txn.Put("users", "bob", "viewer");
+  ASSERT_TRUE(db->Commit(std::move(txn)).ok());
+
+  auto v = db->Get("users", "alice");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "admin");
+  EXPECT_TRUE(db->Exists("users", "bob"));
+  EXPECT_FALSE(db->Exists("users", "carol"));
+  EXPECT_EQ(db->RowCount("users"), 2u);
+  EXPECT_EQ(db->committed_txns(), 1u);
+  EXPECT_EQ(db->last_lsn(), 1u);
+}
+
+TEST_F(MiniDbTest, GetMissingIsNotFound) {
+  auto db = OpenDb();
+  EXPECT_EQ(db->Get("none", "k").status().code(), StatusCode::kNotFound);
+  Transaction txn = db->Begin();
+  txn.Put("t", "a", "1");
+  ASSERT_TRUE(db->Commit(std::move(txn)).ok());
+  EXPECT_EQ(db->Get("t", "missing").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(MiniDbTest, DeleteRemovesRow) {
+  auto db = OpenDb();
+  Transaction t1 = db->Begin();
+  t1.Put("t", "k", "v");
+  ASSERT_TRUE(db->Commit(std::move(t1)).ok());
+  Transaction t2 = db->Begin();
+  t2.Delete("t", "k");
+  ASSERT_TRUE(db->Commit(std::move(t2)).ok());
+  EXPECT_FALSE(db->Exists("t", "k"));
+}
+
+TEST_F(MiniDbTest, EmptyTransactionIsNoop) {
+  auto db = OpenDb();
+  ASSERT_TRUE(db->Commit(db->Begin()).ok());
+  EXPECT_EQ(db->committed_txns(), 0u);
+  EXPECT_EQ(db->last_lsn(), 0u);
+}
+
+TEST_F(MiniDbTest, TransactionIsAtomicAcrossReopen) {
+  {
+    auto db = OpenDb();
+    Transaction txn = db->Begin();
+    txn.Put("a", "k1", "v1");
+    txn.Put("b", "k2", "v2");
+    ASSERT_TRUE(db->Commit(std::move(txn)).ok());
+  }
+  auto db = OpenDb();  // Recovery replays the WAL.
+  EXPECT_EQ(db->Get("a", "k1").value(), "v1");
+  EXPECT_EQ(db->Get("b", "k2").value(), "v2");
+  EXPECT_EQ(db->recovered_txns(), 1u);
+}
+
+TEST_F(MiniDbTest, ScanReturnsAllRowsSorted) {
+  auto db = OpenDb();
+  Transaction txn = db->Begin();
+  txn.Put("t", "c", "3");
+  txn.Put("t", "a", "1");
+  txn.Put("t", "b", "2");
+  ASSERT_TRUE(db->Commit(std::move(txn)).ok());
+  const auto& rows = db->Scan("t");
+  ASSERT_EQ(rows.size(), 3u);
+  auto it = rows.begin();
+  EXPECT_EQ(it->first, "a");
+  EXPECT_EQ((++it)->first, "b");
+  EXPECT_EQ(db->Scan("missing").size(), 0u);
+}
+
+TEST_F(MiniDbTest, ScanPrefix) {
+  auto db = OpenDb();
+  Transaction txn = db->Begin();
+  txn.Put("t", "order-001", "a");
+  txn.Put("t", "order-002", "b");
+  txn.Put("t", "order-010", "c");
+  txn.Put("t", "payment-001", "d");
+  txn.Put("t", "mv-001", "e");
+  ASSERT_TRUE(db->Commit(std::move(txn)).ok());
+
+  auto orders = db->ScanPrefix("t", "order-");
+  ASSERT_EQ(orders.size(), 3u);
+  EXPECT_EQ(orders[0].first, "order-001");
+  EXPECT_EQ(orders[2].first, "order-010");
+  EXPECT_EQ(db->ScanPrefix("t", "order-00").size(), 2u);
+  EXPECT_TRUE(db->ScanPrefix("t", "zzz").empty());
+  EXPECT_TRUE(db->ScanPrefix("missing", "x").empty());
+  // Empty prefix = full scan.
+  EXPECT_EQ(db->ScanPrefix("t", "").size(), 5u);
+}
+
+TEST_F(MiniDbTest, ListTables) {
+  auto db = OpenDb();
+  Transaction txn = db->Begin();
+  txn.Put("orders", "k", "v");
+  txn.Put("stock", "k", "v");
+  ASSERT_TRUE(db->Commit(std::move(txn)).ok());
+  auto tables = db->ListTables();
+  ASSERT_EQ(tables.size(), 2u);
+  EXPECT_EQ(tables[0], "orders");
+  EXPECT_EQ(tables[1], "stock");
+}
+
+TEST_F(MiniDbTest, CheckpointPreservesStateAcrossReopen) {
+  {
+    auto db = OpenDb();
+    for (int i = 0; i < 20; ++i) {
+      Transaction txn = db->Begin();
+      txn.Put("t", "k" + std::to_string(i), "v" + std::to_string(i));
+      ASSERT_TRUE(db->Commit(std::move(txn)).ok());
+    }
+    ASSERT_TRUE(db->Checkpoint().ok());
+    EXPECT_EQ(db->wal_bytes_used(), 0u);
+    EXPECT_EQ(db->generation(), 2u);
+    // More commits after the checkpoint land in the new WAL generation.
+    Transaction txn = db->Begin();
+    txn.Put("t", "post", "checkpoint");
+    ASSERT_TRUE(db->Commit(std::move(txn)).ok());
+  }
+  auto db = OpenDb();
+  EXPECT_EQ(db->RowCount("t"), 21u);
+  EXPECT_EQ(db->Get("t", "post").value(), "checkpoint");
+  EXPECT_EQ(db->recovered_txns(), 1u);  // Only the post-checkpoint txn.
+}
+
+TEST_F(MiniDbTest, WalFullTriggersAutoCheckpoint) {
+  auto db = OpenDb();
+  // 128 WAL blocks * 4 KiB = 512 KiB; write until it must have wrapped.
+  const std::string value(1000, 'v');
+  for (int i = 0; i < 1000; ++i) {
+    Transaction txn = db->Begin();
+    txn.Put("t", "k" + std::to_string(i % 50), value);
+    ASSERT_TRUE(db->Commit(std::move(txn)).ok());
+  }
+  EXPECT_GT(db->generation(), 1u);  // Auto-checkpoint happened.
+  EXPECT_EQ(db->RowCount("t"), 50u);
+
+  // And everything is still recoverable.
+  auto reopened = MiniDb::Open(&device_, SmallOptions());
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->RowCount("t"), 50u);
+}
+
+TEST_F(MiniDbTest, AutoCheckpointDisabledReturnsExhausted) {
+  DbOptions opts = SmallOptions();
+  opts.auto_checkpoint = false;
+  ASSERT_TRUE(MiniDb::Format(&device_, opts).ok());
+  auto db = MiniDb::Open(&device_, opts);
+  ASSERT_TRUE(db.ok());
+  const std::string value(4000, 'v');
+  Status last = OkStatus();
+  for (int i = 0; i < 1000 && last.ok(); ++i) {
+    Transaction txn = (*db)->Begin();
+    txn.Put("t", "k" + std::to_string(i), value);
+    last = (*db)->Commit(std::move(txn));
+  }
+  EXPECT_EQ(last.code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(MiniDbTest, ReadOnlyRejectsWrites) {
+  {
+    auto db = OpenDb();
+    Transaction txn = db->Begin();
+    txn.Put("t", "k", "v");
+    ASSERT_TRUE(db->Commit(std::move(txn)).ok());
+  }
+  DbOptions opts = SmallOptions();
+  opts.read_only = true;
+  auto db = MiniDb::Open(&device_, opts);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->Get("t", "k").value(), "v");
+  Transaction txn = (*db)->Begin();
+  txn.Put("t", "k2", "v2");
+  EXPECT_EQ((*db)->Commit(std::move(txn)).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ((*db)->Checkpoint().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(MiniDbTest, OverwriteKeepsLatestValue) {
+  auto db = OpenDb();
+  for (int i = 0; i < 5; ++i) {
+    Transaction txn = db->Begin();
+    txn.Put("t", "k", "v" + std::to_string(i));
+    ASSERT_TRUE(db->Commit(std::move(txn)).ok());
+  }
+  EXPECT_EQ(db->Get("t", "k").value(), "v4");
+  auto reopened = MiniDb::Open(&device_, SmallOptions());
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->Get("t", "k").value(), "v4");
+}
+
+TEST_F(MiniDbTest, LargeValuesSpanBlocks) {
+  auto db = OpenDb();
+  const std::string big(3 * block::kDefaultBlockSize, 'B');
+  Transaction txn = db->Begin();
+  txn.Put("t", "big", big);
+  ASSERT_TRUE(db->Commit(std::move(txn)).ok());
+  EXPECT_EQ(db->Get("t", "big").value(), big);
+  auto reopened = MiniDb::Open(&device_, SmallOptions());
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->Get("t", "big").value(), big);
+}
+
+}  // namespace
+}  // namespace zerobak::db

@@ -1,0 +1,181 @@
+// The three-resource business process (Section I names "inventory and
+// payment databases"): orders touch the stock, payments and sales
+// databases in a strict happens-before chain across THREE volumes. The
+// consistency group must hold the whole chain together; per-volume ADC
+// has two independent seams to tear at.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "core/demo_system.h"
+#include "workload/ecommerce.h"
+#include "workload/invariants.h"
+
+namespace zerobak::core {
+namespace {
+
+struct ThreeDbBusiness {
+  std::unique_ptr<storage::ArrayVolumeDevice> sales_dev;
+  std::unique_ptr<storage::ArrayVolumeDevice> stock_dev;
+  std::unique_ptr<storage::ArrayVolumeDevice> payments_dev;
+  std::unique_ptr<db::MiniDb> sales_db;
+  std::unique_ptr<db::MiniDb> stock_db;
+  std::unique_ptr<db::MiniDb> payments_db;
+  std::unique_ptr<workload::EcommerceApp> app;
+};
+
+ThreeDbBusiness DeployThreeDb(DemoSystem* system, uint64_t seed) {
+  ThreeDbBusiness biz;
+  ZB_CHECK(system->CreateBusinessNamespace("shop").ok());
+  for (const char* pvc : {"sales-db", "stock-db", "payments-db"}) {
+    ZB_CHECK(system->CreatePvc("shop", pvc, 8 << 20).ok());
+  }
+  system->env()->RunFor(Milliseconds(10));
+  auto open = [&](const char* pvc,
+                  std::unique_ptr<storage::ArrayVolumeDevice>* dev) {
+    auto vol = system->ResolveMainVolume("shop", pvc);
+    ZB_CHECK(vol.ok());
+    *dev = std::make_unique<storage::ArrayVolumeDevice>(
+        system->main_site()->array(), *vol);
+    ZB_CHECK(db::MiniDb::Format(dev->get(), bench::BenchDbOptions()).ok());
+    return std::move(
+               db::MiniDb::Open(dev->get(), bench::BenchDbOptions()))
+        .value();
+  };
+  biz.sales_db = open("sales-db", &biz.sales_dev);
+  biz.stock_db = open("stock-db", &biz.stock_dev);
+  biz.payments_db = open("payments-db", &biz.payments_dev);
+  workload::EcommerceConfig cfg;
+  cfg.seed = seed;
+  biz.app = std::make_unique<workload::EcommerceApp>(
+      biz.sales_db.get(), biz.stock_db.get(), biz.payments_db.get(), cfg);
+  ZB_CHECK(biz.app->InitializeCatalog().ok());
+  return biz;
+}
+
+// Recovers all three DBs on the backup site and checks the invariants.
+workload::CollapseReport RecoverAndCheck(DemoSystem* system) {
+  db::DbOptions ro = bench::BenchDbOptions();
+  ro.read_only = true;
+  auto open = [&](const char* pvc) {
+    auto vol = system->ResolveBackupVolume("shop", pvc);
+    ZB_CHECK(vol.ok());
+    auto dev = std::make_unique<storage::ArrayVolumeDevice>(
+        system->backup_site()->array(), *vol);
+    auto db = db::MiniDb::Open(dev.get(), ro);
+    ZB_CHECK(db.ok());
+    return std::make_pair(std::move(dev), std::move(db).value());
+  };
+  auto [sales_dev, sales] = open("sales-db");
+  auto [stock_dev, stock] = open("stock-db");
+  auto [pay_dev, payments] = open("payments-db");
+  return workload::CheckConsistency(sales.get(), stock.get(),
+                                    payments.get());
+}
+
+TEST(ThreeResourceTest, OrderTouchesAllThreeDatabases) {
+  sim::SimEnvironment env;
+  DemoSystem system(&env, bench::FunctionalConfig());
+  ThreeDbBusiness biz = DeployThreeDb(&system, 1);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(biz.app->PlaceOrder().ok());
+  EXPECT_EQ(biz.sales_db->RowCount(workload::kOrderTable), 10u);
+  EXPECT_EQ(biz.stock_db->RowCount(workload::kMovementTable), 10u);
+  EXPECT_EQ(biz.payments_db->RowCount(workload::kPaymentTable), 10u);
+
+  auto report = workload::CheckConsistency(
+      biz.sales_db.get(), biz.stock_db.get(), biz.payments_db.get());
+  EXPECT_FALSE(report.collapsed()) << report.ToString();
+  EXPECT_EQ(report.payments, 10u);
+  EXPECT_EQ(report.orders_without_payment, 0u);
+}
+
+TEST(ThreeResourceTest, MissingPaymentIsACollapse) {
+  sim::SimEnvironment env;
+  DemoSystem system(&env, bench::FunctionalConfig());
+  ThreeDbBusiness biz = DeployThreeDb(&system, 2);
+  ASSERT_TRUE(biz.app->PlaceOrder().ok());
+  // Fabricate an order whose payment never happened.
+  db::Transaction txn = biz.sales_db->Begin();
+  Value order = Value::MakeObject();
+  order["item"] = workload::ItemKey(0);
+  order["quantity"] = 1;
+  order["amountCents"] = 1;
+  txn.Put(workload::kOrderTable, workload::OrderKey(500), order.ToJson());
+  // It needs a movement so only the payment check fires.
+  db::Transaction mv = biz.stock_db->Begin();
+  Value movement = Value::MakeObject();
+  movement["orderId"] = 500;
+  movement["item"] = workload::ItemKey(0);
+  movement["quantity"] = 0;
+  mv.Put(workload::kMovementTable, workload::MovementKey(500),
+         movement.ToJson());
+  ASSERT_TRUE(biz.stock_db->Commit(std::move(mv)).ok());
+  ASSERT_TRUE(biz.sales_db->Commit(std::move(txn)).ok());
+
+  auto report = workload::CheckConsistency(
+      biz.sales_db.get(), biz.stock_db.get(), biz.payments_db.get());
+  EXPECT_TRUE(report.collapsed());
+  EXPECT_EQ(report.orders_without_payment, 1u);
+  EXPECT_NE(report.ToString().find("unpaid_orders=1"), std::string::npos);
+}
+
+TEST(ThreeResourceTest, ConsistencyGroupProtectsTheWholeChain) {
+  // Disaster drills over the 3-volume group: never collapsed.
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    sim::SimEnvironment env;
+    DemoSystemConfig config = bench::FunctionalConfig();
+    config.link.base_latency = Milliseconds(2);
+    config.link.jitter = Milliseconds(6);
+    config.link.seed = seed;
+    DemoSystem system(&env, config);
+    ThreeDbBusiness biz = DeployThreeDb(&system, seed);
+    ASSERT_TRUE(system.TagNamespaceForBackup("shop").ok());
+    ASSERT_TRUE(system.WaitForBackupConfigured("shop").ok());
+    // Three pairs, one shared group.
+    auto group = system.ReplicationGroupOf("shop");
+    ASSERT_TRUE(group.ok());
+    EXPECT_EQ(system.replication()->ListGroupPairs(*group).size(), 3u);
+
+    Rng rng(seed);
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(biz.app->PlaceOrder().ok());
+      env.RunFor(static_cast<SimDuration>(rng.Uniform(Microseconds(300))));
+    }
+    system.FailMainSite();
+    ASSERT_TRUE(system.Failover("shop").ok());
+    auto report = RecoverAndCheck(&system);
+    EXPECT_FALSE(report.collapsed())
+        << "seed " << seed << ": " << report.ToString();
+  }
+}
+
+TEST(ThreeResourceTest, PerVolumeAdcTearsTheChain) {
+  int collapsed = 0;
+  for (uint64_t seed = 1; seed <= 10 && collapsed == 0; ++seed) {
+    sim::SimEnvironment env;
+    DemoSystemConfig config = bench::FunctionalConfig();
+    config.link.base_latency = Milliseconds(2);
+    config.link.jitter = Milliseconds(6);
+    config.link.seed = seed;
+    config.nso.per_volume = true;
+    DemoSystem system(&env, config);
+    ThreeDbBusiness biz = DeployThreeDb(&system, seed);
+    ZB_CHECK(system.TagNamespaceForBackup("shop").ok());
+    ZB_CHECK(system.WaitForBackupConfigured("shop").ok());
+    Rng rng(seed);
+    for (int i = 0; i < 100; ++i) {
+      ZB_CHECK(biz.app->PlaceOrder().ok());
+      env.RunFor(static_cast<SimDuration>(rng.Uniform(Microseconds(300))));
+    }
+    system.FailMainSite();
+    ZB_CHECK(system.Failover("shop").ok());
+    if (RecoverAndCheck(&system).collapsed()) ++collapsed;
+  }
+  EXPECT_GT(collapsed, 0)
+      << "three independent per-volume streams never tore the chain";
+}
+
+}  // namespace
+}  // namespace zerobak::core

@@ -1,0 +1,416 @@
+#include "replication/replication.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/array.h"
+
+namespace zerobak::replication {
+namespace {
+
+std::string BlockOf(char c) {
+  return std::string(block::kDefaultBlockSize, c);
+}
+
+storage::ArrayConfig ZeroLatency(const std::string& serial) {
+  storage::ArrayConfig cfg;
+  cfg.serial = serial;
+  cfg.media = block::DeviceLatencyModel{0, 0, 0, 0, 1};
+  return cfg;
+}
+
+class ReplicationTest : public ::testing::Test {
+ protected:
+  ReplicationTest()
+      : main_(&env_, ZeroLatency("MAIN")),
+        backup_(&env_, ZeroLatency("BKUP")),
+        to_backup_(&env_, LinkConfig(1), "fwd"),
+        to_main_(&env_, LinkConfig(2), "rev"),
+        engine_(&env_, &main_, &backup_, &to_backup_, &to_main_) {}
+
+  static sim::NetworkLinkConfig LinkConfig(uint64_t seed) {
+    sim::NetworkLinkConfig cfg;
+    cfg.base_latency = Milliseconds(5);
+    cfg.jitter = 0;
+    cfg.bandwidth_bytes_per_sec = 0;
+    cfg.seed = seed;
+    return cfg;
+  }
+
+  // Creates same-geometry volumes on both arrays.
+  std::pair<storage::VolumeId, storage::VolumeId> MakeVolumes(
+      const std::string& name, uint64_t blocks = 64) {
+    auto p = main_.CreateVolume(name, blocks);
+    auto s = backup_.CreateVolume("r-" + name, blocks);
+    EXPECT_TRUE(p.ok() && s.ok());
+    return {*p, *s};
+  }
+
+  GroupId MakeGroup(uint64_t capacity = 16 << 20) {
+    ConsistencyGroupConfig cfg;
+    cfg.name = "cg";
+    cfg.journal_capacity_bytes = capacity;
+    auto g = engine_.CreateConsistencyGroup(cfg);
+    EXPECT_TRUE(g.ok());
+    return *g;
+  }
+
+  PairId MakeAsyncPair(storage::VolumeId p, storage::VolumeId s,
+                       GroupId group) {
+    PairConfig cfg;
+    cfg.name = "pair";
+    cfg.primary = p;
+    cfg.secondary = s;
+    cfg.mode = ReplicationMode::kAsynchronous;
+    auto id = engine_.CreateAsyncPair(cfg, group);
+    EXPECT_TRUE(id.ok()) << id.status();
+    return id.ok() ? *id : 0;
+  }
+
+  bool Converged(storage::VolumeId p, storage::VolumeId s) {
+    return main_.GetVolume(p)->ContentEquals(*backup_.GetVolume(s));
+  }
+
+  sim::SimEnvironment env_;
+  storage::StorageArray main_;
+  storage::StorageArray backup_;
+  sim::NetworkLink to_backup_;
+  sim::NetworkLink to_main_;
+  ReplicationEngine engine_;
+};
+
+TEST_F(ReplicationTest, EmptyPairIsImmediatelyPaired) {
+  auto [p, s] = MakeVolumes("v");
+  GroupId g = MakeGroup();
+  PairId pair = MakeAsyncPair(p, s, g);
+  EXPECT_EQ(engine_.GetPair(pair)->state(), PairState::kPaired);
+  EXPECT_TRUE(engine_.GroupInitialCopyDone(g));
+}
+
+TEST_F(ReplicationTest, InitialCopyTransfersExistingData) {
+  auto [p, s] = MakeVolumes("v");
+  ASSERT_TRUE(main_.WriteSync(p, 0, BlockOf('a')).ok());
+  ASSERT_TRUE(main_.WriteSync(p, 9, BlockOf('b')).ok());
+  GroupId g = MakeGroup();
+  PairId pair = MakeAsyncPair(p, s, g);
+  EXPECT_EQ(engine_.GetPair(pair)->state(), PairState::kCopy);
+  EXPECT_FALSE(Converged(p, s));
+  env_.RunFor(Milliseconds(20));
+  EXPECT_EQ(engine_.GetPair(pair)->state(), PairState::kPaired);
+  EXPECT_TRUE(Converged(p, s));
+}
+
+TEST_F(ReplicationTest, AdcAcksImmediatelyAndShipsInBackground) {
+  auto [p, s] = MakeVolumes("v");
+  GroupId g = MakeGroup();
+  MakeAsyncPair(p, s, g);
+
+  // ADC: the sync (functional) write path must ack inline.
+  ASSERT_TRUE(main_.WriteSync(p, 3, BlockOf('x')).ok());
+  EXPECT_FALSE(Converged(p, s));  // Not yet shipped.
+
+  env_.RunFor(Milliseconds(20));
+  EXPECT_TRUE(Converged(p, s));
+
+  auto stats = engine_.GetGroupStats(g);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->written, 1u);
+  EXPECT_EQ(stats->applied, 1u);
+}
+
+TEST_F(ReplicationTest, JournalTrimsAfterRemoteAck) {
+  auto [p, s] = MakeVolumes("v");
+  GroupId g = MakeGroup();
+  MakeAsyncPair(p, s, g);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(main_.WriteSync(p, i, BlockOf('x')).ok());
+  }
+  EXPECT_GT(engine_.primary_journal(g)->used_bytes(), 0u);
+  env_.RunFor(Milliseconds(50));
+  EXPECT_EQ(engine_.primary_journal(g)->used_bytes(), 0u);
+  EXPECT_EQ(engine_.primary_journal(g)->applied(), 10u);
+}
+
+TEST_F(ReplicationTest, CrossVolumeOrderPreservedInGroup) {
+  auto [pa, sa] = MakeVolumes("a");
+  auto [pb, sb] = MakeVolumes("b");
+  GroupId g = MakeGroup();
+  MakeAsyncPair(pa, sa, g);
+  MakeAsyncPair(pb, sb, g);
+
+  // Alternate writes across the two volumes; counters encode the order.
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        main_.WriteSync(pa, 0, BlockOf(static_cast<char>('0' + i))).ok());
+    ASSERT_TRUE(
+        main_.WriteSync(pb, 0, BlockOf(static_cast<char>('0' + i))).ok());
+  }
+  // At ANY point during the drain, volume b's counter must never be ahead
+  // of volume a's on the backup array (b was always written second).
+  for (int step = 0; step < 100; ++step) {
+    env_.RunFor(Microseconds(500));
+    const char a = backup_.GetVolume(sa)->store().ReadBlock(0)[0];
+    const char b = backup_.GetVolume(sb)->store().ReadBlock(0)[0];
+    EXPECT_LE(b, a) << "backup reordered across volumes at step " << step;
+  }
+  EXPECT_TRUE(Converged(pa, sa));
+  EXPECT_TRUE(Converged(pb, sb));
+}
+
+TEST_F(ReplicationTest, SecondaryVolumeIsWriteProtected) {
+  auto [p, s] = MakeVolumes("v");
+  GroupId g = MakeGroup();
+  MakeAsyncPair(p, s, g);
+  EXPECT_EQ(backup_.WriteSync(s, 0, BlockOf('h')).code(),
+            StatusCode::kFailedPrecondition);
+  // Reads are fine.
+  std::string out;
+  EXPECT_TRUE(backup_.ReadSync(s, 0, 1, &out).ok());
+}
+
+TEST_F(ReplicationTest, DeletePairReleasesVolumes) {
+  auto [p, s] = MakeVolumes("v");
+  GroupId g = MakeGroup();
+  PairId pair = MakeAsyncPair(p, s, g);
+  ASSERT_TRUE(engine_.DeletePair(pair).ok());
+  EXPECT_FALSE(main_.HasInterceptor(p));
+  EXPECT_TRUE(backup_.WriteSync(s, 0, BlockOf('w')).ok());
+  EXPECT_EQ(engine_.GetPair(pair), nullptr);
+  // Group can now be deleted.
+  ASSERT_TRUE(engine_.DeleteConsistencyGroup(g).ok());
+}
+
+TEST_F(ReplicationTest, GroupWithPairsCannotBeDeleted) {
+  auto [p, s] = MakeVolumes("v");
+  GroupId g = MakeGroup();
+  MakeAsyncPair(p, s, g);
+  EXPECT_EQ(engine_.DeleteConsistencyGroup(g).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ReplicationTest, GeometryMismatchRejected) {
+  auto p = main_.CreateVolume("v", 64);
+  auto s = backup_.CreateVolume("r-v", 128);
+  ASSERT_TRUE(p.ok() && s.ok());
+  GroupId g = MakeGroup();
+  PairConfig cfg;
+  cfg.primary = *p;
+  cfg.secondary = *s;
+  cfg.mode = ReplicationMode::kAsynchronous;
+  EXPECT_EQ(engine_.CreateAsyncPair(cfg, g).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ReplicationTest, DoubleProtectionRejected) {
+  auto [p, s] = MakeVolumes("v");
+  auto s2 = backup_.CreateVolume("r-v2", 64);
+  ASSERT_TRUE(s2.ok());
+  GroupId g = MakeGroup();
+  MakeAsyncPair(p, s, g);
+  PairConfig cfg;
+  cfg.primary = p;
+  cfg.secondary = *s2;
+  cfg.mode = ReplicationMode::kAsynchronous;
+  EXPECT_EQ(engine_.CreateAsyncPair(cfg, g).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+// --- Synchronous pairs -------------------------------------------------------
+
+TEST_F(ReplicationTest, SyncPairAckWaitsForRoundTrip) {
+  auto [p, s] = MakeVolumes("v");
+  PairConfig cfg;
+  cfg.name = "sync";
+  cfg.primary = p;
+  cfg.secondary = s;
+  cfg.mode = ReplicationMode::kSynchronous;
+  auto pair = engine_.CreateSyncPair(cfg);
+  ASSERT_TRUE(pair.ok());
+  env_.RunFor(Milliseconds(10));  // Initial copy (empty -> instant-ish).
+
+  const SimTime start = env_.now();
+  SimTime acked = -1;
+  main_.SubmitHostWrite(p, 0, BlockOf('s'), [&](block::IoResult r) {
+    ASSERT_TRUE(r.status.ok());
+    acked = env_.now();
+  });
+  env_.RunUntilIdle();
+  // 5 ms forward + 5 ms back (zero media latency on both arrays).
+  EXPECT_EQ(acked - start, Milliseconds(10));
+  EXPECT_TRUE(Converged(p, s));
+}
+
+TEST_F(ReplicationTest, SyncPairSuspendsWhenLinkDies) {
+  auto [p, s] = MakeVolumes("v");
+  PairConfig cfg;
+  cfg.primary = p;
+  cfg.secondary = s;
+  cfg.mode = ReplicationMode::kSynchronous;
+  auto pair = engine_.CreateSyncPair(cfg);
+  ASSERT_TRUE(pair.ok());
+  env_.RunFor(Milliseconds(10));
+
+  to_backup_.SetConnected(false);
+  Status acked = InternalError("no ack");
+  main_.SubmitHostWrite(p, 2, BlockOf('d'),
+                        [&](block::IoResult r) { acked = r.status; });
+  env_.RunUntilIdle();
+  // Fence level "never": the host still gets its ack, the pair suspends.
+  EXPECT_TRUE(acked.ok());
+  EXPECT_EQ(engine_.GetPair(*pair)->state(), PairState::kSuspended);
+  EXPECT_EQ(engine_.GetPair(*pair)->dirty_blocks(), 1u);
+
+  // Resync after the link returns.
+  to_backup_.SetConnected(true);
+  ASSERT_TRUE(engine_.ResyncSyncPair(*pair).ok());
+  env_.RunUntilIdle();
+  EXPECT_EQ(engine_.GetPair(*pair)->state(), PairState::kPaired);
+  EXPECT_TRUE(Converged(p, s));
+}
+
+// --- Suspension, overflow and resync ----------------------------------------
+
+TEST_F(ReplicationTest, JournalOverflowSuspendsGroupButNotTheHost) {
+  auto [p, s] = MakeVolumes("v");
+  // A journal that fits only a couple of records.
+  GroupId g = MakeGroup(10000);
+  MakeAsyncPair(p, s, g);
+  to_backup_.SetConnected(false);  // Nothing drains.
+
+  // Blocks are 4 KiB, journal 10 KB: the third write overflows.
+  Status st;
+  for (int i = 0; i < 5; ++i) {
+    st = main_.WriteSync(p, i, BlockOf('o'));
+    EXPECT_TRUE(st.ok()) << "host write must never fail: " << st;
+  }
+  auto stats = engine_.GetGroupStats(g);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->journal_overflows, 1u);
+  EXPECT_EQ(engine_.GetPair(engine_.ListGroupPairs(g)[0])->state(),
+            PairState::kSuspended);
+  EXPECT_GT(engine_.GetPair(engine_.ListGroupPairs(g)[0])->dirty_blocks(),
+            0u);
+}
+
+TEST_F(ReplicationTest, ResyncAfterOverflowConverges) {
+  auto [p, s] = MakeVolumes("v");
+  GroupId g = MakeGroup(10000);
+  MakeAsyncPair(p, s, g);
+  to_backup_.SetConnected(false);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(main_.WriteSync(p, i, BlockOf(static_cast<char>('a' + i)))
+                    .ok());
+  }
+  to_backup_.SetConnected(true);
+  ASSERT_TRUE(engine_.ResyncGroup(g).ok());
+  env_.RunFor(Milliseconds(50));
+  EXPECT_EQ(engine_.GetPair(engine_.ListGroupPairs(g)[0])->state(),
+            PairState::kPaired);
+  EXPECT_TRUE(Converged(p, s));
+
+  // Replication keeps working after the resync.
+  ASSERT_TRUE(main_.WriteSync(p, 20, BlockOf('z')).ok());
+  env_.RunFor(Milliseconds(50));
+  EXPECT_TRUE(Converged(p, s));
+}
+
+TEST_F(ReplicationTest, OperatorSuspendAndResync) {
+  auto [p, s] = MakeVolumes("v");
+  GroupId g = MakeGroup();
+  MakeAsyncPair(p, s, g);
+  ASSERT_TRUE(engine_.SuspendGroup(g).ok());
+  ASSERT_TRUE(main_.WriteSync(p, 1, BlockOf('q')).ok());
+  env_.RunFor(Milliseconds(50));
+  EXPECT_FALSE(Converged(p, s));  // Suspended: nothing flows.
+  ASSERT_TRUE(engine_.ResyncGroup(g).ok());
+  env_.RunFor(Milliseconds(50));
+  EXPECT_TRUE(Converged(p, s));
+}
+
+// --- Failover -----------------------------------------------------------------
+
+TEST_F(ReplicationTest, FailoverAppliesReceivedAndReportsLoss) {
+  auto [p, s] = MakeVolumes("v");
+  GroupId g = MakeGroup();
+  MakeAsyncPair(p, s, g);
+
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(main_.WriteSync(p, i, BlockOf('x')).ok());
+  }
+  env_.RunFor(Milliseconds(50));  // All 10 replicated.
+  for (int i = 10; i < 15; ++i) {
+    ASSERT_TRUE(main_.WriteSync(p, i, BlockOf('y')).ok());
+  }
+  // Disaster strikes before the last 5 ship.
+  main_.SetFailed(true);
+  to_backup_.SetConnected(false);
+  to_main_.SetConnected(false);
+
+  auto report = engine_.FailoverGroup(g);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->recovery_point, 10u);
+  EXPECT_EQ(report->lost_records, 5u);
+
+  // The S-VOL is now writable.
+  EXPECT_TRUE(backup_.WriteSync(s, 0, BlockOf('n')).ok());
+  EXPECT_EQ(engine_.GetPair(engine_.ListGroupPairs(g)[0])->state(),
+            PairState::kSwapped);
+
+  // Double failover is rejected.
+  EXPECT_EQ(engine_.FailoverGroup(g).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ReplicationTest, FailoverDrainsRecordsAlreadyReceived) {
+  auto [p, s] = MakeVolumes("v");
+  GroupId g = MakeGroup();
+  MakeAsyncPair(p, s, g);
+  ASSERT_TRUE(main_.WriteSync(p, 0, BlockOf('k')).ok());
+  // Let the batch arrive at the backup journal but do not give the apply
+  // ack a chance to travel back.
+  env_.RunFor(Milliseconds(8));
+  auto report = engine_.FailoverGroup(g);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->recovery_point, 1u);
+  EXPECT_EQ(backup_.GetVolume(s)->store().ReadBlock(0),
+            BlockOf('k'));
+}
+
+TEST_F(ReplicationTest, WritesAfterFailoverStayLocal) {
+  auto [p, s] = MakeVolumes("v");
+  GroupId g = MakeGroup();
+  MakeAsyncPair(p, s, g);
+  env_.RunFor(Milliseconds(10));
+  ASSERT_TRUE(engine_.FailoverGroup(g).ok());
+  // A surviving main site keeps serving IO without copying anywhere.
+  ASSERT_TRUE(main_.WriteSync(p, 5, BlockOf('m')).ok());
+  env_.RunFor(Milliseconds(50));
+  EXPECT_NE(backup_.GetVolume(s)->store().ReadBlock(5), BlockOf('m'));
+}
+
+TEST_F(ReplicationTest, GroupStatsReportLag) {
+  auto [p, s] = MakeVolumes("v");
+  GroupId g = MakeGroup();
+  MakeAsyncPair(p, s, g);
+  ASSERT_TRUE(main_.WriteSync(p, 0, BlockOf('l')).ok());
+  auto before = engine_.GetGroupStats(g);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->written, 1u);
+  EXPECT_EQ(before->applied, 0u);
+  env_.RunFor(Milliseconds(50));
+  auto after = engine_.GetGroupStats(g);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->applied, 1u);
+}
+
+TEST_F(ReplicationTest, StateNamesAreStable) {
+  EXPECT_STREQ(PairStateName(PairState::kCopy), "COPY");
+  EXPECT_STREQ(PairStateName(PairState::kPaired), "PAIR");
+  EXPECT_STREQ(PairStateName(PairState::kSuspended), "PSUS");
+  EXPECT_STREQ(PairStateName(PairState::kSwapped), "SSWS");
+  EXPECT_STREQ(ReplicationModeName(ReplicationMode::kSynchronous), "sync");
+  EXPECT_STREQ(ReplicationModeName(ReplicationMode::kAsynchronous),
+               "async");
+}
+
+}  // namespace
+}  // namespace zerobak::replication

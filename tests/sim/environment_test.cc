@@ -1,0 +1,153 @@
+#include "sim/environment.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace zerobak::sim {
+namespace {
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Push(30, [&] { order.push_back(3); });
+  q.Push(10, [&] { order.push_back(1); });
+  q.Push(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.Pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SameTimeIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.Push(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.Pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  int fired = 0;
+  EventId a = q.Push(1, [&] { ++fired; });
+  q.Push(2, [&] { ++fired; });
+  EXPECT_TRUE(q.Cancel(a));
+  EXPECT_FALSE(q.Cancel(a));  // Double-cancel is a no-op.
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.Pop().fn();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelled) {
+  EventQueue q;
+  EventId a = q.Push(1, [] {});
+  q.Push(9, [] {});
+  q.Cancel(a);
+  EXPECT_EQ(q.NextTime(), 9);
+}
+
+TEST(SimEnvironmentTest, ClockAdvancesWithEvents) {
+  SimEnvironment env;
+  EXPECT_EQ(env.now(), 0);
+  SimTime seen = -1;
+  env.Schedule(Milliseconds(5), [&] { seen = env.now(); });
+  EXPECT_TRUE(env.RunOne());
+  EXPECT_EQ(seen, Milliseconds(5));
+  EXPECT_EQ(env.now(), Milliseconds(5));
+}
+
+TEST(SimEnvironmentTest, RunUntilAdvancesClockEvenWithoutEvents) {
+  SimEnvironment env;
+  EXPECT_EQ(env.RunUntil(Seconds(1)), 0u);
+  EXPECT_EQ(env.now(), Seconds(1));
+}
+
+TEST(SimEnvironmentTest, RunUntilExecutesOnlyDueEvents) {
+  SimEnvironment env;
+  int early = 0, late = 0;
+  env.Schedule(Milliseconds(1), [&] { ++early; });
+  env.Schedule(Milliseconds(100), [&] { ++late; });
+  env.RunUntil(Milliseconds(10));
+  EXPECT_EQ(early, 1);
+  EXPECT_EQ(late, 0);
+  EXPECT_EQ(env.now(), Milliseconds(10));
+  env.RunUntilIdle();
+  EXPECT_EQ(late, 1);
+}
+
+TEST(SimEnvironmentTest, EventsCanScheduleEvents) {
+  SimEnvironment env;
+  std::vector<SimTime> times;
+  env.Schedule(10, [&] {
+    times.push_back(env.now());
+    env.Schedule(10, [&] { times.push_back(env.now()); });
+  });
+  env.RunUntilIdle();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 20}));
+}
+
+TEST(SimEnvironmentTest, RunUntilIdleRespectsMaxEvents) {
+  SimEnvironment env;
+  // Self-perpetuating event chain.
+  std::function<void()> loop = [&] { env.Schedule(1, loop); };
+  env.Schedule(1, loop);
+  EXPECT_EQ(env.RunUntilIdle(100), 100u);
+}
+
+TEST(SimEnvironmentTest, CancelScheduled) {
+  SimEnvironment env;
+  int fired = 0;
+  EventId id = env.Schedule(5, [&] { ++fired; });
+  EXPECT_TRUE(env.Cancel(id));
+  env.RunUntilIdle();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(PeriodicTaskTest, FiresAtInterval) {
+  SimEnvironment env;
+  std::vector<SimTime> fires;
+  PeriodicTask task(&env, Milliseconds(10),
+                    [&] { fires.push_back(env.now()); });
+  task.Start();
+  env.RunUntil(Milliseconds(35));
+  EXPECT_EQ(fires, (std::vector<SimTime>{Milliseconds(10), Milliseconds(20),
+                                         Milliseconds(30)}));
+}
+
+TEST(PeriodicTaskTest, StopHalts) {
+  SimEnvironment env;
+  int count = 0;
+  PeriodicTask task(&env, Milliseconds(10), [&] { ++count; });
+  task.Start();
+  env.RunUntil(Milliseconds(25));
+  task.Stop();
+  env.RunUntil(Milliseconds(100));
+  EXPECT_EQ(count, 2);
+}
+
+TEST(PeriodicTaskTest, TaskMayStopItself) {
+  SimEnvironment env;
+  int count = 0;
+  PeriodicTask* self = nullptr;
+  PeriodicTask task(&env, Milliseconds(1), [&] {
+    if (++count == 3) self->Stop();
+  });
+  self = &task;
+  task.Start();
+  env.RunUntil(Seconds(1));
+  EXPECT_EQ(count, 3);
+}
+
+TEST(PeriodicTaskTest, DoubleStartIsIdempotent) {
+  SimEnvironment env;
+  int count = 0;
+  PeriodicTask task(&env, Milliseconds(10), [&] { ++count; });
+  task.Start();
+  task.Start();
+  env.RunUntil(Milliseconds(10));
+  EXPECT_EQ(count, 1);
+}
+
+}  // namespace
+}  // namespace zerobak::sim

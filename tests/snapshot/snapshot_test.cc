@@ -1,0 +1,247 @@
+#include "snapshot/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/array.h"
+
+namespace zerobak::snapshot {
+namespace {
+
+std::string BlockOf(char c) {
+  return std::string(block::kDefaultBlockSize, c);
+}
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  SnapshotTest() : array_(&env_, Config()), snapshots_(&array_) {}
+
+  static storage::ArrayConfig Config() {
+    storage::ArrayConfig cfg;
+    cfg.serial = "SNAP-T";
+    cfg.media = block::DeviceLatencyModel{0, 0, 0, 0, 1};
+    return cfg;
+  }
+
+  storage::VolumeId MakeVolume(const std::string& name,
+                               uint64_t blocks = 32) {
+    auto id = array_.CreateVolume(name, blocks);
+    EXPECT_TRUE(id.ok());
+    return *id;
+  }
+
+  sim::SimEnvironment env_;
+  storage::StorageArray array_;
+  SnapshotManager snapshots_;
+};
+
+TEST_F(SnapshotTest, SnapshotSeesPointInTimeContent) {
+  storage::VolumeId v = MakeVolume("v");
+  ASSERT_TRUE(array_.WriteSync(v, 0, BlockOf('a')).ok());
+  auto snap = snapshots_.CreateSnapshot(v, "s1");
+  ASSERT_TRUE(snap.ok());
+  // Overwrite after the snapshot.
+  ASSERT_TRUE(array_.WriteSync(v, 0, BlockOf('b')).ok());
+
+  CowSnapshot* s = snapshots_.GetSnapshot(*snap);
+  ASSERT_NE(s, nullptr);
+  std::string out;
+  ASSERT_TRUE(s->Read(0, 1, &out).ok());
+  EXPECT_EQ(out, BlockOf('a'));  // Snapshot: old content.
+  ASSERT_TRUE(array_.ReadSync(v, 0, 1, &out).ok());
+  EXPECT_EQ(out, BlockOf('b'));  // Source: new content.
+  EXPECT_EQ(s->preserved_blocks(), 1u);
+}
+
+TEST_F(SnapshotTest, UntouchedBlocksReadThrough) {
+  storage::VolumeId v = MakeVolume("v");
+  ASSERT_TRUE(array_.WriteSync(v, 5, BlockOf('u')).ok());
+  auto snap = snapshots_.CreateSnapshot(v, "s1");
+  ASSERT_TRUE(snap.ok());
+  CowSnapshot* s = snapshots_.GetSnapshot(*snap);
+  std::string out;
+  ASSERT_TRUE(s->Read(5, 1, &out).ok());
+  EXPECT_EQ(out, BlockOf('u'));
+  EXPECT_EQ(s->preserved_blocks(), 0u);  // No COW needed yet.
+}
+
+TEST_F(SnapshotTest, CreationIsMetadataOnly) {
+  storage::VolumeId v = MakeVolume("v", 1 << 16);  // 256 MiB volume.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(array_.WriteSync(v, i, BlockOf('d')).ok());
+  }
+  auto snap = snapshots_.CreateSnapshot(v, "big");
+  ASSERT_TRUE(snap.ok());
+  // No blocks were copied at creation.
+  EXPECT_EQ(snapshots_.GetSnapshot(*snap)->preserved_blocks(), 0u);
+}
+
+TEST_F(SnapshotTest, OnlyFirstOverwritePreserves) {
+  storage::VolumeId v = MakeVolume("v");
+  ASSERT_TRUE(array_.WriteSync(v, 0, BlockOf('1')).ok());
+  auto snap = snapshots_.CreateSnapshot(v, "s");
+  ASSERT_TRUE(snap.ok());
+  ASSERT_TRUE(array_.WriteSync(v, 0, BlockOf('2')).ok());
+  ASSERT_TRUE(array_.WriteSync(v, 0, BlockOf('3')).ok());
+  CowSnapshot* s = snapshots_.GetSnapshot(*snap);
+  EXPECT_EQ(s->preserved_blocks(), 1u);
+  std::string out;
+  ASSERT_TRUE(s->Read(0, 1, &out).ok());
+  EXPECT_EQ(out, BlockOf('1'));  // Creation-time content, not '2'.
+}
+
+TEST_F(SnapshotTest, MultipleSnapshotsIndependent) {
+  storage::VolumeId v = MakeVolume("v");
+  ASSERT_TRUE(array_.WriteSync(v, 0, BlockOf('a')).ok());
+  auto s1 = snapshots_.CreateSnapshot(v, "s1");
+  ASSERT_TRUE(array_.WriteSync(v, 0, BlockOf('b')).ok());
+  auto s2 = snapshots_.CreateSnapshot(v, "s2");
+  ASSERT_TRUE(array_.WriteSync(v, 0, BlockOf('c')).ok());
+
+  std::string out;
+  ASSERT_TRUE(snapshots_.GetSnapshot(*s1)->Read(0, 1, &out).ok());
+  EXPECT_EQ(out, BlockOf('a'));
+  ASSERT_TRUE(snapshots_.GetSnapshot(*s2)->Read(0, 1, &out).ok());
+  EXPECT_EQ(out, BlockOf('b'));
+}
+
+TEST_F(SnapshotTest, SnapshotWritesRedirectToDelta) {
+  storage::VolumeId v = MakeVolume("v");
+  ASSERT_TRUE(array_.WriteSync(v, 0, BlockOf('a')).ok());
+  auto snap = snapshots_.CreateSnapshot(v, "s");
+  CowSnapshot* s = snapshots_.GetSnapshot(*snap);
+  ASSERT_TRUE(s->Write(0, 1, BlockOf('w')).ok());
+  EXPECT_EQ(s->delta_blocks(), 1u);
+
+  std::string out;
+  ASSERT_TRUE(s->Read(0, 1, &out).ok());
+  EXPECT_EQ(out, BlockOf('w'));  // Snapshot sees its own write...
+  ASSERT_TRUE(array_.ReadSync(v, 0, 1, &out).ok());
+  EXPECT_EQ(out, BlockOf('a'));  // ...the source does not.
+}
+
+TEST_F(SnapshotTest, DeleteSnapshotDetachesHook) {
+  storage::VolumeId v = MakeVolume("v");
+  auto snap = snapshots_.CreateSnapshot(v, "s");
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(array_.GetVolume(v)->pre_overwrite_hook_count(), 1u);
+  ASSERT_TRUE(snapshots_.DeleteSnapshot(*snap).ok());
+  EXPECT_EQ(array_.GetVolume(v)->pre_overwrite_hook_count(), 0u);
+  EXPECT_EQ(snapshots_.GetSnapshot(*snap), nullptr);
+}
+
+TEST_F(SnapshotTest, VolumeWithSnapshotCannotBeDeleted) {
+  storage::VolumeId v = MakeVolume("v");
+  auto snap = snapshots_.CreateSnapshot(v, "s");
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(array_.DeleteVolume(v).code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(snapshots_.DeleteSnapshot(*snap).ok());
+  EXPECT_TRUE(array_.DeleteVolume(v).ok());
+}
+
+TEST_F(SnapshotTest, GroupIsAtomicAndAllOrNothing) {
+  storage::VolumeId a = MakeVolume("a");
+  storage::VolumeId b = MakeVolume("b");
+  // All-or-nothing: a bogus member fails the whole group.
+  auto bad = snapshots_.CreateSnapshotGroup({a, b, 999}, "g");
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(snapshots_.snapshot_count(), 0u);
+
+  auto good = snapshots_.CreateSnapshotGroup({a, b}, "g");
+  ASSERT_TRUE(good.ok());
+  auto info = snapshots_.GetGroup(*good);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->members.size(), 2u);
+  EXPECT_EQ(info->name, "g");
+  // Both snapshots exist and carry the same creation instant.
+  CowSnapshot* sa = snapshots_.GetSnapshot(info->members[0]);
+  CowSnapshot* sb = snapshots_.GetSnapshot(info->members[1]);
+  ASSERT_NE(sa, nullptr);
+  ASSERT_NE(sb, nullptr);
+  EXPECT_EQ(sa->created_at(), sb->created_at());
+}
+
+TEST_F(SnapshotTest, EmptyGroupRejected) {
+  EXPECT_EQ(snapshots_.CreateSnapshotGroup({}, "g").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(SnapshotTest, DeleteGroupRemovesMembers) {
+  storage::VolumeId a = MakeVolume("a");
+  storage::VolumeId b = MakeVolume("b");
+  auto g = snapshots_.CreateSnapshotGroup({a, b}, "g");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(snapshots_.snapshot_count(), 2u);
+  ASSERT_TRUE(snapshots_.DeleteSnapshotGroup(*g).ok());
+  EXPECT_EQ(snapshots_.snapshot_count(), 0u);
+  EXPECT_EQ(snapshots_.DeleteSnapshotGroup(*g).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(SnapshotTest, RestoreRollsSourceBack) {
+  storage::VolumeId v = MakeVolume("v");
+  ASSERT_TRUE(array_.WriteSync(v, 0, BlockOf('a')).ok());
+  ASSERT_TRUE(array_.WriteSync(v, 1, BlockOf('b')).ok());
+  auto snap = snapshots_.CreateSnapshot(v, "pre-upgrade");
+  ASSERT_TRUE(snap.ok());
+  // "Ransomware" scribbles over the volume.
+  ASSERT_TRUE(array_.WriteSync(v, 0, BlockOf('X')).ok());
+  ASSERT_TRUE(array_.WriteSync(v, 1, BlockOf('X')).ok());
+  ASSERT_TRUE(array_.WriteSync(v, 2, BlockOf('X')).ok());
+
+  ASSERT_TRUE(snapshots_.RestoreVolume(*snap).ok());
+  std::string out;
+  ASSERT_TRUE(array_.ReadSync(v, 0, 1, &out).ok());
+  EXPECT_EQ(out, BlockOf('a'));
+  ASSERT_TRUE(array_.ReadSync(v, 1, 1, &out).ok());
+  EXPECT_EQ(out, BlockOf('b'));
+  ASSERT_TRUE(array_.ReadSync(v, 2, 1, &out).ok());
+  EXPECT_EQ(out, std::string(block::kDefaultBlockSize, '\0'));
+}
+
+TEST_F(SnapshotTest, RestoreIncludesSnapshotLocalWrites) {
+  storage::VolumeId v = MakeVolume("v");
+  ASSERT_TRUE(array_.WriteSync(v, 0, BlockOf('a')).ok());
+  auto snap = snapshots_.CreateSnapshot(v, "s");
+  CowSnapshot* s = snapshots_.GetSnapshot(*snap);
+  ASSERT_TRUE(s->Write(3, 1, BlockOf('d')).ok());
+  ASSERT_TRUE(snapshots_.RestoreVolume(*snap).ok());
+  std::string out;
+  ASSERT_TRUE(array_.ReadSync(v, 3, 1, &out).ok());
+  EXPECT_EQ(out, BlockOf('d'));
+}
+
+TEST_F(SnapshotTest, ListSnapshotsOfVolumeNewestFirst) {
+  storage::VolumeId v = MakeVolume("v");
+  storage::VolumeId w = MakeVolume("w");
+  auto s1 = snapshots_.CreateSnapshot(v, "s1");
+  auto s2 = snapshots_.CreateSnapshot(v, "s2");
+  auto sw = snapshots_.CreateSnapshot(w, "sw");
+  ASSERT_TRUE(s1.ok() && s2.ok() && sw.ok());
+  auto list = snapshots_.ListSnapshotsOfVolume(v);
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0], *s2);
+  EXPECT_EQ(list[1], *s1);
+}
+
+TEST_F(SnapshotTest, FailedArrayRejectsSnapshotCreation) {
+  storage::VolumeId v = MakeVolume("v");
+  array_.SetFailed(true);
+  EXPECT_EQ(snapshots_.CreateSnapshot(v, "s").status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(snapshots_.CreateSnapshotGroup({v}, "g").status().code(),
+            StatusCode::kUnavailable);
+}
+
+TEST_F(SnapshotTest, SnapshotAsBlockDeviceGeometry) {
+  storage::VolumeId v = MakeVolume("v", 48);
+  auto snap = snapshots_.CreateSnapshot(v, "s");
+  CowSnapshot* s = snapshots_.GetSnapshot(*snap);
+  EXPECT_EQ(s->block_count(), 48u);
+  EXPECT_EQ(s->block_size(), block::kDefaultBlockSize);
+  std::string out;
+  EXPECT_EQ(s->Read(48, 1, &out).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(s->Write(0, 1, "short").code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace zerobak::snapshot

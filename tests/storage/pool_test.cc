@@ -1,0 +1,161 @@
+// Thin-provisioning pool tests, including the replication interplay: a
+// backup pool filling up is a real production incident this library can
+// reproduce.
+#include "storage/pool.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "replication/replication.h"
+#include "storage/array.h"
+
+namespace zerobak::storage {
+namespace {
+
+std::string BlockOf(char c) {
+  return std::string(block::kDefaultBlockSize, c);
+}
+
+ArrayConfig ZeroLatency(const std::string& serial = "POOL-T") {
+  ArrayConfig cfg;
+  cfg.serial = serial;
+  cfg.media = block::DeviceLatencyModel{0, 0, 0, 0, 1};
+  return cfg;
+}
+
+TEST(StoragePoolTest, AllocationAccounting) {
+  StoragePool pool(1, "p", 10);
+  EXPECT_TRUE(pool.TryAllocate(4));
+  EXPECT_EQ(pool.used_blocks(), 4u);
+  EXPECT_EQ(pool.free_blocks(), 6u);
+  EXPECT_TRUE(pool.TryAllocate(6));
+  EXPECT_FALSE(pool.TryAllocate(1));
+  EXPECT_EQ(pool.allocation_failures(), 1u);
+  pool.Release(5);
+  EXPECT_TRUE(pool.TryAllocate(5));
+  EXPECT_DOUBLE_EQ(pool.utilization(), 1.0);
+}
+
+TEST(StoragePoolTest, ReleaseClampsAtZero) {
+  StoragePool pool(1, "p", 10);
+  ASSERT_TRUE(pool.TryAllocate(3));
+  pool.Release(100);
+  EXPECT_EQ(pool.used_blocks(), 0u);
+}
+
+class PooledArrayTest : public ::testing::Test {
+ protected:
+  sim::SimEnvironment env_;
+  StorageArray array_{&env_, ZeroLatency()};
+};
+
+TEST_F(PooledArrayTest, ThinVolumeConsumesOnFirstWrite) {
+  auto pool = array_.CreatePool("thin", 8);
+  ASSERT_TRUE(pool.ok());
+  // Logical size 100 blocks >> physical 8: thin provisioning.
+  auto vol = array_.CreateVolumeInPool("v", 100, *pool);
+  ASSERT_TRUE(vol.ok());
+  EXPECT_EQ(array_.GetPool(*pool)->used_blocks(), 0u);
+
+  ASSERT_TRUE(array_.WriteSync(*vol, 0, BlockOf('a')).ok());
+  EXPECT_EQ(array_.GetPool(*pool)->used_blocks(), 1u);
+  // Overwrite: no new allocation.
+  ASSERT_TRUE(array_.WriteSync(*vol, 0, BlockOf('b')).ok());
+  EXPECT_EQ(array_.GetPool(*pool)->used_blocks(), 1u);
+}
+
+TEST_F(PooledArrayTest, ExhaustedPoolRejectsWritesAtomically) {
+  auto pool = array_.CreatePool("tiny", 4);
+  ASSERT_TRUE(pool.ok());
+  auto vol = array_.CreateVolumeInPool("v", 100, *pool);
+  ASSERT_TRUE(vol.ok());
+  for (block::Lba lba = 0; lba < 4; ++lba) {
+    ASSERT_TRUE(array_.WriteSync(*vol, lba, BlockOf('x')).ok());
+  }
+  // The fifth distinct block fails...
+  EXPECT_EQ(array_.WriteSync(*vol, 10, BlockOf('y')).code(),
+            StatusCode::kResourceExhausted);
+  // ...but rewriting existing blocks still works.
+  EXPECT_TRUE(array_.WriteSync(*vol, 2, BlockOf('z')).ok());
+  EXPECT_EQ(array_.GetPool(*pool)->allocation_failures(), 1u);
+}
+
+TEST_F(PooledArrayTest, MultiBlockWriteAllOrNothing) {
+  auto pool = array_.CreatePool("p", 2);
+  ASSERT_TRUE(pool.ok());
+  auto vol = array_.CreateVolumeInPool("v", 100, *pool);
+  ASSERT_TRUE(vol.ok());
+  // A 3-block write cannot fit: nothing must be allocated or written.
+  EXPECT_EQ(array_
+                .WriteSync(*vol, 0,
+                           BlockOf('a') + BlockOf('b') + BlockOf('c'))
+                .code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(array_.GetPool(*pool)->used_blocks(), 0u);
+  EXPECT_EQ(array_.GetVolume(*vol)->store().allocated_blocks(), 0u);
+}
+
+TEST_F(PooledArrayTest, DeleteVolumeReturnsCapacity) {
+  auto pool = array_.CreatePool("p", 4);
+  ASSERT_TRUE(pool.ok());
+  auto vol = array_.CreateVolumeInPool("v", 100, *pool);
+  ASSERT_TRUE(vol.ok());
+  for (block::Lba lba = 0; lba < 4; ++lba) {
+    ASSERT_TRUE(array_.WriteSync(*vol, lba, BlockOf('x')).ok());
+  }
+  ASSERT_TRUE(array_.DeleteVolume(*vol).ok());
+  EXPECT_EQ(array_.GetPool(*pool)->used_blocks(), 0u);
+}
+
+TEST_F(PooledArrayTest, MissingPoolRejected) {
+  EXPECT_EQ(array_.CreateVolumeInPool("v", 10, 999).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(array_.CreatePool("p", 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PooledReplicationTest, BackupPoolExhaustionStallsApplyNotHost) {
+  // The incident: an undersized backup pool. The main site keeps running
+  // (ADC acks locally); the backup volume silently stops converging —
+  // visible only through pool monitoring. This test pins that behaviour.
+  sim::SimEnvironment env;
+  StorageArray main(&env, ZeroLatency("MAIN"));
+  StorageArray backup(&env, ZeroLatency("BKUP"));
+  sim::NetworkLinkConfig link_cfg;
+  link_cfg.base_latency = Milliseconds(2);
+  link_cfg.jitter = 0;
+  link_cfg.bandwidth_bytes_per_sec = 0;
+  sim::NetworkLink fwd(&env, link_cfg, "f");
+  sim::NetworkLink rev(&env, link_cfg, "r");
+  replication::ReplicationEngine engine(&env, &main, &backup, &fwd, &rev);
+
+  auto p = main.CreateVolume("p", 64);
+  auto bpool = backup.CreatePool("undersized", 4);
+  ASSERT_TRUE(p.ok() && bpool.ok());
+  auto s = backup.CreateVolumeInPool("s", 64, *bpool);
+  ASSERT_TRUE(s.ok());
+  auto group = engine.CreateConsistencyGroup({.name = "g"});
+  ASSERT_TRUE(group.ok());
+  replication::PairConfig pc;
+  pc.primary = *p;
+  pc.secondary = *s;
+  pc.mode = replication::ReplicationMode::kAsynchronous;
+  ASSERT_TRUE(engine.CreateAsyncPair(pc, *group).ok());
+  env.RunFor(Milliseconds(10));
+
+  zerobak::SetLogLevel(zerobak::LogLevel::kError);  // The applier warns; keep quiet.
+  for (block::Lba lba = 0; lba < 10; ++lba) {
+    // The host never sees the backup pool problem.
+    ASSERT_TRUE(main.WriteSync(*p, lba, BlockOf('d')).ok());
+  }
+  env.RunFor(Milliseconds(50));
+  zerobak::SetLogLevel(zerobak::LogLevel::kWarning);
+
+  // Only 4 blocks made it to the backup; the pool reports the incident.
+  EXPECT_EQ(backup.GetVolume(*s)->store().allocated_blocks(), 4u);
+  EXPECT_GT(backup.GetPool(*bpool)->allocation_failures(), 0u);
+  EXPECT_FALSE(main.GetVolume(*p)->ContentEquals(*backup.GetVolume(*s)));
+}
+
+}  // namespace
+}  // namespace zerobak::storage

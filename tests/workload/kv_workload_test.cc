@@ -1,0 +1,128 @@
+#include "workload/kv_workload.h"
+
+#include <gtest/gtest.h>
+
+#include "block/mem_volume.h"
+#include "replication/replication.h"
+#include "storage/array.h"
+#include "storage/array_device.h"
+
+namespace zerobak::workload {
+namespace {
+
+db::DbOptions Opts() {
+  db::DbOptions o;
+  o.checkpoint_blocks = 128;
+  o.wal_blocks = 512;
+  return o;
+}
+
+constexpr uint64_t kBlocks = 1 + 2 * 128 + 512;
+
+TEST(KvWorkloadTest, LoadInsertsExactRecordCount) {
+  block::MemVolume device(kBlocks);
+  ASSERT_TRUE(db::MiniDb::Format(&device, Opts()).ok());
+  auto db = std::move(db::MiniDb::Open(&device, Opts())).value();
+  KvWorkloadConfig cfg;
+  cfg.record_count = 500;
+  KvWorkload workload(db.get(), cfg);
+  ASSERT_TRUE(workload.Load().ok());
+  EXPECT_EQ(db->RowCount("usertable"), 500u);
+  EXPECT_EQ(workload.key_count(), 500u);
+  // Keys are the canonical YCSB shape.
+  EXPECT_TRUE(db->Exists("usertable", KvWorkload::Key(0)));
+  EXPECT_TRUE(db->Exists("usertable", KvWorkload::Key(499)));
+  EXPECT_FALSE(db->Exists("usertable", KvWorkload::Key(500)));
+}
+
+TEST(KvWorkloadTest, MixMatchesConfiguredFractions) {
+  block::MemVolume device(kBlocks);
+  ASSERT_TRUE(db::MiniDb::Format(&device, Opts()).ok());
+  auto db = std::move(db::MiniDb::Open(&device, Opts())).value();
+  KvWorkloadConfig cfg;
+  cfg.record_count = 200;
+  cfg.read_fraction = 0.7;
+  cfg.update_fraction = 0.2;
+  cfg.insert_fraction = 0.1;
+  KvWorkload workload(db.get(), cfg);
+  ASSERT_TRUE(workload.Load().ok());
+  ASSERT_TRUE(workload.Run(5000).ok());
+  const auto& stats = workload.stats();
+  EXPECT_EQ(stats.operations(), 5000u);
+  EXPECT_NEAR(static_cast<double>(stats.reads) / 5000.0, 0.7, 0.03);
+  EXPECT_NEAR(static_cast<double>(stats.updates) / 5000.0, 0.2, 0.03);
+  EXPECT_NEAR(static_cast<double>(stats.inserts) / 5000.0, 0.1, 0.03);
+  // Reads only target existing keys: no misses.
+  EXPECT_EQ(stats.read_misses, 0u);
+  EXPECT_EQ(db->RowCount("usertable"), 200u + stats.inserts);
+}
+
+TEST(KvWorkloadTest, SurvivesRecovery) {
+  block::MemVolume device(kBlocks);
+  ASSERT_TRUE(db::MiniDb::Format(&device, Opts()).ok());
+  uint64_t keys = 0;
+  {
+    auto db = std::move(db::MiniDb::Open(&device, Opts())).value();
+    KvWorkloadConfig cfg;
+    cfg.record_count = 300;
+    KvWorkload workload(db.get(), cfg);
+    ASSERT_TRUE(workload.Load().ok());
+    ASSERT_TRUE(workload.Run(1000).ok());
+    keys = workload.key_count();
+  }
+  auto db = db::MiniDb::Open(&device, Opts());
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->RowCount("usertable"), keys);
+}
+
+TEST(KvWorkloadTest, DrivesReplicationEndToEnd) {
+  // A generic KV tenant on a replicated volume: the pipeline does not
+  // care what application sits on top.
+  sim::SimEnvironment env;
+  storage::ArrayConfig zero;
+  zero.media = block::DeviceLatencyModel{0, 0, 0, 0, 1};
+  storage::ArrayConfig main_cfg = zero;
+  main_cfg.serial = "M";
+  storage::ArrayConfig backup_cfg = zero;
+  backup_cfg.serial = "B";
+  storage::StorageArray main(&env, main_cfg);
+  storage::StorageArray backup(&env, backup_cfg);
+  sim::NetworkLinkConfig link_cfg;
+  link_cfg.base_latency = Milliseconds(2);
+  sim::NetworkLink fwd(&env, link_cfg, "f");
+  sim::NetworkLink rev(&env, link_cfg, "r");
+  replication::ReplicationEngine engine(&env, &main, &backup, &fwd, &rev);
+  auto p = main.CreateVolume("kv", kBlocks);
+  auto s = backup.CreateVolume("r-kv", kBlocks);
+  ASSERT_TRUE(p.ok() && s.ok());
+  auto group = engine.CreateConsistencyGroup({.name = "kv"});
+  ASSERT_TRUE(group.ok());
+  replication::PairConfig pc;
+  pc.primary = *p;
+  pc.secondary = *s;
+  pc.mode = replication::ReplicationMode::kAsynchronous;
+  ASSERT_TRUE(engine.CreateAsyncPair(pc, *group).ok());
+  env.RunFor(Milliseconds(10));
+
+  storage::ArrayVolumeDevice device(&main, *p);
+  ASSERT_TRUE(db::MiniDb::Format(&device, Opts()).ok());
+  auto db = std::move(db::MiniDb::Open(&device, Opts())).value();
+  KvWorkloadConfig cfg;
+  cfg.record_count = 200;
+  cfg.zipf_theta = 0.9;
+  KvWorkload workload(db.get(), cfg);
+  ASSERT_TRUE(workload.Load().ok());
+  ASSERT_TRUE(workload.Run(500).ok());
+  env.RunFor(Milliseconds(100));
+
+  // The backup volume recovers to the identical key-value state.
+  storage::ArrayVolumeDevice backup_device(&backup, *s);
+  db::DbOptions ro = Opts();
+  ro.read_only = true;
+  auto recovered = db::MiniDb::Open(&backup_device, ro);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ((*recovered)->Scan("usertable"), db->Scan("usertable"));
+}
+
+}  // namespace
+}  // namespace zerobak::workload

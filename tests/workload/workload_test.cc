@@ -1,0 +1,220 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "block/mem_volume.h"
+#include "common/value.h"
+#include "db/minidb.h"
+#include "workload/analytics.h"
+#include "workload/ecommerce.h"
+#include "workload/invariants.h"
+
+namespace zerobak::workload {
+namespace {
+
+db::DbOptions Opts() {
+  db::DbOptions o;
+  o.checkpoint_blocks = 128;
+  o.wal_blocks = 512;
+  return o;
+}
+
+constexpr uint64_t kBlocks = 1 + 2 * 128 + 512;
+
+class EcommerceTest : public ::testing::Test {
+ protected:
+  EcommerceTest() : sales_vol_(kBlocks), stock_vol_(kBlocks) {
+    EXPECT_TRUE(db::MiniDb::Format(&sales_vol_, Opts()).ok());
+    EXPECT_TRUE(db::MiniDb::Format(&stock_vol_, Opts()).ok());
+    sales_ = std::move(db::MiniDb::Open(&sales_vol_, Opts())).value();
+    stock_ = std::move(db::MiniDb::Open(&stock_vol_, Opts())).value();
+    EcommerceConfig cfg;
+    cfg.num_items = 8;
+    cfg.initial_stock_per_item = 1000;
+    app_ = std::make_unique<EcommerceApp>(sales_.get(), stock_.get(), cfg);
+    EXPECT_TRUE(app_->InitializeCatalog().ok());
+  }
+
+  block::MemVolume sales_vol_;
+  block::MemVolume stock_vol_;
+  std::unique_ptr<db::MiniDb> sales_;
+  std::unique_ptr<db::MiniDb> stock_;
+  std::unique_ptr<EcommerceApp> app_;
+};
+
+TEST_F(EcommerceTest, CatalogInitialization) {
+  EXPECT_EQ(stock_->RowCount(kStockTable), 8u);
+  auto row = Value::FromJson(stock_->Get(kStockTable, ItemKey(0)).value());
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->GetInt("quantity"), 1000);
+  EXPECT_EQ(row->GetInt("initialQuantity"), 1000);
+
+  // Idempotent: a second initialization keeps quantities.
+  ASSERT_TRUE(app_->PlaceOrder().ok());
+  ASSERT_TRUE(app_->InitializeCatalog().ok());
+  auto summary = SummarizeStock(stock_.get());
+  EXPECT_LT(summary.total_quantity, 8000);  // Not reset.
+}
+
+TEST_F(EcommerceTest, OrderTouchesBothDatabases) {
+  auto result = app_->PlaceOrder();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->order_id, 1u);
+  EXPECT_GT(result->quantity, 0);
+
+  EXPECT_TRUE(sales_->Exists(kOrderTable, OrderKey(1)));
+  EXPECT_TRUE(stock_->Exists(kMovementTable, MovementKey(1)));
+  auto item = Value::FromJson(
+      stock_->Get(kStockTable, result->item).value());
+  ASSERT_TRUE(item.ok());
+  EXPECT_EQ(item->GetInt("quantity"), 1000 - result->quantity);
+}
+
+TEST_F(EcommerceTest, SequentialOrderIds) {
+  for (uint64_t i = 1; i <= 5; ++i) {
+    auto r = app_->PlaceOrder();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->order_id, i);
+  }
+  EXPECT_EQ(app_->orders_placed(), 5u);
+  EXPECT_EQ(sales_->RowCount(kOrderTable), 5u);
+  EXPECT_EQ(stock_->RowCount(kMovementTable), 5u);
+}
+
+TEST_F(EcommerceTest, ConsistentStateReportsClean) {
+  for (int i = 0; i < 30; ++i) ASSERT_TRUE(app_->PlaceOrder().ok());
+  CollapseReport report = CheckConsistency(sales_.get(), stock_.get());
+  EXPECT_EQ(report.sales_orders, 30u);
+  EXPECT_EQ(report.stock_movements, 30u);
+  EXPECT_EQ(report.orphan_orders, 0u);
+  EXPECT_EQ(report.pending_movements, 0u);
+  EXPECT_FALSE(report.collapsed());
+  EXPECT_TRUE(report.internally_consistent());
+  EXPECT_NE(report.ToString().find("consistent"), std::string::npos);
+}
+
+TEST_F(EcommerceTest, OrphanOrderDetected) {
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(app_->PlaceOrder().ok());
+  // Fabricate the collapse: an order whose movement never made it.
+  db::Transaction txn = sales_->Begin();
+  Value order = Value::MakeObject();
+  order["item"] = ItemKey(0);
+  order["quantity"] = 1;
+  order["amountCents"] = 100;
+  txn.Put(kOrderTable, OrderKey(999), order.ToJson());
+  ASSERT_TRUE(sales_->Commit(std::move(txn)).ok());
+
+  CollapseReport report = CheckConsistency(sales_.get(), stock_.get());
+  EXPECT_EQ(report.orphan_orders, 1u);
+  EXPECT_TRUE(report.collapsed());
+  EXPECT_NE(report.ToString().find("COLLAPSED"), std::string::npos);
+}
+
+TEST_F(EcommerceTest, PendingMovementIsNotCollapse) {
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(app_->PlaceOrder().ok());
+  // A movement without its order: the legitimate in-flight case (stock
+  // committed first, crash before the sales commit).
+  db::Transaction txn = stock_->Begin();
+  Value mv = Value::MakeObject();
+  mv["orderId"] = 1000;
+  mv["item"] = ItemKey(1);
+  mv["quantity"] = 0;
+  txn.Put(kMovementTable, MovementKey(1000), mv.ToJson());
+  ASSERT_TRUE(stock_->Commit(std::move(txn)).ok());
+
+  CollapseReport report = CheckConsistency(sales_.get(), stock_.get());
+  EXPECT_FALSE(report.collapsed());
+  EXPECT_EQ(report.pending_movements, 1u);
+}
+
+TEST_F(EcommerceTest, StockAccountingErrorDetected) {
+  ASSERT_TRUE(app_->PlaceOrder().ok());
+  // Corrupt a stock row outside the application protocol.
+  db::Transaction txn = stock_->Begin();
+  Value row = Value::MakeObject();
+  row["quantity"] = 12345;
+  row["initialQuantity"] = 1000;
+  txn.Put(kStockTable, ItemKey(3), row.ToJson());
+  ASSERT_TRUE(stock_->Commit(std::move(txn)).ok());
+
+  CollapseReport report = CheckConsistency(sales_.get(), stock_.get());
+  EXPECT_FALSE(report.internally_consistent());
+  EXPECT_GT(report.stock_accounting_errors, 0u);
+}
+
+TEST_F(EcommerceTest, OutOfStockRejected) {
+  EcommerceConfig cfg;
+  cfg.num_items = 1;
+  cfg.initial_stock_per_item = 2;
+  block::MemVolume sv(kBlocks), tv(kBlocks);
+  ASSERT_TRUE(db::MiniDb::Format(&sv, Opts()).ok());
+  ASSERT_TRUE(db::MiniDb::Format(&tv, Opts()).ok());
+  auto sales = std::move(db::MiniDb::Open(&sv, Opts())).value();
+  auto stock = std::move(db::MiniDb::Open(&tv, Opts())).value();
+  EcommerceApp app(sales.get(), stock.get(), cfg);
+  ASSERT_TRUE(app.InitializeCatalog().ok());
+  Status last = OkStatus();
+  for (int i = 0; i < 10 && last.ok(); ++i) {
+    auto r = app.PlaceOrder();
+    last = r.ok() ? OkStatus() : r.status();
+  }
+  EXPECT_EQ(last.code(), StatusCode::kFailedPrecondition);
+  // The failed order never reached the sales database.
+  CollapseReport report = CheckConsistency(sales.get(), stock.get());
+  EXPECT_FALSE(report.collapsed());
+}
+
+TEST_F(EcommerceTest, AnalyticsAggregations) {
+  int64_t expected_revenue = 0;
+  for (int i = 0; i < 40; ++i) {
+    auto r = app_->PlaceOrder();
+    ASSERT_TRUE(r.ok());
+    expected_revenue += r->amount_cents;
+  }
+  SalesSummary summary = SummarizeSales(sales_.get());
+  EXPECT_EQ(summary.order_count, 40u);
+  EXPECT_EQ(summary.revenue_cents, expected_revenue);
+  EXPECT_NEAR(summary.average_order_cents,
+              static_cast<double>(expected_revenue) / 40.0, 0.01);
+
+  auto top = TopItems(sales_.get(), 3);
+  EXPECT_LE(top.size(), 3u);
+  ASSERT_FALSE(top.empty());
+  // Sorted descending by orders.
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].orders, top[i].orders);
+  }
+
+  StockSummary stock_summary = SummarizeStock(stock_.get());
+  EXPECT_EQ(stock_summary.item_count, 8u);
+  // Everything sold is accounted for.
+  int64_t total_qty = 0;
+  for (const auto& [key, json] : stock_->Scan(kMovementTable)) {
+    auto row = Value::FromJson(json);
+    total_qty += row->GetInt("quantity");
+  }
+  EXPECT_EQ(stock_summary.total_sold, total_qty);
+  EXPECT_EQ(stock_summary.total_quantity, 8000 - total_qty);
+}
+
+TEST_F(EcommerceTest, ZipfSkewConcentratesOrders) {
+  EcommerceConfig cfg;
+  cfg.num_items = 16;
+  cfg.zipf_theta = 0.9;
+  cfg.seed = 5;
+  block::MemVolume sv(kBlocks), tv(kBlocks);
+  ASSERT_TRUE(db::MiniDb::Format(&sv, Opts()).ok());
+  ASSERT_TRUE(db::MiniDb::Format(&tv, Opts()).ok());
+  auto sales = std::move(db::MiniDb::Open(&sv, Opts())).value();
+  auto stock = std::move(db::MiniDb::Open(&tv, Opts())).value();
+  EcommerceApp app(sales.get(), stock.get(), cfg);
+  ASSERT_TRUE(app.InitializeCatalog().ok());
+  for (int i = 0; i < 200; ++i) ASSERT_TRUE(app.PlaceOrder().ok());
+  auto top = TopItems(sales.get(), 16);
+  ASSERT_GE(top.size(), 2u);
+  // Heavy skew: the hottest item dominates.
+  EXPECT_GT(top[0].orders, 200u / 16u * 2);
+}
+
+}  // namespace
+}  // namespace zerobak::workload
