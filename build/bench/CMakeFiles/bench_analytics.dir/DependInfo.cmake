@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_analytics.cc" "bench/CMakeFiles/bench_analytics.dir/bench_analytics.cc.o" "gcc" "bench/CMakeFiles/bench_analytics.dir/bench_analytics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/zb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/csi/CMakeFiles/zb_csi.dir/DependInfo.cmake"
+  "/root/repo/build/src/nso/CMakeFiles/zb_nso.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/zb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/zb_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/replication/CMakeFiles/zb_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/snapshot/CMakeFiles/zb_snapshot.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/zb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/journal/CMakeFiles/zb_journal.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/zb_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/zb_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/zb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

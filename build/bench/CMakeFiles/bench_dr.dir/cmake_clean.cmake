@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dr.dir/bench_dr.cc.o"
+  "CMakeFiles/bench_dr.dir/bench_dr.cc.o.d"
+  "bench_dr"
+  "bench_dr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

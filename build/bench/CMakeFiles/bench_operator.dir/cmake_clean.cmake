@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_operator.dir/bench_operator.cc.o"
+  "CMakeFiles/bench_operator.dir/bench_operator.cc.o.d"
+  "bench_operator"
+  "bench_operator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_operator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

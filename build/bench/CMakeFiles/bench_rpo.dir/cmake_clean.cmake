@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rpo.dir/bench_rpo.cc.o"
+  "CMakeFiles/bench_rpo.dir/bench_rpo.cc.o.d"
+  "bench_rpo"
+  "bench_rpo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rpo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

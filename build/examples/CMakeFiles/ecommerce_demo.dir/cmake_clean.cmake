@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecommerce_demo.dir/ecommerce_demo.cpp.o"
+  "CMakeFiles/ecommerce_demo.dir/ecommerce_demo.cpp.o.d"
+  "ecommerce_demo"
+  "ecommerce_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecommerce_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_admin.dir/storage_admin.cpp.o"
+  "CMakeFiles/storage_admin.dir/storage_admin.cpp.o.d"
+  "storage_admin"
+  "storage_admin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_admin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

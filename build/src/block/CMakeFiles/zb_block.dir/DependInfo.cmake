@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/block/async_device.cc" "src/block/CMakeFiles/zb_block.dir/async_device.cc.o" "gcc" "src/block/CMakeFiles/zb_block.dir/async_device.cc.o.d"
+  "/root/repo/src/block/file_volume.cc" "src/block/CMakeFiles/zb_block.dir/file_volume.cc.o" "gcc" "src/block/CMakeFiles/zb_block.dir/file_volume.cc.o.d"
+  "/root/repo/src/block/mem_volume.cc" "src/block/CMakeFiles/zb_block.dir/mem_volume.cc.o" "gcc" "src/block/CMakeFiles/zb_block.dir/mem_volume.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zb_block.dir/async_device.cc.o"
+  "CMakeFiles/zb_block.dir/async_device.cc.o.d"
+  "CMakeFiles/zb_block.dir/file_volume.cc.o"
+  "CMakeFiles/zb_block.dir/file_volume.cc.o.d"
+  "CMakeFiles/zb_block.dir/mem_volume.cc.o"
+  "CMakeFiles/zb_block.dir/mem_volume.cc.o.d"
+  "libzb_block.a"
+  "libzb_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zb_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

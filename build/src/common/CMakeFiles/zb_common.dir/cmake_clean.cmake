@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zb_common.dir/crc32c.cc.o"
+  "CMakeFiles/zb_common.dir/crc32c.cc.o.d"
+  "CMakeFiles/zb_common.dir/histogram.cc.o"
+  "CMakeFiles/zb_common.dir/histogram.cc.o.d"
+  "CMakeFiles/zb_common.dir/logging.cc.o"
+  "CMakeFiles/zb_common.dir/logging.cc.o.d"
+  "CMakeFiles/zb_common.dir/rng.cc.o"
+  "CMakeFiles/zb_common.dir/rng.cc.o.d"
+  "CMakeFiles/zb_common.dir/status.cc.o"
+  "CMakeFiles/zb_common.dir/status.cc.o.d"
+  "CMakeFiles/zb_common.dir/time.cc.o"
+  "CMakeFiles/zb_common.dir/time.cc.o.d"
+  "CMakeFiles/zb_common.dir/value.cc.o"
+  "CMakeFiles/zb_common.dir/value.cc.o.d"
+  "libzb_common.a"
+  "libzb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zb_container.dir/api_server.cc.o"
+  "CMakeFiles/zb_container.dir/api_server.cc.o.d"
+  "CMakeFiles/zb_container.dir/controller.cc.o"
+  "CMakeFiles/zb_container.dir/controller.cc.o.d"
+  "libzb_container.a"
+  "libzb_container.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zb_container.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zb_core.dir/console.cc.o"
+  "CMakeFiles/zb_core.dir/console.cc.o.d"
+  "CMakeFiles/zb_core.dir/demo_system.cc.o"
+  "CMakeFiles/zb_core.dir/demo_system.cc.o.d"
+  "CMakeFiles/zb_core.dir/inspect.cc.o"
+  "CMakeFiles/zb_core.dir/inspect.cc.o.d"
+  "CMakeFiles/zb_core.dir/restore.cc.o"
+  "CMakeFiles/zb_core.dir/restore.cc.o.d"
+  "CMakeFiles/zb_core.dir/verify.cc.o"
+  "CMakeFiles/zb_core.dir/verify.cc.o.d"
+  "libzb_core.a"
+  "libzb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zb_csi.dir/provisioner.cc.o"
+  "CMakeFiles/zb_csi.dir/provisioner.cc.o.d"
+  "CMakeFiles/zb_csi.dir/replication_controller.cc.o"
+  "CMakeFiles/zb_csi.dir/replication_controller.cc.o.d"
+  "CMakeFiles/zb_csi.dir/schedule_controller.cc.o"
+  "CMakeFiles/zb_csi.dir/schedule_controller.cc.o.d"
+  "CMakeFiles/zb_csi.dir/snapshot_controller.cc.o"
+  "CMakeFiles/zb_csi.dir/snapshot_controller.cc.o.d"
+  "libzb_csi.a"
+  "libzb_csi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zb_csi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

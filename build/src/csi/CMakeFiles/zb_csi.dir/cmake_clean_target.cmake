@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libzb_csi.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/format.cc" "src/db/CMakeFiles/zb_db.dir/format.cc.o" "gcc" "src/db/CMakeFiles/zb_db.dir/format.cc.o.d"
+  "/root/repo/src/db/minidb.cc" "src/db/CMakeFiles/zb_db.dir/minidb.cc.o" "gcc" "src/db/CMakeFiles/zb_db.dir/minidb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/zb_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

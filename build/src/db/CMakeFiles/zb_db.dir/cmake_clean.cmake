@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zb_db.dir/format.cc.o"
+  "CMakeFiles/zb_db.dir/format.cc.o.d"
+  "CMakeFiles/zb_db.dir/minidb.cc.o"
+  "CMakeFiles/zb_db.dir/minidb.cc.o.d"
+  "libzb_db.a"
+  "libzb_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zb_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

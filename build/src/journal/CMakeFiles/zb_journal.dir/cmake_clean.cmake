@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zb_journal.dir/journal.cc.o"
+  "CMakeFiles/zb_journal.dir/journal.cc.o.d"
+  "libzb_journal.a"
+  "libzb_journal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zb_journal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nso/namespace_operator.cc" "src/nso/CMakeFiles/zb_nso.dir/namespace_operator.cc.o" "gcc" "src/nso/CMakeFiles/zb_nso.dir/namespace_operator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/zb_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zb_nso.dir/namespace_operator.cc.o"
+  "CMakeFiles/zb_nso.dir/namespace_operator.cc.o.d"
+  "libzb_nso.a"
+  "libzb_nso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zb_nso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zb_replication.dir/replication.cc.o"
+  "CMakeFiles/zb_replication.dir/replication.cc.o.d"
+  "libzb_replication.a"
+  "libzb_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zb_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zb_sim.dir/environment.cc.o"
+  "CMakeFiles/zb_sim.dir/environment.cc.o.d"
+  "CMakeFiles/zb_sim.dir/event_queue.cc.o"
+  "CMakeFiles/zb_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/zb_sim.dir/network.cc.o"
+  "CMakeFiles/zb_sim.dir/network.cc.o.d"
+  "libzb_sim.a"
+  "libzb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zb_snapshot.dir/snapshot.cc.o"
+  "CMakeFiles/zb_snapshot.dir/snapshot.cc.o.d"
+  "libzb_snapshot.a"
+  "libzb_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zb_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zb_storage.dir/array.cc.o"
+  "CMakeFiles/zb_storage.dir/array.cc.o.d"
+  "CMakeFiles/zb_storage.dir/volume.cc.o"
+  "CMakeFiles/zb_storage.dir/volume.cc.o.d"
+  "libzb_storage.a"
+  "libzb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

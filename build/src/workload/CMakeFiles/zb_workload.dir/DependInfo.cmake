@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/analytics.cc" "src/workload/CMakeFiles/zb_workload.dir/analytics.cc.o" "gcc" "src/workload/CMakeFiles/zb_workload.dir/analytics.cc.o.d"
+  "/root/repo/src/workload/ecommerce.cc" "src/workload/CMakeFiles/zb_workload.dir/ecommerce.cc.o" "gcc" "src/workload/CMakeFiles/zb_workload.dir/ecommerce.cc.o.d"
+  "/root/repo/src/workload/invariants.cc" "src/workload/CMakeFiles/zb_workload.dir/invariants.cc.o" "gcc" "src/workload/CMakeFiles/zb_workload.dir/invariants.cc.o.d"
+  "/root/repo/src/workload/kv_workload.cc" "src/workload/CMakeFiles/zb_workload.dir/kv_workload.cc.o" "gcc" "src/workload/CMakeFiles/zb_workload.dir/kv_workload.cc.o.d"
+  "/root/repo/src/workload/latency_driver.cc" "src/workload/CMakeFiles/zb_workload.dir/latency_driver.cc.o" "gcc" "src/workload/CMakeFiles/zb_workload.dir/latency_driver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/zb_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/zb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/zb_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/journal/CMakeFiles/zb_journal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zb_workload.dir/analytics.cc.o"
+  "CMakeFiles/zb_workload.dir/analytics.cc.o.d"
+  "CMakeFiles/zb_workload.dir/ecommerce.cc.o"
+  "CMakeFiles/zb_workload.dir/ecommerce.cc.o.d"
+  "CMakeFiles/zb_workload.dir/invariants.cc.o"
+  "CMakeFiles/zb_workload.dir/invariants.cc.o.d"
+  "CMakeFiles/zb_workload.dir/kv_workload.cc.o"
+  "CMakeFiles/zb_workload.dir/kv_workload.cc.o.d"
+  "CMakeFiles/zb_workload.dir/latency_driver.cc.o"
+  "CMakeFiles/zb_workload.dir/latency_driver.cc.o.d"
+  "libzb_workload.a"
+  "libzb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csi_test.dir/csi/provisioner_test.cc.o"
+  "CMakeFiles/csi_test.dir/csi/provisioner_test.cc.o.d"
+  "CMakeFiles/csi_test.dir/csi/replication_controller_test.cc.o"
+  "CMakeFiles/csi_test.dir/csi/replication_controller_test.cc.o.d"
+  "CMakeFiles/csi_test.dir/csi/schedule_controller_test.cc.o"
+  "CMakeFiles/csi_test.dir/csi/schedule_controller_test.cc.o.d"
+  "CMakeFiles/csi_test.dir/csi/snapshot_controller_test.cc.o"
+  "CMakeFiles/csi_test.dir/csi/snapshot_controller_test.cc.o.d"
+  "csi_test"
+  "csi_test.pdb"
+  "csi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

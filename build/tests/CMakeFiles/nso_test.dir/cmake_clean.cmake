@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nso_test.dir/nso/namespace_operator_test.cc.o"
+  "CMakeFiles/nso_test.dir/nso/namespace_operator_test.cc.o.d"
+  "nso_test"
+  "nso_test.pdb"
+  "nso_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nso_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

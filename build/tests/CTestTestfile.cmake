@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/block_test[1]_include.cmake")
+include("/root/repo/build/tests/journal_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/replication_test[1]_include.cmake")
+include("/root/repo/build/tests/snapshot_test[1]_include.cmake")
+include("/root/repo/build/tests/container_test[1]_include.cmake")
+include("/root/repo/build/tests/db_test[1]_include.cmake")
+include("/root/repo/build/tests/csi_test[1]_include.cmake")
+include("/root/repo/build/tests/nso_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
