@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/logging.h"
+
 namespace zerobak::block {
 
 Status BlockDevice::CheckRange(Lba lba, uint32_t count) const {
@@ -16,19 +18,62 @@ Status BlockDevice::CheckRange(Lba lba, uint32_t count) const {
 }
 
 MemVolume::MemVolume(uint64_t block_count, uint32_t block_size)
-    : block_count_(block_count), block_size_(block_size) {}
+    : block_count_(block_count),
+      block_size_(block_size),
+      chunks_(ChunkCount()),
+      zero_block_(block_size, '\0') {}
+
+MemVolume::Chunk& MemVolume::EnsureChunk(Lba lba) {
+  const size_t ci = static_cast<size_t>(lba / kBlocksPerChunk);
+  Chunk& chunk = chunks_[ci];
+  if (chunk.data == nullptr) {
+    const uint64_t blocks = ChunkBlocks(ci);
+    // calloc zero-fills, so unwritten blocks inside an allocated chunk
+    // still read back as zeros (lazily, via kernel zero pages).
+    chunk.data.reset(static_cast<char*>(std::calloc(blocks, block_size_)));
+    ZB_CHECK(chunk.data != nullptr) << "MemVolume chunk allocation failed";
+    chunk.bitmap.assign((blocks + 63) / 64, 0);
+  }
+  return chunk;
+}
+
+bool MemVolume::IsAllocated(Lba lba) const {
+  const size_t ci = static_cast<size_t>(lba / kBlocksPerChunk);
+  if (ci >= chunks_.size() || chunks_[ci].data == nullptr) return false;
+  const uint64_t slot = lba % kBlocksPerChunk;
+  return (chunks_[ci].bitmap[slot / 64] >> (slot % 64)) & 1;
+}
+
+std::string_view MemVolume::ReadBlockView(Lba lba) const {
+  const size_t ci = static_cast<size_t>(lba / kBlocksPerChunk);
+  if (ci >= chunks_.size() || chunks_[ci].data == nullptr) {
+    return zero_block_;
+  }
+  const uint64_t slot = lba % kBlocksPerChunk;
+  return std::string_view(chunks_[ci].data.get() + slot * block_size_,
+                          block_size_);
+}
 
 Status MemVolume::Read(Lba lba, uint32_t count, std::string* out) {
   ZB_RETURN_IF_ERROR(CheckRange(lba, count));
-  out->clear();
-  out->reserve(static_cast<size_t>(count) * block_size_);
-  for (uint32_t i = 0; i < count; ++i) {
-    auto it = blocks_.find(lba + i);
-    if (it == blocks_.end()) {
-      out->append(block_size_, '\0');
+  out->resize(static_cast<size_t>(count) * block_size_);
+  char* dst = out->data();
+  uint32_t i = 0;
+  while (i < count) {
+    const Lba cur = lba + i;
+    const size_t ci = static_cast<size_t>(cur / kBlocksPerChunk);
+    const uint64_t slot = cur % kBlocksPerChunk;
+    // Copy the longest run that stays inside this chunk.
+    const uint32_t run = static_cast<uint32_t>(
+        std::min<uint64_t>(count - i, ChunkBlocks(ci) - slot));
+    if (chunks_[ci].data == nullptr) {
+      std::memset(dst, 0, static_cast<size_t>(run) * block_size_);
     } else {
-      out->append(it->second);
+      std::memcpy(dst, chunks_[ci].data.get() + slot * block_size_,
+                  static_cast<size_t>(run) * block_size_);
     }
+    dst += static_cast<size_t>(run) * block_size_;
+    i += run;
   }
   ++reads_;
   return OkStatus();
@@ -41,26 +86,50 @@ Status MemVolume::Write(Lba lba, uint32_t count, std::string_view data) {
         "write payload size mismatch: got " + std::to_string(data.size()) +
         " want " + std::to_string(static_cast<size_t>(count) * block_size_));
   }
-  for (uint32_t i = 0; i < count; ++i) {
-    blocks_[lba + i] =
-        std::string(data.substr(static_cast<size_t>(i) * block_size_,
-                                block_size_));
+  const char* src = data.data();
+  uint32_t i = 0;
+  while (i < count) {
+    const Lba cur = lba + i;
+    const size_t ci = static_cast<size_t>(cur / kBlocksPerChunk);
+    const uint64_t slot = cur % kBlocksPerChunk;
+    const uint32_t run = static_cast<uint32_t>(
+        std::min<uint64_t>(count - i, ChunkBlocks(ci) - slot));
+    Chunk& chunk = EnsureChunk(cur);
+    std::memcpy(chunk.data.get() + slot * block_size_, src,
+                static_cast<size_t>(run) * block_size_);
+    for (uint32_t b = 0; b < run; ++b) {
+      uint64_t& word = chunk.bitmap[(slot + b) / 64];
+      const uint64_t bit = 1ull << ((slot + b) % 64);
+      if ((word & bit) == 0) {
+        word |= bit;
+        ++allocated_blocks_;
+      }
+    }
+    src += static_cast<size_t>(run) * block_size_;
+    i += run;
   }
   ++writes_;
   return OkStatus();
-}
-
-std::string MemVolume::ReadBlock(Lba lba) const {
-  auto it = blocks_.find(lba);
-  if (it == blocks_.end()) return std::string(block_size_, '\0');
-  return it->second;
 }
 
 Status MemVolume::CloneFrom(const MemVolume& src) {
   if (src.block_size_ != block_size_ || src.block_count_ != block_count_) {
     return InvalidArgumentError("clone geometry mismatch");
   }
-  blocks_ = src.blocks_;
+  chunks_.clear();
+  chunks_.resize(ChunkCount());
+  for (size_t ci = 0; ci < chunks_.size(); ++ci) {
+    if (src.chunks_[ci].data == nullptr) continue;
+    const uint64_t blocks = ChunkBlocks(ci);
+    // malloc, not calloc: the full chunk is overwritten by the copy.
+    chunks_[ci].data.reset(
+        static_cast<char*>(std::malloc(blocks * block_size_)));
+    ZB_CHECK(chunks_[ci].data != nullptr) << "MemVolume clone alloc failed";
+    std::memcpy(chunks_[ci].data.get(), src.chunks_[ci].data.get(),
+                blocks * block_size_);
+    chunks_[ci].bitmap = src.chunks_[ci].bitmap;
+  }
+  allocated_blocks_ = src.allocated_blocks_;
   return OkStatus();
 }
 
@@ -69,17 +138,26 @@ bool MemVolume::ContentEquals(const MemVolume& other) const {
       other.block_count_ != block_count_) {
     return false;
   }
-  const std::string zeros(block_size_, '\0');
-  auto block_of = [&](const MemVolume& v, Lba lba) -> const std::string& {
-    auto it = v.blocks_.find(lba);
-    return it == v.blocks_.end() ? zeros : it->second;
+  auto all_zero = [](const char* p, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      if (p[i] != '\0') return false;
+    }
+    return true;
   };
-  // Check union of allocated blocks from both sides.
-  for (const auto& [lba, data] : blocks_) {
-    if (block_of(other, lba) != data) return false;
-  }
-  for (const auto& [lba, data] : other.blocks_) {
-    if (block_of(*this, lba) != data) return false;
+  for (size_t ci = 0; ci < chunks_.size(); ++ci) {
+    const char* a = chunks_[ci].data.get();
+    const char* b = other.chunks_[ci].data.get();
+    const size_t bytes = ChunkBlocks(ci) * block_size_;
+    if (a == nullptr && b == nullptr) continue;
+    // A missing chunk reads as zeros, so compare against zeros (a block
+    // explicitly written with zeros equals a hole).
+    if (a == nullptr) {
+      if (!all_zero(b, bytes)) return false;
+    } else if (b == nullptr) {
+      if (!all_zero(a, bytes)) return false;
+    } else if (std::memcmp(a, b, bytes) != 0) {
+      return false;
+    }
   }
   return true;
 }

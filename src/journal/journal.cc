@@ -1,10 +1,32 @@
 #include "journal/journal.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/logging.h"
 
 namespace zerobak::journal {
+
+namespace {
+// Backing-buffer allocation counter; see PayloadBuffer::TotalAllocations.
+std::atomic<uint64_t> g_payload_allocations{0};
+}  // namespace
+
+PayloadBuffer PayloadBuffer::Wrap(std::string data) {
+  const size_t len = data.size();
+  g_payload_allocations.fetch_add(1, std::memory_order_relaxed);
+  return PayloadBuffer(
+      std::make_shared<const std::string>(std::move(data)), 0, len);
+}
+
+PayloadBuffer PayloadBuffer::Slice(size_t offset, size_t length) const {
+  ZB_CHECK(offset + length <= len_) << "PayloadBuffer::Slice out of range";
+  return PayloadBuffer(buf_, offset_ + offset, length);
+}
+
+uint64_t PayloadBuffer::TotalAllocations() {
+  return g_payload_allocations.load(std::memory_order_relaxed);
+}
 
 JournalVolume::JournalVolume(uint64_t capacity_bytes)
     : capacity_bytes_(capacity_bytes) {}
@@ -47,8 +69,9 @@ Status JournalVolume::AppendWithSequence(JournalRecord record) {
   return OkStatus();
 }
 
-size_t JournalVolume::Peek(SequenceNumber from, uint64_t max_bytes,
-                           std::vector<JournalRecord>* out) const {
+size_t JournalVolume::PeekViews(
+    SequenceNumber from, uint64_t max_bytes,
+    std::vector<const JournalRecord*>* out) const {
   out->clear();
   if (records_.empty() || from >= written_) return 0;
   // Records are dense, so the record with sequence s lives at index
@@ -59,10 +82,18 @@ size_t JournalVolume::Peek(SequenceNumber from, uint64_t max_bytes,
     const JournalRecord& rec = records_[i];
     const uint64_t size = rec.EncodedSize();
     if (!out->empty() && bytes + size > max_bytes) break;
-    out->push_back(rec);
+    out->push_back(&rec);
     bytes += size;
   }
   return out->size();
+}
+
+JournalVolume::Cursor JournalVolume::ScanFrom(SequenceNumber seq) const {
+  if (records_.empty() || seq > written_) {
+    return Cursor(&records_, records_.size());
+  }
+  const SequenceNumber start = std::max(seq, first_seq_);
+  return Cursor(&records_, start - first_seq_);
 }
 
 const JournalRecord* JournalVolume::Find(SequenceNumber seq) const {

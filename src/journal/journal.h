@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -18,22 +20,79 @@ using SequenceNumber = uint64_t;
 
 inline constexpr SequenceNumber kNoSequence = 0;
 
-// One journaled volume update: "volume `volume_id` wrote `data` at block
-// `lba`". The order of records in a journal is exactly the order in which
-// the array acknowledged the corresponding host writes — the property that
-// consistency groups extend across multiple volumes (Section III-A-1).
+// A refcounted, immutable payload buffer with an offset/length view.
+//
+// The ADC write path allocates the payload exactly once, when the
+// interceptor captures the host write; every downstream stage — primary
+// journal, ship batch, secondary journal, apply — shares the same backing
+// bytes by copying the (cheap) view. Copying a PayloadBuffer bumps a
+// refcount; it never copies payload bytes. The backing buffer is freed
+// when the last view drops, so trimming the primary journal cannot
+// invalidate a batch that is still on the wire.
+class PayloadBuffer {
+ public:
+  PayloadBuffer() = default;
+
+  // Allocates a new backing buffer holding a copy of `data`. This is the
+  // one allocation a replicated host write performs.
+  static PayloadBuffer Copy(std::string_view data) {
+    return Wrap(std::string(data));
+  }
+
+  // Takes ownership of `data` without copying its bytes.
+  static PayloadBuffer Wrap(std::string data);
+
+  // A sub-view sharing the same backing buffer (no allocation). `offset`
+  // and `length` must lie within this view.
+  PayloadBuffer Slice(size_t offset, size_t length) const;
+
+  std::string_view view() const {
+    return buf_ == nullptr
+               ? std::string_view()
+               : std::string_view(buf_->data() + offset_, len_);
+  }
+  size_t size() const { return len_; }
+  bool empty() const { return len_ == 0; }
+
+  // Number of PayloadBuffer views sharing the backing buffer (0 for a
+  // default-constructed, empty buffer).
+  long use_count() const { return buf_.use_count(); }
+
+  // Process-wide count of backing-buffer allocations (Copy/Wrap calls).
+  // Tests use deltas of this to assert the zero-copy property of the
+  // replication data path.
+  static uint64_t TotalAllocations();
+
+ private:
+  PayloadBuffer(std::shared_ptr<const std::string> buf, size_t offset,
+                size_t len)
+      : buf_(std::move(buf)), offset_(offset), len_(len) {}
+
+  std::shared_ptr<const std::string> buf_;
+  size_t offset_ = 0;
+  size_t len_ = 0;
+};
+
+// One journaled volume update: "volume `volume_id` wrote `payload` at
+// block `lba`". The order of records in a journal is exactly the order in
+// which the array acknowledged the corresponding host writes — the
+// property that consistency groups extend across multiple volumes
+// (Section III-A-1). Records share their payload bytes through
+// PayloadBuffer, so copying a record is O(1) and never touches the data.
 struct JournalRecord {
   SequenceNumber sequence = kNoSequence;
   uint64_t volume_id = 0;
   uint64_t lba = 0;
   uint32_t block_count = 0;
-  std::string data;
+  PayloadBuffer payload;
   // Array time at which the original host write was acknowledged; used to
   // compute replication lag and RPO.
   SimTime ack_time = 0;
 
+  std::string_view data() const { return payload.view(); }
+
   // Bytes this record occupies in the journal / on the wire.
-  uint64_t EncodedSize() const { return kHeaderSize + data.size(); }
+  uint64_t EncodedSize() const { return kHeaderSize + payload.size(); }
 
   static constexpr uint64_t kHeaderSize = 48;
 };
@@ -52,6 +111,27 @@ struct JournalRecord {
 // the classic ADC failure mode under a slow or broken link).
 class JournalVolume {
  public:
+  // Forward scan cursor over live records, obtained from ScanFrom().
+  // Iterates the deque-backed store directly, so a full apply pass is one
+  // sweep instead of N find-by-sequence lookups. Invalidated by any
+  // journal mutation (Append/TrimThrough/Reset).
+  class Cursor {
+   public:
+    // Returns the next record, or nullptr when the scan ran past the
+    // written watermark.
+    const JournalRecord* Next() {
+      if (records_ == nullptr || index_ >= records_->size()) return nullptr;
+      return &(*records_)[index_++];
+    }
+
+   private:
+    friend class JournalVolume;
+    Cursor(const std::deque<JournalRecord>* records, size_t index)
+        : records_(records), index_(index) {}
+    const std::deque<JournalRecord>* records_;
+    size_t index_;
+  };
+
   explicit JournalVolume(uint64_t capacity_bytes);
 
   JournalVolume(const JournalVolume&) = delete;
@@ -65,10 +145,23 @@ class JournalVolume {
   // journal receiving shipped records). Sequences must arrive densely.
   Status AppendWithSequence(JournalRecord record);
 
-  // Copies up to `max_bytes` worth of records with sequence > `from` into
-  // `out`. Returns the number of records copied.
-  size_t Peek(SequenceNumber from, uint64_t max_bytes,
-              std::vector<JournalRecord>* out) const;
+  // Collects views of up to `max_bytes` worth of records with sequence >
+  // `from` into `out` (cleared first); always returns at least one record
+  // when any is pending (progress guarantee). Returns the number of
+  // records collected.
+  //
+  // Pointer lifetime: records are immutable and stable while they live in
+  // the journal (the deque never reallocates existing elements on
+  // Append), but TrimThrough and Reset invalidate views of the trimmed
+  // records. Callers that hold a batch across a trim boundary — e.g. a
+  // ship batch in flight on a simulated link — must copy the records,
+  // which shares the payload buffers and is O(1) per record.
+  size_t PeekViews(SequenceNumber from, uint64_t max_bytes,
+                   std::vector<const JournalRecord*>* out) const;
+
+  // Returns a cursor positioned at the record with sequence `seq`
+  // (clamped into the live range).
+  Cursor ScanFrom(SequenceNumber seq) const;
 
   // Returns a pointer to the record with the given sequence, or nullptr if
   // it has been trimmed or not yet written.

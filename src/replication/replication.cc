@@ -369,7 +369,9 @@ void ReplicationEngine::OnAsyncHostWrite(
   record.volume_id = volume->id();
   record.lba = lba;
   record.block_count = count;
-  record.data = std::string(data);
+  // The single payload allocation of the ADC path: every downstream stage
+  // (ship batch, secondary journal, apply) shares this buffer.
+  record.payload = journal::PayloadBuffer::Copy(data);
   record.ack_time = env_->now();
   auto* jnl = primary_->GetJournal(group->primary_journal);
   ZB_CHECK(jnl != nullptr);
@@ -404,7 +406,9 @@ void ReplicationEngine::OnSyncHostWrite(
   const uint64_t bytes =
       journal::JournalRecord::kHeaderSize +
       static_cast<uint64_t>(count) * volume->block_size();
-  std::string payload(data);
+  // One payload allocation; the nested send/persist lambdas share it by
+  // refcount instead of re-copying the bytes at each hop.
+  journal::PayloadBuffer payload = journal::PayloadBuffer::Copy(data);
   const PairId pair_id = pair->id_;
   ++pair->inflight_;
   Status sent = to_secondary_->SendOnChannel(
@@ -430,7 +434,7 @@ void ReplicationEngine::OnSyncHostWrite(
           storage::Volume* svol =
               secondary_->GetVolume(p2->config_.secondary);
           if (svol != nullptr && !secondary_->failed()) {
-            Status ws = svol->Write(lba, count, payload);
+            Status ws = svol->Write(lba, count, payload.view());
             if (!ws.ok()) {
               ZB_LOG(Warning) << "sync apply failed: " << ws;
             }
@@ -461,13 +465,20 @@ void ReplicationEngine::PumpGroup(Group* group) {
   if (primary_->failed()) return;
   auto* jnl = primary_->GetJournal(group->primary_journal);
   if (jnl == nullptr) return;
-  std::vector<journal::JournalRecord> batch;
-  if (jnl->Peek(jnl->shipped(), group->config.transfer_batch_bytes,
-                &batch) == 0) {
+  std::vector<const journal::JournalRecord*> views;
+  if (jnl->PeekViews(jnl->shipped(), group->config.transfer_batch_bytes,
+                     &views) == 0) {
     return;
   }
+  // The batch must survive primary-journal trims while on the wire, so it
+  // copies the record headers — the payload bytes are shared, not cloned.
   uint64_t bytes = 0;
-  for (const auto& rec : batch) bytes += rec.EncodedSize();
+  std::vector<journal::JournalRecord> batch;
+  batch.reserve(views.size());
+  for (const journal::JournalRecord* rec : views) {
+    bytes += rec->EncodedSize();
+    batch.push_back(*rec);
+  }
   const journal::SequenceNumber last = batch.back().sequence;
   const GroupId group_id = group->id;
   Status sent = to_secondary_->SendOnChannel(
@@ -498,8 +509,11 @@ void ReplicationEngine::ApplyPending(Group* group) {
   if (sj == nullptr) return;
   journal::SequenceNumber applied = sj->applied();
   bool progressed = false;
+  // Single sweep over the received records instead of a find-by-sequence
+  // lookup per record.
+  journal::JournalVolume::Cursor cursor = sj->ScanFrom(applied + 1);
   while (applied < sj->written()) {
-    const journal::JournalRecord* rec = sj->Find(applied + 1);
+    const journal::JournalRecord* rec = cursor.Next();
     if (rec == nullptr) break;
     auto pit = group->by_primary.find(rec->volume_id);
     if (pit != group->by_primary.end()) {
@@ -512,7 +526,7 @@ void ReplicationEngine::ApplyPending(Group* group) {
       if (pair != nullptr) {
         storage::Volume* svol = secondary_->GetVolume(pair->config_.secondary);
         if (svol != nullptr) {
-          Status ws = svol->Write(rec->lba, rec->block_count, rec->data);
+          Status ws = svol->Write(rec->lba, rec->block_count, rec->data());
           if (!ws.ok()) {
             ZB_LOG(Warning) << "journal apply failed: " << ws;
           }
@@ -601,15 +615,15 @@ void ReplicationEngine::MarkGroupSuspended(Group* group) {
   // Unshipped journal records become dirty blocks and are dropped; the
   // sequence watermarks are preserved so post-resync shipping stays dense.
   if (jnl != nullptr) {
-    std::vector<journal::JournalRecord> rest;
-    jnl->Peek(jnl->shipped(), UINT64_MAX, &rest);
-    for (const auto& rec : rest) {
-      auto pit = group->by_primary.find(rec.volume_id);
+    std::vector<const journal::JournalRecord*> rest;
+    jnl->PeekViews(jnl->shipped(), UINT64_MAX, &rest);
+    for (const journal::JournalRecord* rec : rest) {
+      auto pit = group->by_primary.find(rec->volume_id);
       if (pit == group->by_primary.end()) continue;
       Pair* pair = FindPair(pit->second);
       if (pair == nullptr) continue;
-      for (uint32_t i = 0; i < rec.block_count; ++i) {
-        pair->dirty_.insert(rec.lba + i);
+      for (uint32_t i = 0; i < rec->block_count; ++i) {
+        pair->dirty_.insert(rec->lba + i);
       }
     }
     (void)jnl->TrimThrough(jnl->written());

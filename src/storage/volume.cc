@@ -33,7 +33,9 @@ Status Volume::Write(block::Lba lba, uint32_t count, std::string_view data) {
   }
   if (!hooks_.empty()) {
     for (uint32_t i = 0; i < count; ++i) {
-      const std::string old_block = store_.ReadBlock(lba + i);
+      // Zero-copy: the view stays valid until store_.Write below, and
+      // hooks that keep the content (COW snapshots) copy it themselves.
+      const std::string_view old_block = store_.ReadBlockView(lba + i);
       for (auto& [token, hook] : hooks_) {
         hook(lba + i, old_block);
       }

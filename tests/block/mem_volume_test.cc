@@ -100,5 +100,70 @@ TEST(MemVolumeTest, ReadBlockConvenience) {
   EXPECT_EQ(v.ReadBlock(5), BlockOf('k'));
 }
 
+TEST(MemVolumeTest, ReadBlockViewTracksContent) {
+  MemVolume v(10);
+  EXPECT_EQ(v.ReadBlockView(3), std::string_view(BlockOf('\0')));
+  ASSERT_TRUE(v.Write(3, 1, BlockOf('v')).ok());
+  const std::string_view view = v.ReadBlockView(3);
+  EXPECT_EQ(view.size(), static_cast<size_t>(kDefaultBlockSize));
+  EXPECT_EQ(view, std::string_view(BlockOf('v')));
+}
+
+// Slab-specific behavior: writes far apart land in distinct chunks, and
+// the sparse-footprint accounting stays per-block, not per-chunk.
+TEST(MemVolumeSlabTest, SparseWritesAcrossChunks) {
+  MemVolume v(MemVolume::kBlocksPerChunk * 4, 512);
+  const Lba far = MemVolume::kBlocksPerChunk * 3 + 17;
+  ASSERT_TRUE(v.Write(0, 1, BlockOf('a', 512)).ok());
+  ASSERT_TRUE(v.Write(far, 1, BlockOf('b', 512)).ok());
+  EXPECT_EQ(v.allocated_blocks(), 2u);
+  EXPECT_TRUE(v.IsAllocated(0));
+  EXPECT_TRUE(v.IsAllocated(far));
+  EXPECT_FALSE(v.IsAllocated(1));
+  EXPECT_FALSE(v.IsAllocated(far - 1));
+  EXPECT_EQ(v.ReadBlock(far), BlockOf('b', 512));
+  // A block in a touched chunk but never written still reads as zeros.
+  EXPECT_EQ(v.ReadBlock(far - 1), BlockOf('\0', 512));
+}
+
+TEST(MemVolumeSlabTest, WriteSpanningChunkBoundary) {
+  MemVolume v(MemVolume::kBlocksPerChunk * 2, 512);
+  const Lba edge = MemVolume::kBlocksPerChunk - 1;
+  ASSERT_TRUE(
+      v.Write(edge, 2, BlockOf('x', 512) + BlockOf('y', 512)).ok());
+  EXPECT_EQ(v.allocated_blocks(), 2u);
+  std::string out;
+  ASSERT_TRUE(v.Read(edge, 2, &out).ok());
+  EXPECT_EQ(out, BlockOf('x', 512) + BlockOf('y', 512));
+}
+
+TEST(MemVolumeSlabTest, PartialTailChunk) {
+  // Block count not a multiple of the chunk size: the tail chunk is short.
+  MemVolume v(MemVolume::kBlocksPerChunk + 5, 512);
+  const Lba last = v.block_count() - 1;
+  ASSERT_TRUE(v.Write(last, 1, BlockOf('t', 512)).ok());
+  EXPECT_EQ(v.ReadBlock(last), BlockOf('t', 512));
+  std::string out;
+  EXPECT_EQ(v.Read(last, 2, &out).code(), StatusCode::kOutOfRange);
+}
+
+TEST(MemVolumeSlabTest, OverwriteDoesNotDoubleCountAllocation) {
+  MemVolume v(10);
+  ASSERT_TRUE(v.Write(4, 1, BlockOf('a')).ok());
+  ASSERT_TRUE(v.Write(4, 1, BlockOf('b')).ok());
+  EXPECT_EQ(v.allocated_blocks(), 1u);
+  EXPECT_EQ(v.ReadBlock(4), BlockOf('b'));
+}
+
+TEST(MemVolumeSlabTest, CloneFromReplacesExistingContent) {
+  MemVolume a(10), b(10);
+  ASSERT_TRUE(b.Write(9, 1, BlockOf('o')).ok());
+  ASSERT_TRUE(a.Write(2, 1, BlockOf('n')).ok());
+  ASSERT_TRUE(b.CloneFrom(a).ok());
+  EXPECT_TRUE(a.ContentEquals(b));
+  EXPECT_EQ(b.allocated_blocks(), 1u);
+  EXPECT_EQ(b.ReadBlock(9), BlockOf('\0'));
+}
+
 }  // namespace
 }  // namespace zerobak::block

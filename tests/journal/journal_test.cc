@@ -10,7 +10,7 @@ JournalRecord Rec(uint64_t volume, uint64_t lba, size_t data_bytes = 64) {
   r.volume_id = volume;
   r.lba = lba;
   r.block_count = 1;
-  r.data = std::string(data_bytes, 'd');
+  r.payload = PayloadBuffer::Wrap(std::string(data_bytes, 'd'));
   return r;
 }
 
@@ -44,29 +44,29 @@ TEST(JournalTest, OverflowRejectsAndCounts) {
   EXPECT_EQ(j.written(), 1u);  // Sequence not consumed by the failure.
 }
 
-TEST(JournalTest, PeekReturnsRecordsAfterWatermark) {
+TEST(JournalTest, PeekViewsReturnsRecordsAfterWatermark) {
   JournalVolume j(1 << 20);
   for (int i = 0; i < 10; ++i) ASSERT_TRUE(j.Append(Rec(1, i)).ok());
-  std::vector<JournalRecord> batch;
-  EXPECT_EQ(j.Peek(0, UINT64_MAX, &batch), 10u);
-  EXPECT_EQ(batch.front().sequence, 1u);
-  EXPECT_EQ(batch.back().sequence, 10u);
+  std::vector<const JournalRecord*> batch;
+  EXPECT_EQ(j.PeekViews(0, UINT64_MAX, &batch), 10u);
+  EXPECT_EQ(batch.front()->sequence, 1u);
+  EXPECT_EQ(batch.back()->sequence, 10u);
 
-  EXPECT_EQ(j.Peek(7, UINT64_MAX, &batch), 3u);
-  EXPECT_EQ(batch.front().sequence, 8u);
+  EXPECT_EQ(j.PeekViews(7, UINT64_MAX, &batch), 3u);
+  EXPECT_EQ(batch.front()->sequence, 8u);
 
-  EXPECT_EQ(j.Peek(10, UINT64_MAX, &batch), 0u);
+  EXPECT_EQ(j.PeekViews(10, UINT64_MAX, &batch), 0u);
 }
 
-TEST(JournalTest, PeekRespectsByteBudgetButReturnsAtLeastOne) {
+TEST(JournalTest, PeekViewsRespectsByteBudgetButReturnsAtLeastOne) {
   JournalVolume j(1 << 20);
   for (int i = 0; i < 10; ++i) ASSERT_TRUE(j.Append(Rec(1, i, 100)).ok());
-  std::vector<JournalRecord> batch;
+  std::vector<const JournalRecord*> batch;
   // Budget fits exactly two records.
   const uint64_t two = 2 * (JournalRecord::kHeaderSize + 100);
-  EXPECT_EQ(j.Peek(0, two, &batch), 2u);
+  EXPECT_EQ(j.PeekViews(0, two, &batch), 2u);
   // Budget smaller than one record still returns one (progress guarantee).
-  EXPECT_EQ(j.Peek(0, 1, &batch), 1u);
+  EXPECT_EQ(j.PeekViews(0, 1, &batch), 1u);
 }
 
 TEST(JournalTest, TrimReleasesSpace) {
@@ -78,9 +78,9 @@ TEST(JournalTest, TrimReleasesSpace) {
   EXPECT_EQ(j.record_count(), 6u);
   EXPECT_LT(j.used_bytes(), before);
   // Peek after trim starts at the right place.
-  std::vector<JournalRecord> batch;
-  EXPECT_EQ(j.Peek(4, UINT64_MAX, &batch), 6u);
-  EXPECT_EQ(batch.front().sequence, 5u);
+  std::vector<const JournalRecord*> batch;
+  EXPECT_EQ(j.PeekViews(4, UINT64_MAX, &batch), 6u);
+  EXPECT_EQ(batch.front()->sequence, 5u);
 }
 
 TEST(JournalTest, TrimBeyondWrittenRejected) {

@@ -243,5 +243,34 @@ TEST_F(SnapshotTest, SnapshotAsBlockDeviceGeometry) {
   EXPECT_EQ(s->Write(0, 1, "short").code(), StatusCode::kInvalidArgument);
 }
 
+// COW interaction with the slab-backed store: the pre-overwrite hook now
+// receives a view into the slab, and the preserved copy must be taken
+// before the slab block is rewritten in place — including for blocks in
+// chunks the source never touched (zero blocks) and across chunk
+// boundaries.
+TEST_F(SnapshotTest, CowPreservesSlabContentAcrossChunks) {
+  const uint64_t blocks = block::MemVolume::kBlocksPerChunk * 2;
+  storage::VolumeId v = MakeVolume("v", blocks);
+  const block::Lba far = block::MemVolume::kBlocksPerChunk + 3;
+  ASSERT_TRUE(array_.WriteSync(v, far, BlockOf('a')).ok());
+  auto snap = snapshots_.CreateSnapshot(v, "s");
+  ASSERT_TRUE(snap.ok());
+  CowSnapshot* s = snapshots_.GetSnapshot(*snap);
+
+  // Overwrite a block in a far chunk, and write a block that was a hole.
+  ASSERT_TRUE(array_.WriteSync(v, far, BlockOf('b')).ok());
+  ASSERT_TRUE(array_.WriteSync(v, 0, BlockOf('c')).ok());
+  // Overwriting twice must keep the first preserved copy.
+  ASSERT_TRUE(array_.WriteSync(v, far, BlockOf('d')).ok());
+
+  std::string out;
+  ASSERT_TRUE(s->Read(far, 1, &out).ok());
+  EXPECT_EQ(out, BlockOf('a'));
+  ASSERT_TRUE(s->Read(0, 1, &out).ok());
+  EXPECT_EQ(out, BlockOf('\0'));  // Hole at snapshot time reads as zeros.
+  ASSERT_TRUE(array_.ReadSync(v, far, 1, &out).ok());
+  EXPECT_EQ(out, BlockOf('d'));
+}
+
 }  // namespace
 }  // namespace zerobak::snapshot
