@@ -1,0 +1,122 @@
+#ifndef ZEROBAK_FAULT_FAULT_SCHEDULE_H_
+#define ZEROBAK_FAULT_FAULT_SCHEDULE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "sim/environment.h"
+#include "sim/network.h"
+#include "storage/array.h"
+
+namespace zerobak::fault {
+
+// One injected fault transition.
+enum class FaultKind {
+  kLinkDown,          // Partition a link (drops in-flight traffic).
+  kLinkUp,            // Heal the partition.
+  kLatencySpikeStart, // Raise a link's base latency.
+  kLatencySpikeEnd,   // Restore the link's configured latency.
+  kArrayFail,         // Crash a storage array (site disaster).
+  kArrayRepair,       // Repair the array.
+};
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultEvent {
+  SimTime at = 0;
+  FaultKind kind = FaultKind::kLinkDown;
+  // Index into the schedule's links()/arrays() registration order.
+  size_t target = 0;
+  // For kLatencySpikeStart: the spiked base latency.
+  SimDuration latency = 0;
+};
+
+// Tuning knobs for the generated fault mix. Every fault class draws its
+// inter-arrival gaps from an exponential distribution (mean below) and its
+// duration uniformly from [min, max]; a mean of 0 disables the class.
+// Faults never overlap within one (class, target) lane: the next gap
+// starts when the previous fault ends.
+struct FaultScheduleConfig {
+  uint64_t seed = 1;
+  // Faults are generated in [arm time, arm time + horizon).
+  SimDuration horizon = Seconds(1);
+
+  // Link partitions ("flaps").
+  SimDuration mean_flap_interval = Milliseconds(100);
+  SimDuration min_outage = Milliseconds(2);
+  SimDuration max_outage = Milliseconds(20);
+
+  // Link latency spikes.
+  SimDuration mean_spike_interval = 0;
+  SimDuration spike_latency = Milliseconds(50);
+  SimDuration min_spike = Milliseconds(2);
+  SimDuration max_spike = Milliseconds(20);
+
+  // Array crash/repair cycles.
+  SimDuration mean_crash_interval = 0;
+  SimDuration min_repair = Milliseconds(20);
+  SimDuration max_repair = Milliseconds(100);
+};
+
+// A deterministic fault injector: from a seeded RNG it pre-generates a
+// timeline of link flaps, latency spikes and array crash/repair events
+// over a finite horizon, then drives them off the simulation clock. The
+// same (config, targets) always produces the identical fault sequence, so
+// chaos experiments replay exactly — the property every regression test
+// here leans on.
+//
+// Lifecycle: register targets with AddLink/AddArray, then Arm() once.
+// Heal() cancels whatever has not fired yet and restores every target to
+// healthy, marking the end of a chaos phase.
+class FaultSchedule {
+ public:
+  FaultSchedule(sim::SimEnvironment* env, FaultScheduleConfig config);
+  ~FaultSchedule();
+
+  FaultSchedule(const FaultSchedule&) = delete;
+  FaultSchedule& operator=(const FaultSchedule&) = delete;
+
+  // Target registration; call before Arm().
+  void AddLink(sim::NetworkLink* link);
+  void AddArray(storage::StorageArray* array);
+
+  // Generates the timeline starting at env->now() and schedules every
+  // event. Call exactly once.
+  void Arm();
+
+  // Cancels all pending events and restores every target: links
+  // reconnected at their configured latency, arrays repaired.
+  void Heal();
+
+  bool armed() const { return armed_; }
+  // The full generated timeline (valid after Arm()).
+  const std::vector<FaultEvent>& events() const { return events_; }
+  // Events that actually fired so far.
+  uint64_t faults_fired() const { return fired_; }
+
+ private:
+  void Fire(const FaultEvent& event);
+  // Appends an alternating begin/end event lane for one fault class.
+  void GenerateLane(SimTime from, SimTime until, SimDuration mean_gap,
+                    SimDuration min_len, SimDuration max_len,
+                    FaultKind begin, FaultKind end, size_t target,
+                    SimDuration latency);
+
+  sim::SimEnvironment* env_;
+  FaultScheduleConfig config_;
+  Rng rng_;
+  std::vector<sim::NetworkLink*> links_;
+  // Configured base latency of each link at Arm() time, for restores.
+  std::vector<SimDuration> link_latency_;
+  std::vector<storage::StorageArray*> arrays_;
+  std::vector<FaultEvent> events_;
+  std::vector<sim::EventId> pending_;
+  bool armed_ = false;
+  uint64_t fired_ = 0;
+};
+
+}  // namespace zerobak::fault
+
+#endif  // ZEROBAK_FAULT_FAULT_SCHEDULE_H_

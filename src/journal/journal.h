@@ -176,6 +176,12 @@ class JournalVolume {
   SequenceNumber written() const { return written_; }
   SequenceNumber shipped() const { return shipped_; }
   SequenceNumber applied() const { return applied_; }
+  // The acknowledged watermark. On a main-site journal this is the highest
+  // sequence the backup site has confirmed applied (the primary trims on
+  // apply-acks), which is the only watermark safe to recover from:
+  // `shipped` only means "handed to the link" and a partition can drop
+  // anything in (acked, shipped].
+  SequenceNumber acked() const { return applied_; }
 
   uint64_t used_bytes() const { return used_bytes_; }
   uint64_t capacity_bytes() const { return capacity_bytes_; }

@@ -26,6 +26,22 @@ const char* ReplicationModeName(ReplicationMode mode) {
   return mode == ReplicationMode::kSynchronous ? "sync" : "async";
 }
 
+const char* SuspendReasonName(SuspendReason reason) {
+  switch (reason) {
+    case SuspendReason::kNone:
+      return "none";
+    case SuspendReason::kOperator:
+      return "operator";
+    case SuspendReason::kJournalOverflow:
+      return "journal-overflow";
+    case SuspendReason::kAckTimeout:
+      return "ack-timeout";
+    case SuspendReason::kResyncTimeout:
+      return "resync-timeout";
+  }
+  return "?";
+}
+
 namespace internal {
 
 // Interceptor installed on an async P-VOL: journals the write, acks.
@@ -123,6 +139,7 @@ ReplicationEngine::ReplicationEngine(sim::SimEnvironment* env,
 ReplicationEngine::~ReplicationEngine() {
   for (auto& [id, group] : groups_) {
     if (group->transfer_task) group->transfer_task->Stop();
+    CancelResyncRetry(group.get());
   }
   // Unregister interceptors so arrays outliving the engine behave.
   for (auto& [vid, ic] : primary_interceptors_) {
@@ -163,8 +180,13 @@ Status ReplicationEngine::DeleteConsistencyGroup(GroupId id) {
     return FailedPreconditionError("group still has pairs");
   }
   group->transfer_task->Stop();
+  CancelResyncRetry(group);
   (void)primary_->DeleteJournal(group->primary_journal);
   (void)secondary_->DeleteJournal(group->secondary_journal);
+  // Forget the group's ordered stream on both links, or the per-channel
+  // FIFO state lives forever.
+  to_secondary_->ReleaseChannel(id);
+  to_primary_->ReleaseChannel(id);
   groups_.erase(id);
   return OkStatus();
 }
@@ -187,11 +209,17 @@ StatusOr<GroupStats> ReplicationEngine::GetGroupStats(GroupId id) const {
   if (pj != nullptr) {
     stats.written = pj->written();
     stats.shipped = pj->shipped();
+    stats.acked = pj->acked();
     stats.journal_used_bytes = pj->used_bytes();
     stats.journal_capacity_bytes = pj->capacity_bytes();
     stats.journal_overflows = pj->overflows();
   }
   if (sj != nullptr) stats.applied = sj->applied();
+  stats.suspended = group->suspended;
+  stats.suspend_reason = group->suspend_reason;
+  stats.ack_timeouts = group->ack_timeouts;
+  stats.resync_timeouts = group->resync_timeouts;
+  stats.auto_resync_attempts = group->auto_resync_attempts;
   stats.apply_lag = env_->now() - group->last_applied_ack_time;
   return stats;
 }
@@ -307,6 +335,12 @@ Status ReplicationEngine::DeletePair(PairId id) {
   secondary_->UnregisterInterceptor(pair->config_.secondary);
   primary_interceptors_.erase(pair->config_.primary);
   secondary_guards_.erase(pair->config_.secondary);
+  if (pair->group_ == 0) {
+    // A sync pair owns its per-pair channel on both links; drop the FIFO
+    // state or every pair ever created leaks an entry.
+    to_secondary_->ReleaseChannel(SyncChannel(id));
+    to_primary_->ReleaseChannel(SyncChannel(id));
+  }
   if (pair->group_ != 0) {
     Group* group = FindGroup(pair->group_);
     if (group != nullptr) {
@@ -382,7 +416,7 @@ void ReplicationEngine::OnAsyncHostWrite(
     ZB_LOG(Warning) << "group " << group->id
                     << " journal overflow; suspending: "
                     << seq_or.status();
-    MarkGroupSuspended(group);
+    SuspendOnFailure(group, SuspendReason::kJournalOverflow);
     for (uint32_t i = 0; i < count; ++i) pair->dirty_.insert(lba + i);
   }
   // The ADC ack does not wait for anything remote: this is the paper's
@@ -499,9 +533,96 @@ void ReplicationEngine::PumpGroup(Group* group) {
   if (sent.ok()) {
     jnl->MarkShipped(last);
     records_shipped_ += batch.size();
+    // "Shipped" only means handed to the link; the batch (or its ack) can
+    // still be lost to a partition. Arm a deadline so a silent loss
+    // surfaces as a suspension instead of a stalled watermark.
+    ArmAckDeadline(group, last);
   }
   // On failure (link down) the records stay unshipped; the journal absorbs
   // the backlog until it overflows and the group suspends.
+}
+
+void ReplicationEngine::ArmAckDeadline(Group* group,
+                                       journal::SequenceNumber expect) {
+  if (group->config.ack_timeout == 0) return;
+  // The batch just sent is the newest message on the group's channel, so
+  // EstimateArrival bounds its arrival; the ack must be back within
+  // ack_timeout of that (covering the apply and the reverse trip).
+  const SimTime deadline =
+      to_secondary_->EstimateArrival(0, group->id) + group->config.ack_timeout;
+  const GroupId group_id = group->id;
+  const uint64_t epoch = group->ship_epoch;
+  env_->ScheduleAt(deadline, [this, group_id, expect, epoch] {
+    Group* g = FindGroup(group_id);
+    if (g == nullptr || g->failed_over || g->suspended) return;
+    if (g->ship_epoch != epoch) return;  // Journal sequence space restarted.
+    auto* pj = primary_->GetJournal(g->primary_journal);
+    if (pj == nullptr || pj->acked() >= expect) return;
+    ++g->ack_timeouts;
+    ZB_LOG(Warning) << "group " << group_id << " missed ack for seq "
+                    << expect << " (acked " << pj->acked()
+                    << "); suspending";
+    SuspendOnFailure(g, SuspendReason::kAckTimeout);
+  });
+}
+
+void ReplicationEngine::ArmResyncDeadline(Group* group, uint64_t resync_id) {
+  if (group->config.ack_timeout == 0) return;
+  const SimTime deadline =
+      to_secondary_->EstimateArrival(0, group->id) + group->config.ack_timeout;
+  const GroupId group_id = group->id;
+  env_->ScheduleAt(deadline, [this, group_id, resync_id] {
+    Group* g = FindGroup(group_id);
+    if (g == nullptr || g->failed_over || g->suspended) return;
+    if (g->resync_epoch != resync_id) return;
+    if (g->inflight_resync == nullptr) return;  // Delivered.
+    ++g->resync_timeouts;
+    ZB_LOG(Warning) << "group " << group_id
+                    << " resync batch lost in flight; re-suspending";
+    SuspendOnFailure(g, SuspendReason::kResyncTimeout);
+  });
+}
+
+void ReplicationEngine::SuspendOnFailure(Group* group, SuspendReason reason) {
+  MarkGroupSuspended(group);
+  group->suspend_reason = reason;
+  ScheduleResyncRetry(group, /*reset_backoff=*/true);
+}
+
+void ReplicationEngine::ScheduleResyncRetry(Group* group, bool reset_backoff) {
+  if (!group->config.auto_resync || group->failed_over) return;
+  if (reset_backoff) {
+    group->resync_backoff = group->config.resync_backoff_initial;
+  } else {
+    group->resync_backoff = std::min(group->resync_backoff * 2,
+                                     group->config.resync_backoff_max);
+  }
+  CancelResyncRetry(group);
+  const GroupId group_id = group->id;
+  group->resync_retry_pending = true;
+  group->resync_retry_event = env_->Schedule(
+      group->resync_backoff, [this, group_id] { TryAutoResync(group_id); });
+}
+
+void ReplicationEngine::CancelResyncRetry(Group* group) {
+  if (group->resync_retry_pending) {
+    env_->Cancel(group->resync_retry_event);
+    group->resync_retry_pending = false;
+  }
+}
+
+void ReplicationEngine::TryAutoResync(GroupId id) {
+  Group* group = FindGroup(id);
+  if (group == nullptr) return;
+  group->resync_retry_pending = false;
+  if (!group->suspended || group->failed_over) return;
+  if (group->suspend_reason == SuspendReason::kOperator) return;
+  ++group->auto_resync_attempts;
+  Status rs = ResyncGroup(id);
+  if (!rs.ok()) {
+    // Typically the link is still down; retry with doubled backoff.
+    ScheduleResyncRetry(group, /*reset_backoff=*/false);
+  }
 }
 
 void ReplicationEngine::ApplyPending(Group* group) {
@@ -586,7 +707,13 @@ void ReplicationEngine::StartInitialCopy(Pair* pair, Group* group) {
                                              [this, pair_id, group_id,
                                               frozen] {
     Pair* p = FindPair(pair_id);
-    if (p == nullptr) return;
+    if (p == nullptr || p->state_ == PairState::kSwapped) return;
+    if (group_id != 0) {
+      // A base image arriving after the group failed over (delayed across
+      // a partition) must not clobber the promoted, live S-VOL.
+      Group* g = FindGroup(group_id);
+      if (g == nullptr || g->failed_over) return;
+    }
     storage::Volume* svol = secondary_->GetVolume(p->config_.secondary);
     if (svol == nullptr || secondary_->failed()) {
       p->state_ = PairState::kSuspended;
@@ -611,12 +738,26 @@ void ReplicationEngine::StartInitialCopy(Pair* pair, Group* group) {
 
 void ReplicationEngine::MarkGroupSuspended(Group* group) {
   group->suspended = true;
+  // A suspension supersedes any resync in flight: its batch can no longer
+  // be trusted to land, so put the captured blocks back into the dirty
+  // bitmaps and invalidate its delivery/deadline by bumping the epoch.
+  ++group->resync_epoch;
+  if (group->inflight_resync != nullptr) {
+    for (const ResyncBlock& blk : *group->inflight_resync) {
+      Pair* pair = FindPair(blk.pair);
+      if (pair != nullptr) pair->dirty_.insert(blk.lba);
+    }
+    group->inflight_resync.reset();
+  }
   auto* jnl = primary_->GetJournal(group->primary_journal);
-  // Unshipped journal records become dirty blocks and are dropped; the
-  // sequence watermarks are preserved so post-resync shipping stays dense.
+  // Unacknowledged journal records become dirty blocks and are dropped;
+  // the sequence watermarks are preserved so post-resync shipping stays
+  // dense. Dirty-marking must start at the *acked* watermark, not the
+  // shipped one: "shipped" only means handed to the link, and a partition
+  // drops in-flight traffic, losing everything in (acked, shipped].
   if (jnl != nullptr) {
     std::vector<const journal::JournalRecord*> rest;
-    jnl->PeekViews(jnl->shipped(), UINT64_MAX, &rest);
+    jnl->PeekViews(jnl->acked(), UINT64_MAX, &rest);
     for (const journal::JournalRecord* rec : rest) {
       auto pit = group->by_primary.find(rec->volume_id);
       if (pit == group->by_primary.end()) continue;
@@ -631,9 +772,18 @@ void ReplicationEngine::MarkGroupSuspended(Group* group) {
   }
   for (PairId pid : group->pairs) {
     Pair* pair = FindPair(pid);
-    if (pair != nullptr && pair->state_ != PairState::kSwapped) {
-      pair->state_ = PairState::kSuspended;
+    if (pair == nullptr || pair->state_ == PairState::kSwapped) continue;
+    if (pair->state_ == PairState::kCopy) {
+      // The base image may still be in flight (and dropped): treat every
+      // allocated P-VOL block as dirty so the resync re-creates it.
+      storage::Volume* pvol = primary_->GetVolume(pair->config_.primary);
+      if (pvol != nullptr) {
+        for (uint64_t lba = 0; lba < pvol->block_count(); ++lba) {
+          if (pvol->store().IsAllocated(lba)) pair->dirty_.insert(lba);
+        }
+      }
     }
+    pair->state_ = PairState::kSuspended;
   }
 }
 
@@ -643,8 +793,16 @@ Status ReplicationEngine::SuspendGroup(GroupId id) {
   if (group->failed_over) {
     return FailedPreconditionError("group has been failed over");
   }
-  if (group->suspended) return OkStatus();
+  if (group->suspended) {
+    // Upgrade a failure suspension to an operator one: the operator takes
+    // over and auto-resync must stand down.
+    group->suspend_reason = SuspendReason::kOperator;
+    CancelResyncRetry(group);
+    return OkStatus();
+  }
   MarkGroupSuspended(group);
+  group->suspend_reason = SuspendReason::kOperator;
+  CancelResyncRetry(group);
   return OkStatus();
 }
 
@@ -671,14 +829,12 @@ Status ReplicationEngine::ResyncGroup(GroupId id) {
   if (!to_secondary_->connected()) {
     return UnavailableError("replication link is down");
   }
+  CancelResyncRetry(group);
 
   // Capture the dirty-block contents now; journaling resumes immediately,
-  // and the FIFO link guarantees the resync batch applies first.
-  struct ResyncBlock {
-    PairId pair;
-    uint64_t lba;
-    std::string data;
-  };
+  // and the FIFO link guarantees the resync batch applies first. The
+  // bitmaps are NOT cleared here: the clear is deferred to delivery, so a
+  // failed send — or a batch lost in flight — loses no part of the delta.
   auto blocks = std::make_shared<std::vector<ResyncBlock>>();
   uint64_t bytes = 0;
   for (PairId pid : group->pairs) {
@@ -691,23 +847,29 @@ Status ReplicationEngine::ResyncGroup(GroupId id) {
           ResyncBlock{pid, lba, pvol->store().ReadBlock(lba)});
       bytes += pvol->block_size() + journal::JournalRecord::kHeaderSize;
     }
-    pair->dirty_.clear();
   }
 
   auto* pj = primary_->GetJournal(group->primary_journal);
   const journal::SequenceNumber resume_seq =
       pj == nullptr ? 0 : pj->written();
-  group->suspended = false;
+  const uint64_t resync_id = ++group->resync_epoch;
 
   const GroupId group_id = id;
   Status sent = to_secondary_->SendOnChannel(
       group_id, std::max<uint64_t>(bytes, kAckMessageBytes),
-      [this, group_id, blocks, resume_seq] {
+      [this, group_id, blocks, resume_seq, resync_id] {
         Group* g = FindGroup(group_id);
         if (g == nullptr || g->failed_over) return;
+        // A newer suspension or resync superseded this batch; its blocks
+        // were already put back into the dirty bitmaps.
+        if (g->resync_epoch != resync_id) return;
+        g->inflight_resync.reset();
         for (const auto& blk : *blocks) {
           Pair* pair = FindPair(blk.pair);
           if (pair == nullptr) continue;
+          // Only the captured LBAs are cleared; blocks dirtied after the
+          // capture stay dirty for the next round.
+          pair->dirty_.erase(blk.lba);
           storage::Volume* svol =
               secondary_->GetVolume(pair->config_.secondary);
           if (svol == nullptr) continue;
@@ -725,12 +887,17 @@ Status ReplicationEngine::ResyncGroup(GroupId id) {
             pair->state_ = PairState::kPaired;
           }
         }
+        g->suspend_reason = SuspendReason::kNone;
         ApplyPending(g);
       });
   if (!sent.ok()) {
-    group->suspended = true;
+    // Dirty bitmaps are untouched; the group simply stays suspended.
     return sent;
   }
+  group->suspended = false;
+  group->inflight_resync = blocks;
+  // The resync batch itself can be dropped by a partition; watch for it.
+  ArmResyncDeadline(group, resync_id);
   return OkStatus();
 }
 
@@ -746,17 +913,14 @@ Status ReplicationEngine::ResyncSyncPair(PairId id) {
   storage::Volume* pvol = primary_->GetVolume(pair->config_.primary);
   if (pvol == nullptr) return NotFoundError("P-VOL vanished");
 
-  struct ResyncBlock {
-    uint64_t lba;
-    std::string data;
-  };
+  // Deferred clear, as in ResyncGroup: the dirty set survives a failed or
+  // lost send; delivery erases exactly the captured LBAs.
   auto blocks = std::make_shared<std::vector<ResyncBlock>>();
   uint64_t bytes = 0;
   for (uint64_t lba : pair->dirty_) {
-    blocks->push_back(ResyncBlock{lba, pvol->store().ReadBlock(lba)});
+    blocks->push_back(ResyncBlock{id, lba, pvol->store().ReadBlock(lba)});
     bytes += pvol->block_size() + journal::JournalRecord::kHeaderSize;
   }
-  pair->dirty_.clear();
   const PairId pair_id = id;
   Status sent = to_secondary_->SendOnChannel(
       SyncChannel(pair_id), std::max<uint64_t>(bytes, kAckMessageBytes),
@@ -764,18 +928,20 @@ Status ReplicationEngine::ResyncSyncPair(PairId id) {
         Pair* p = FindPair(pair_id);
         if (p == nullptr || p->state_ == PairState::kSwapped) return;
         storage::Volume* svol = secondary_->GetVolume(p->config_.secondary);
-        if (svol != nullptr) {
-          for (const auto& blk : *blocks) {
-            Status ws = svol->Write(blk.lba, 1, blk.data);
-            if (!ws.ok()) ZB_LOG(Warning) << "resync apply failed: " << ws;
-          }
+        for (const auto& blk : *blocks) {
+          p->dirty_.erase(blk.lba);
+          if (svol == nullptr) continue;
+          Status ws = svol->Write(blk.lba, 1, blk.data);
+          if (!ws.ok()) ZB_LOG(Warning) << "resync apply failed: " << ws;
         }
-        p->state_ = PairState::kPaired;
+        // Writes intercepted while the batch was in flight stay dirty; the
+        // pair only returns to kPaired once the delta is fully drained
+        // (previously it went kPaired immediately and silently diverged).
+        if (p->state_ == PairState::kSuspended && p->dirty_.empty()) {
+          p->state_ = PairState::kPaired;
+        }
       });
-  if (!sent.ok()) {
-    pair->state_ = PairState::kSuspended;
-    return sent;
-  }
+  if (!sent.ok()) return sent;
   return OkStatus();
 }
 
@@ -787,6 +953,13 @@ StatusOr<FailoverReport> ReplicationEngine::FailoverGroup(GroupId id) {
   }
   group->failed_over = true;
   group->transfer_task->Stop();
+  // Recovery machinery stands down: no auto-resync on a failed-over group,
+  // and a resync batch still in flight is moot (its target volumes are
+  // about to be promoted).
+  CancelResyncRetry(group);
+  ++group->resync_epoch;
+  group->inflight_resync.reset();
+  group->suspend_reason = SuspendReason::kNone;
 
   // Apply everything that reached the backup site (Section I: "DR systems
   // recover the backup site under the condition of data consistency").
@@ -905,6 +1078,10 @@ StatusOr<FailbackReport> ReplicationEngine::FailbackGroup(GroupId id,
   if (sj != nullptr) sj->Reset();
   group->failed_over = false;
   group->suspended = false;
+  group->suspend_reason = SuspendReason::kNone;
+  // The journals restart their sequence space: ack deadlines armed against
+  // the old space would misread the fresh acked watermark as a loss.
+  ++group->ship_epoch;
   group->giveback_in_flight = true;
   group->last_applied_ack_time = env_->now();
   group->transfer_task->Start();

@@ -34,8 +34,19 @@ enum class PairState {
   kSwapped,    // After failover: S-VOL promoted, pair dissolved logically.
 };
 
+// Why a consistency group is suspended. Failure reasons are eligible for
+// auto-resync; an operator suspension never is.
+enum class SuspendReason {
+  kNone,
+  kOperator,         // Explicit SuspendGroup call.
+  kJournalOverflow,  // The shared journal filled up (Section III-A-1).
+  kAckTimeout,       // A shipped batch missed its apply-ack deadline.
+  kResyncTimeout,    // A resync batch was lost in flight.
+};
+
 const char* PairStateName(PairState state);
 const char* ReplicationModeName(ReplicationMode mode);
+const char* SuspendReasonName(SuspendReason reason);
 
 using PairId = uint64_t;
 using GroupId = uint64_t;
@@ -49,6 +60,19 @@ struct ConsistencyGroupConfig {
   SimDuration transfer_interval = Milliseconds(2);
   // Maximum bytes shipped per wakeup.
   uint64_t transfer_batch_bytes = 4ull << 20;  // 4 MiB.
+
+  // --- Failure detection and recovery ---------------------------------------
+  // Grace period, measured from a shipped batch's latest possible arrival,
+  // for the apply-ack to come back. A miss means the batch or its ack was
+  // lost (a real partition drops in-flight traffic) and the group suspends
+  // rather than silently stalling its watermarks. 0 disables detection.
+  SimDuration ack_timeout = Milliseconds(50);
+  // Automatically retry ResyncGroup after a *failure* suspension (overflow
+  // or timeout — never an operator suspend), with capped exponential
+  // backoff, until the link heals and the resync lands.
+  bool auto_resync = true;
+  SimDuration resync_backoff_initial = Milliseconds(10);
+  SimDuration resync_backoff_max = Milliseconds(100);
 };
 
 struct PairConfig {
@@ -63,9 +87,18 @@ struct GroupStats {
   journal::SequenceNumber written = 0;   // Main journal head.
   journal::SequenceNumber shipped = 0;   // Handed to the link.
   journal::SequenceNumber applied = 0;   // Applied on the backup array.
+  // Highest sequence the backup has confirmed applied (the primary's
+  // recovery watermark; anything in (acked, shipped] may be lost).
+  journal::SequenceNumber acked = 0;
   uint64_t journal_used_bytes = 0;
   uint64_t journal_capacity_bytes = 0;
   uint64_t journal_overflows = 0;
+  bool suspended = false;
+  SuspendReason suspend_reason = SuspendReason::kNone;
+  // Failure-detection counters.
+  uint64_t ack_timeouts = 0;
+  uint64_t resync_timeouts = 0;
+  uint64_t auto_resync_attempts = 0;
   // Age of the newest applied record relative to the newest written one
   // (an RPO estimate while the system is healthy).
   SimDuration apply_lag = 0;
@@ -217,6 +250,13 @@ class ReplicationEngine {
   friend class internal::AdcInterceptor;
   friend class internal::SyncInterceptor;
 
+  // One dirty block captured for a resync batch.
+  struct ResyncBlock {
+    PairId pair = 0;
+    uint64_t lba = 0;
+    std::string data;
+  };
+
   struct Group {
     GroupId id = 0;
     ConsistencyGroupConfig config;
@@ -227,12 +267,32 @@ class ReplicationEngine {
     std::unordered_map<storage::VolumeId, PairId> by_primary;
     std::unique_ptr<sim::PeriodicTask> transfer_task;
     bool suspended = false;
+    SuspendReason suspend_reason = SuspendReason::kNone;
     bool failed_over = false;
     // A failback giveback batch is on the wire: P-VOL writes are recorded
     // so stale giveback blocks do not overwrite newer data.
     bool giveback_in_flight = false;
     // Apply-side: ack_time of the newest applied record.
     SimTime last_applied_ack_time = 0;
+
+    // --- Failure detection / auto-resync state ---
+    // Bumped when the journal's sequence space restarts (failback resets
+    // the journals); pending ack deadlines from the old space are stale.
+    uint64_t ship_epoch = 0;
+    // Bumped whenever a resync attempt is superseded (new suspension,
+    // failover); a resync delivery from an older epoch is ignored.
+    uint64_t resync_epoch = 0;
+    // The blocks of the resync batch currently on the wire; restored into
+    // the dirty bitmaps if the batch is declared lost.
+    std::shared_ptr<std::vector<ResyncBlock>> inflight_resync;
+    // Auto-resync backoff bookkeeping.
+    SimDuration resync_backoff = 0;
+    sim::EventId resync_retry_event{};
+    bool resync_retry_pending = false;
+    // Counters surfaced in GroupStats.
+    uint64_t ack_timeouts = 0;
+    uint64_t resync_timeouts = 0;
+    uint64_t auto_resync_attempts = 0;
   };
 
   // Write-path handlers, called by the interceptors.
@@ -252,6 +312,18 @@ class ReplicationEngine {
 
   void StartInitialCopy(Pair* pair, Group* group);
   void MarkGroupSuspended(Group* group);
+
+  // Failure detection: schedules a check that the batch ending at `expect`
+  // is acked within ack_timeout of its latest possible arrival.
+  void ArmAckDeadline(Group* group, journal::SequenceNumber expect);
+  // Schedules a check that the resync batch of `resync_id` landed.
+  void ArmResyncDeadline(Group* group, uint64_t resync_id);
+  // Suspends the group for `reason` and kicks off auto-resync.
+  void SuspendOnFailure(Group* group, SuspendReason reason);
+  // Arms (or re-arms, doubling the backoff) the auto-resync retry timer.
+  void ScheduleResyncRetry(Group* group, bool reset_backoff);
+  void CancelResyncRetry(Group* group);
+  void TryAutoResync(GroupId id);
 
   Group* FindGroup(GroupId id);
   const Group* FindGroup(GroupId id) const;

@@ -43,11 +43,82 @@ Status NetworkLink::SendOnChannel(uint64_t channel, uint64_t bytes,
 
   ++messages_sent_;
   bytes_sent_ += bytes;
-  env_->ScheduleAt(arrival, std::move(on_delivered));
+  if (config_.drop_probability > 0 &&
+      rng_.Bernoulli(config_.drop_probability)) {
+    // Random loss: the message occupied the wire and advanced the channel
+    // floor, but its delivery never fires.
+    ++messages_dropped_;
+    return OkStatus();
+  }
+  env_->ScheduleAt(arrival,
+                   [this, send_epoch = epoch_, channel,
+                    fn = std::move(on_delivered)]() mutable {
+                     Deliver(send_epoch, channel, std::move(fn));
+                   });
   return OkStatus();
 }
 
-SimTime NetworkLink::EstimateArrival(uint64_t bytes) const {
+void NetworkLink::Deliver(uint64_t send_epoch, uint64_t channel,
+                          EventFn fn) {
+  if (send_epoch == epoch_) {
+    fn();
+    return;
+  }
+  // The link partitioned while this message was in flight.
+  if (config_.partition_policy == PartitionPolicy::kDropInFlight) {
+    ++messages_dropped_;
+    return;
+  }
+  if (!connected_) {
+    // Held at the partition; flushed on reconnect.
+    held_.push_back(HeldMessage{channel, std::move(fn)});
+    return;
+  }
+  // kDelayInFlight and the link reconnected before this message's arrival:
+  // the buffering hop never had to hold it, so it arrives on schedule —
+  // unless the outage pushed earlier channel traffic (held-and-flushed)
+  // past this instant, in which case queue behind it to keep channel FIFO.
+  auto it = last_arrival_.find(channel);
+  if (it == last_arrival_.end() || env_->now() >= it->second) {
+    fn();
+    return;
+  }
+  ScheduleDelivery(env_->now(), channel, std::move(fn));
+}
+
+void NetworkLink::ScheduleDelivery(SimTime arrival, uint64_t channel,
+                                   EventFn fn) {
+  SimTime& last = last_arrival_[channel];
+  arrival = std::max(arrival, last);
+  last = arrival;
+  env_->ScheduleAt(arrival,
+                   [this, send_epoch = epoch_, channel,
+                    fn = std::move(fn)]() mutable {
+                     Deliver(send_epoch, channel, std::move(fn));
+                   });
+}
+
+void NetworkLink::SetConnected(bool connected) {
+  if (connected_ == connected) return;
+  connected_ = connected;
+  if (!connected) {
+    // In-flight messages were sent in an older epoch and will be dropped
+    // (or held) when their delivery event fires.
+    ++epoch_;
+    return;
+  }
+  // Reconnect: re-deliver messages held across the outage, in order, each
+  // paying the propagation delay again from now.
+  std::deque<HeldMessage> held;
+  held.swap(held_);
+  for (HeldMessage& msg : held) {
+    ScheduleDelivery(env_->now() + config_.base_latency, msg.channel,
+                     std::move(msg.fn));
+  }
+}
+
+SimTime NetworkLink::EstimateArrival(uint64_t bytes,
+                                     uint64_t channel) const {
   const SimTime now = env_->now();
   SimDuration serialization = 0;
   if (config_.bandwidth_bytes_per_sec > 0) {
@@ -56,10 +127,12 @@ SimTime NetworkLink::EstimateArrival(uint64_t bytes) const {
         static_cast<double>(kSecond));
   }
   const SimTime start = std::max(now, wire_free_at_);
-  SimTime floor = start + serialization + config_.base_latency;
-  auto it = last_arrival_.find(0);
-  if (it != last_arrival_.end()) floor = std::max(floor, it->second);
-  return floor;
+  // Upper bound: full jitter, floored by the channel's FIFO ordering.
+  SimTime bound =
+      start + serialization + config_.base_latency + config_.jitter;
+  auto it = last_arrival_.find(channel);
+  if (it != last_arrival_.end()) bound = std::max(bound, it->second);
+  return bound;
 }
 
 }  // namespace zerobak::sim

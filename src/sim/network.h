@@ -2,6 +2,7 @@
 #define ZEROBAK_SIM_NETWORK_H_
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <unordered_map>
 
@@ -12,6 +13,19 @@
 
 namespace zerobak::sim {
 
+// What happens to messages already on the wire when the link partitions.
+enum class PartitionPolicy {
+  // A disconnect kills every in-flight message (a real fibre cut: frames
+  // in transit are gone, even if the link is re-plugged before they would
+  // have arrived). This is the default and the semantics the replication
+  // engine's recovery machinery is built against.
+  kDropInFlight,
+  // In-flight messages are held at the partition and re-delivered (in
+  // order) once the link reconnects — a store-and-forward WAN where an
+  // intermediate hop buffers across the outage.
+  kDelayInFlight,
+};
+
 // Configuration of a point-to-point inter-site link (e.g. the FC/IP line
 // between the main and backup storage arrays in Fig. 1 of the paper).
 struct NetworkLinkConfig {
@@ -21,14 +35,26 @@ struct NetworkLinkConfig {
   SimDuration jitter = 0;
   // Serialization bandwidth; 0 disables the bandwidth model.
   double bandwidth_bytes_per_sec = 1.25e9;  // ~10 Gbit/s.
-  // Seed for the jitter RNG.
+  // Seed for the jitter/loss RNG.
   uint64_t seed = 7;
+  // Independent per-message loss probability in [0, 1]: the sender sees a
+  // successful send, the callback simply never fires (like an unacked
+  // datagram eaten by a flaky line).
+  double drop_probability = 0.0;
+  // Fate of in-flight messages across a disconnect.
+  PartitionPolicy partition_policy = PartitionPolicy::kDropInFlight;
 };
 
-// A unidirectional inter-site link with propagation delay, jitter and a
-// serialization (bandwidth) model. Messages are delivered by scheduling
-// their callback on the simulation environment. The link can be
-// disconnected to simulate a partition or site disaster.
+// A unidirectional inter-site link with propagation delay, jitter, a
+// serialization (bandwidth) model and real failure semantics. Messages are
+// delivered by scheduling their callback on the simulation environment.
+//
+// Failure model: SetConnected(false) makes subsequent sends fail AND
+// advances the link's delivery epoch, so messages already scheduled are
+// dropped (or held, see PartitionPolicy) when their delivery event fires —
+// a partition loses in-flight traffic even if the link heals first.
+// Independently, `drop_probability` loses individual messages on an
+// otherwise healthy link.
 //
 // The link multiplexes independent ordered CHANNELS (like TCP connections
 // over one physical line): delivery is FIFO within a channel, but two
@@ -51,42 +77,79 @@ class NetworkLink {
 
   // Queues a message of `bytes` on `channel`; `on_delivered` fires at the
   // arrival time. FIFO within the channel; fails with UNAVAILABLE when
-  // disconnected.
+  // disconnected. A successful send does NOT guarantee delivery: the
+  // message may still be lost to `drop_probability` or to a partition
+  // while in flight.
   Status SendOnChannel(uint64_t channel, uint64_t bytes,
                        EventFn on_delivered);
 
-  // Expected time a message sent now would arrive, without sending it.
-  SimTime EstimateArrival(uint64_t bytes) const;
+  // Latest time a message of `bytes` sent now on `channel` could arrive
+  // (wire occupancy + serialization + propagation + full jitter, floored
+  // by the channel's FIFO ordering). With zero jitter this is exact;
+  // callers use it as an ack-deadline bound.
+  SimTime EstimateArrival(uint64_t bytes, uint64_t channel = 0) const;
 
-  void SetConnected(bool connected) { connected_ = connected; }
+  // Connects or partitions the link. Disconnecting bumps the delivery
+  // epoch: in-flight messages are dropped (or held under
+  // kDelayInFlight). Reconnecting re-delivers held messages in order.
+  void SetConnected(bool connected);
   bool connected() const { return connected_; }
+
+  // Forgets the FIFO ordering state of `channel`. Call when the channel's
+  // user (e.g. a replication pair) is torn down, otherwise the per-channel
+  // state grows for every channel ever used.
+  void ReleaseChannel(uint64_t channel) { last_arrival_.erase(channel); }
+  size_t tracked_channels() const { return last_arrival_.size(); }
 
   const NetworkLinkConfig& config() const { return config_; }
   void set_base_latency(SimDuration latency) {
     config_.base_latency = latency;
   }
+  void set_drop_probability(double p) { config_.drop_probability = p; }
 
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
   uint64_t send_failures() const { return send_failures_; }
+  // Messages accepted by a send but never delivered (random loss plus
+  // partition-killed in-flight traffic).
+  uint64_t messages_dropped() const { return messages_dropped_; }
 
  private:
+  // A message held at a partition under kDelayInFlight.
+  struct HeldMessage {
+    uint64_t channel;
+    EventFn fn;
+  };
+
+  // Delivery-time gate: drops/holds the message if the link partitioned
+  // since it was sent.
+  void Deliver(uint64_t send_epoch, uint64_t channel, EventFn fn);
+  // Schedules `fn` on `channel` respecting the channel's FIFO floor.
+  void ScheduleDelivery(SimTime arrival, uint64_t channel, EventFn fn);
+
   SimEnvironment* env_;
   NetworkLinkConfig config_;
   std::string name_;
   Rng rng_;
   bool connected_ = true;
+  // Incremented on every disconnect; messages carry the epoch they were
+  // sent in and are not delivered across an epoch boundary.
+  uint64_t epoch_ = 0;
 
   // Serialization model: the wire is busy until this time (shared by all
   // channels — one physical line).
   SimTime wire_free_at_ = 0;
   // Per-channel in-order delivery: no message may arrive before the
-  // previous one on the same channel.
+  // previous one on the same channel. Entries are erased by
+  // ReleaseChannel when the channel's owner goes away.
   std::unordered_map<uint64_t, SimTime> last_arrival_;
+  // Messages stranded by a partition under kDelayInFlight, FIFO.
+  std::deque<HeldMessage> held_;
 
   uint64_t messages_sent_ = 0;
   uint64_t bytes_sent_ = 0;
   uint64_t send_failures_ = 0;
+  uint64_t messages_dropped_ = 0;
 };
 
 }  // namespace zerobak::sim

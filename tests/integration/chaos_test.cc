@@ -1,0 +1,446 @@
+// Chaos drill for the paper's "no backup-data collapse" property (E2,
+// hardened): a multi-volume consistency group runs a tagged-block workload
+// while a seeded FaultSchedule flaps the inter-site links, spikes their
+// latency and randomly drops messages. The group must (a) auto-recover to
+// kPaired and full convergence once the faults clear — journal overflows
+// included — and (b) after a failover at a random instant mid-chaos, leave
+// backup images that equal the primary write-order history truncated at
+// ONE single instant. The prefix property is checked mechanically from
+// per-block tags, not via the database layer.
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/coding.h"
+#include "common/rng.h"
+#include "db/minidb.h"
+#include "fault/fault_schedule.h"
+#include "replication/replication.h"
+#include "storage/array.h"
+#include "storage/array_device.h"
+#include "workload/kv_workload.h"
+
+namespace zerobak::replication {
+namespace {
+
+constexpr int kVolumes = 3;
+constexpr uint64_t kBlocks = 96;
+
+storage::ArrayConfig ZeroLatency(const std::string& serial) {
+  storage::ArrayConfig cfg;
+  cfg.serial = serial;
+  cfg.media = block::DeviceLatencyModel{0, 0, 0, 0, 1};
+  return cfg;
+}
+
+sim::NetworkLinkConfig ChaosLink(uint64_t seed) {
+  sim::NetworkLinkConfig cfg;
+  cfg.base_latency = Milliseconds(1);
+  cfg.jitter = Microseconds(300);
+  cfg.bandwidth_bytes_per_sec = 0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+// One write of the totally ordered primary history: the block's first 8
+// bytes carry a unique tag so the backup image can be decoded back into
+// "which prefix of the history is this".
+struct WriteEvent {
+  int vol = 0;
+  uint64_t lba = 0;
+  uint64_t tag = 0;
+};
+
+class ChaosRun {
+ public:
+  explicit ChaosRun(uint64_t seed)
+      : main_(&env_, ZeroLatency("MAIN")),
+        backup_(&env_, ZeroLatency("BKUP")),
+        to_backup_(&env_, ChaosLink(seed * 31 + 1), "fwd"),
+        to_main_(&env_, ChaosLink(seed * 31 + 2), "rev"),
+        engine_(&env_, &main_, &backup_, &to_backup_, &to_main_),
+        rng_(seed) {
+    ConsistencyGroupConfig cfg;
+    cfg.name = "chaos";
+    // Small journal so mid-outage backlogs genuinely overflow.
+    cfg.journal_capacity_bytes = 64 << 10;
+    cfg.transfer_interval = Milliseconds(1);
+    cfg.ack_timeout = Milliseconds(10);
+    cfg.resync_backoff_initial = Milliseconds(2);
+    cfg.resync_backoff_max = Milliseconds(20);
+    auto g = engine_.CreateConsistencyGroup(cfg);
+    EXPECT_TRUE(g.ok());
+    group_ = *g;
+    for (int v = 0; v < kVolumes; ++v) {
+      auto p = main_.CreateVolume("vol" + std::to_string(v), kBlocks);
+      auto s = backup_.CreateVolume("r-vol" + std::to_string(v), kBlocks);
+      EXPECT_TRUE(p.ok() && s.ok());
+      pvols_.push_back(*p);
+      svols_.push_back(*s);
+      PairConfig pc;
+      pc.name = "pair" + std::to_string(v);
+      pc.primary = *p;
+      pc.secondary = *s;
+      pc.mode = ReplicationMode::kAsynchronous;
+      auto pair = engine_.CreateAsyncPair(pc, group_);
+      EXPECT_TRUE(pair.ok());
+      pairs_.push_back(*pair);
+    }
+    env_.RunFor(Milliseconds(5));
+  }
+
+  void ArmChaos(uint64_t fault_seed, SimDuration horizon) {
+    fault::FaultScheduleConfig fcfg;
+    fcfg.seed = fault_seed;
+    fcfg.horizon = horizon;
+    fcfg.mean_flap_interval = Milliseconds(12);
+    fcfg.min_outage = Milliseconds(2);
+    fcfg.max_outage = Milliseconds(8);
+    fcfg.mean_spike_interval = Milliseconds(30);
+    fcfg.spike_latency = Milliseconds(4);
+    fcfg.min_spike = Milliseconds(2);
+    fcfg.max_spike = Milliseconds(10);
+    schedule_ = std::make_unique<fault::FaultSchedule>(&env_, fcfg);
+    schedule_->AddLink(&to_backup_);
+    schedule_->AddLink(&to_main_);
+    schedule_->Arm();
+    to_backup_.set_drop_probability(0.02);
+    to_main_.set_drop_probability(0.02);
+  }
+
+  void HealChaos() {
+    schedule_->Heal();
+    to_backup_.set_drop_probability(0.0);
+    to_main_.set_drop_probability(0.0);
+  }
+
+  void WriteTagged() {
+    const int vol = static_cast<int>(rng_.Uniform(kVolumes));
+    const uint64_t lba = rng_.Zipf(kBlocks, 0.8);  // Hot blocks rewrite.
+    const uint64_t tag = ++next_tag_;
+    std::string data(block::kDefaultBlockSize,
+                     static_cast<char>('A' + vol));
+    EncodeFixed64(data.data(), tag);
+    ASSERT_TRUE(main_.WriteSync(pvols_[static_cast<size_t>(vol)], lba, data)
+                    .ok())
+        << "host writes must never fail, tag " << tag;
+    history_.push_back(WriteEvent{vol, lba, tag});
+  }
+
+  void RunWrites(int n) {
+    for (int i = 0; i < n; ++i) {
+      WriteTagged();
+      env_.RunFor(static_cast<SimDuration>(
+          rng_.Uniform(Microseconds(300)) + Microseconds(50)));
+    }
+  }
+
+  // After HealChaos: the recovery machinery alone (no operator resync!)
+  // must bring every pair back to kPaired with identical content.
+  ::testing::AssertionResult DrainToConverged() {
+    for (int round = 0; round < 150; ++round) {
+      env_.RunFor(Milliseconds(10));
+      auto stats = engine_.GetGroupStats(group_);
+      if (!stats.ok()) return ::testing::AssertionFailure() << stats.status();
+      if (stats->suspended || stats->applied != stats->written) continue;
+      bool paired = true;
+      bool equal = true;
+      for (int v = 0; v < kVolumes; ++v) {
+        paired &= engine_.GetPair(pairs_[static_cast<size_t>(v)])->state() ==
+                  PairState::kPaired;
+        equal &= main_.GetVolume(pvols_[static_cast<size_t>(v)])
+                     ->ContentEquals(
+                         *backup_.GetVolume(svols_[static_cast<size_t>(v)]));
+      }
+      if (paired && equal) return ::testing::AssertionSuccess();
+    }
+    auto stats = engine_.GetGroupStats(group_);
+    return ::testing::AssertionFailure()
+           << "never reconverged: suspended="
+           << (stats.ok() ? stats->suspended : true) << " reason="
+           << (stats.ok() ? SuspendReasonName(stats->suspend_reason) : "?");
+  }
+
+  FailoverReport Failover() {
+    main_.SetFailed(true);
+    to_backup_.SetConnected(false);
+    to_main_.SetConnected(false);
+    auto report = engine_.FailoverGroup(group_);
+    EXPECT_TRUE(report.ok());
+    return report.ok() ? *report : FailoverReport{};
+  }
+
+  // Mechanical prefix check: there must exist a single cut 0 <= k <=
+  // history.size() such that every backup block equals the content after
+  // exactly the first k writes. Each block's tag constrains k to an
+  // interval; the intersection must be non-empty.
+  ::testing::AssertionResult BackupIsWriteOrderPrefix() {
+    std::map<std::pair<int, uint64_t>,
+             std::vector<std::pair<uint64_t, size_t>>>
+        per_block;  // (vol, lba) -> [(tag, history index)] in order.
+    for (size_t i = 0; i < history_.size(); ++i) {
+      per_block[{history_[i].vol, history_[i].lba}].emplace_back(
+          history_[i].tag, i);
+    }
+    size_t lo = 0;           // k >= lo.
+    size_t hi = SIZE_MAX;    // k < hi.
+    for (int v = 0; v < kVolumes; ++v) {
+      for (uint64_t lba = 0; lba < kBlocks; ++lba) {
+        const std::string blk =
+            backup_.GetVolume(svols_[static_cast<size_t>(v)])
+                ->store()
+                .ReadBlock(lba);
+        const uint64_t tag = DecodeFixed64(blk.data());
+        auto it = per_block.find({v, lba});
+        if (it == per_block.end()) {
+          if (tag != 0) {
+            return ::testing::AssertionFailure()
+                   << "vol " << v << " lba " << lba
+                   << " has tag " << tag << " but was never written";
+          }
+          continue;
+        }
+        const auto& writes = it->second;
+        if (tag == 0) {
+          // No write to this block applied: k precedes the first one.
+          hi = std::min(hi, writes.front().second + 1);
+          continue;
+        }
+        size_t j = writes.size();
+        for (size_t w = 0; w < writes.size(); ++w) {
+          if (writes[w].first == tag) {
+            j = w;
+            break;
+          }
+        }
+        if (j == writes.size()) {
+          return ::testing::AssertionFailure()
+                 << "vol " << v << " lba " << lba << " has tag " << tag
+                 << " which no write to that block ever produced";
+        }
+        lo = std::max(lo, writes[j].second + 1);
+        if (j + 1 < writes.size()) {
+          hi = std::min(hi, writes[j + 1].second + 1);
+        }
+      }
+    }
+    if (lo >= hi) {
+      return ::testing::AssertionFailure()
+             << "no single cut satisfies all blocks (lo " << lo << " >= hi "
+             << hi << "): the backup mixes two instants — collapsed";
+    }
+    return ::testing::AssertionSuccess();
+  }
+
+  // Tags of every backup block, for determinism comparison.
+  std::vector<uint64_t> BackupFingerprint() {
+    std::vector<uint64_t> out;
+    for (int v = 0; v < kVolumes; ++v) {
+      for (uint64_t lba = 0; lba < kBlocks; ++lba) {
+        out.push_back(DecodeFixed64(
+            backup_.GetVolume(svols_[static_cast<size_t>(v)])
+                ->store()
+                .ReadBlock(lba)
+                .data()));
+      }
+    }
+    return out;
+  }
+
+  uint64_t Overflows() {
+    auto stats = engine_.GetGroupStats(group_);
+    return stats.ok() ? stats->journal_overflows : 0;
+  }
+
+  uint64_t FaultsFired() const {
+    return schedule_ == nullptr ? 0 : schedule_->faults_fired();
+  }
+
+  sim::SimEnvironment env_;
+  storage::StorageArray main_;
+  storage::StorageArray backup_;
+  sim::NetworkLink to_backup_;
+  sim::NetworkLink to_main_;
+  ReplicationEngine engine_;
+  Rng rng_;
+  GroupId group_ = 0;
+  std::vector<storage::VolumeId> pvols_;
+  std::vector<storage::VolumeId> svols_;
+  std::vector<PairId> pairs_;
+  std::unique_ptr<fault::FaultSchedule> schedule_;
+  std::vector<WriteEvent> history_;
+  uint64_t next_tag_ = 0;
+};
+
+// One full scenario: chaos -> heal -> auto-recovery -> more chaos -> fail
+// over at a random instant -> mechanical prefix check.
+struct ScenarioResult {
+  uint64_t overflows = 0;
+  uint64_t faults = 0;
+  journal::SequenceNumber recovery_point = 0;
+  std::vector<uint64_t> fingerprint;
+};
+
+ScenarioResult RunScenario(uint64_t seed) {
+  ChaosRun run(seed);
+  ScenarioResult result;
+
+  // Phase 1: sustained chaos, then heal and demand full auto-recovery.
+  run.ArmChaos(seed * 101 + 1, Milliseconds(150));
+  run.RunWrites(350);
+  result.faults = run.FaultsFired();
+  run.HealChaos();
+  EXPECT_TRUE(run.DrainToConverged()) << "seed " << seed;
+
+  // Phase 2: chaos again; disaster strikes at a random write instant.
+  run.ArmChaos(seed * 101 + 7, Milliseconds(200));
+  run.RunWrites(30 + static_cast<int>(run.rng_.Uniform(150)));
+  result.overflows = run.Overflows();
+  FailoverReport report = run.Failover();
+  result.recovery_point = report.recovery_point;
+  EXPECT_TRUE(run.BackupIsWriteOrderPrefix()) << "seed " << seed;
+  result.fingerprint = run.BackupFingerprint();
+  return result;
+}
+
+TEST(ChaosTest, BackupIsWriteOrderPrefixAcrossSeeds) {
+  uint64_t total_overflows = 0;
+  uint64_t total_faults = 0;
+  for (uint64_t seed : {11, 12, 13, 14, 15, 16, 17, 18}) {
+    ScenarioResult r = RunScenario(seed);
+    total_overflows += r.overflows;
+    total_faults += r.faults;
+  }
+  // The drill must actually have exercised the failure paths: injected
+  // faults fired and at least one journal overflow occurred somewhere.
+  EXPECT_GT(total_faults, 0u);
+  EXPECT_GE(total_overflows, 1u)
+      << "no seed overflowed the journal; shrink it or lengthen outages";
+}
+
+TEST(ChaosTest, ScenarioIsDeterministic) {
+  ScenarioResult a = RunScenario(13);
+  ScenarioResult b = RunScenario(13);
+  EXPECT_EQ(a.recovery_point, b.recovery_point);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.overflows, b.overflows);
+  EXPECT_EQ(a.faults, b.faults);
+}
+
+// The same chaos drill through the database layer: two MiniDb volumes in
+// one consistency group under the YCSB-style KV workload; after a mid-
+// chaos failover both backup databases must open (WAL recovery on a
+// write-order prefix image never sees a torn state).
+TEST(ChaosTest, KvWorkloadSurvivesChaosFailover) {
+  for (uint64_t seed : {3, 4}) {
+    sim::SimEnvironment env;
+    storage::StorageArray main(&env, ZeroLatency("MAIN"));
+    storage::StorageArray backup(&env, ZeroLatency("BKUP"));
+    sim::NetworkLink to_backup(&env, ChaosLink(seed * 7 + 1), "fwd");
+    sim::NetworkLink to_main(&env, ChaosLink(seed * 7 + 2), "rev");
+    ReplicationEngine engine(&env, &main, &backup, &to_backup, &to_main);
+
+    ConsistencyGroupConfig gcfg;
+    gcfg.name = "kv";
+    gcfg.journal_capacity_bytes = 1 << 20;
+    gcfg.transfer_interval = Milliseconds(1);
+    gcfg.ack_timeout = Milliseconds(10);
+    gcfg.resync_backoff_initial = Milliseconds(2);
+    gcfg.resync_backoff_max = Milliseconds(20);
+    auto g = engine.CreateConsistencyGroup(gcfg);
+    ASSERT_TRUE(g.ok());
+
+    db::DbOptions opts;
+    opts.checkpoint_blocks = 256;
+    opts.wal_blocks = 1024;
+
+    std::vector<storage::VolumeId> pvols, svols;
+    std::vector<std::unique_ptr<storage::ArrayVolumeDevice>> devices;
+    std::vector<std::unique_ptr<db::MiniDb>> dbs;
+    for (int v = 0; v < 2; ++v) {
+      auto p = main.CreateVolume("kv" + std::to_string(v), 2048);
+      auto s = backup.CreateVolume("r-kv" + std::to_string(v), 2048);
+      ASSERT_TRUE(p.ok() && s.ok());
+      pvols.push_back(*p);
+      svols.push_back(*s);
+      storage::ArrayVolumeDevice dev(&main, *p);
+      ASSERT_TRUE(db::MiniDb::Format(&dev, opts).ok());
+    }
+    for (int v = 0; v < 2; ++v) {
+      auto dev = std::make_unique<storage::ArrayVolumeDevice>(&main,
+                                                              pvols[v]);
+      auto opened = db::MiniDb::Open(dev.get(), opts);
+      ASSERT_TRUE(opened.ok());
+      devices.push_back(std::move(dev));
+      dbs.push_back(std::move(*opened));
+    }
+
+    std::vector<std::unique_ptr<workload::KvWorkload>> loads;
+    for (int v = 0; v < 2; ++v) {
+      workload::KvWorkloadConfig kcfg;
+      kcfg.record_count = 200;
+      kcfg.zipf_theta = 0.7;
+      kcfg.seed = seed * 13 + static_cast<uint64_t>(v);
+      loads.push_back(
+          std::make_unique<workload::KvWorkload>(dbs[v].get(), kcfg));
+      ASSERT_TRUE(loads[v]->Load().ok());
+    }
+
+    // Protect both volumes, ship the base images.
+    for (int v = 0; v < 2; ++v) {
+      PairConfig pc;
+      pc.name = "kvpair" + std::to_string(v);
+      pc.primary = pvols[v];
+      pc.secondary = svols[v];
+      pc.mode = ReplicationMode::kAsynchronous;
+      ASSERT_TRUE(engine.CreateAsyncPair(pc, *g).ok());
+    }
+    env.RunFor(Milliseconds(50));
+    ASSERT_TRUE(engine.GroupInitialCopyDone(*g));
+
+    // KV traffic under chaos.
+    fault::FaultScheduleConfig fcfg;
+    fcfg.seed = seed * 101 + 5;
+    fcfg.horizon = Milliseconds(120);
+    fcfg.mean_flap_interval = Milliseconds(15);
+    fcfg.min_outage = Milliseconds(2);
+    fcfg.max_outage = Milliseconds(8);
+    fault::FaultSchedule schedule(&env, fcfg);
+    schedule.AddLink(&to_backup);
+    schedule.AddLink(&to_main);
+    schedule.Arm();
+    to_backup.set_drop_probability(0.02);
+    to_main.set_drop_probability(0.02);
+
+    Rng pace(seed);
+    for (int slice = 0; slice < 30; ++slice) {
+      for (int v = 0; v < 2; ++v) ASSERT_TRUE(loads[v]->Run(8).ok());
+      env.RunFor(static_cast<SimDuration>(
+          pace.Uniform(Milliseconds(3)) + Microseconds(200)));
+    }
+
+    // Disaster mid-chaos.
+    main.SetFailed(true);
+    to_backup.SetConnected(false);
+    to_main.SetConnected(false);
+    ASSERT_TRUE(engine.FailoverGroup(*g).ok());
+
+    for (int v = 0; v < 2; ++v) {
+      storage::ArrayVolumeDevice bdev(&backup, svols[v]);
+      auto recovered = db::MiniDb::Open(&bdev, opts);
+      ASSERT_TRUE(recovered.ok())
+          << "seed " << seed << " volume " << v
+          << ": backup image failed DB recovery: " << recovered.status();
+      EXPECT_LE((*recovered)->RowCount("usertable"),
+                loads[v]->key_count())
+          << "seed " << seed << " volume " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace zerobak::replication

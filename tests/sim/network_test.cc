@@ -166,6 +166,144 @@ TEST(NetworkLinkChannelTest, ChannelsAreIndependentlyOrdered) {
       << "jittered channels never reordered against each other";
 }
 
+// --- Failure semantics -------------------------------------------------------
+
+TEST(NetworkLinkFailureTest, PartitionDropsInFlightMessages) {
+  SimEnvironment env;
+  NetworkLink link(&env, NoBandwidth(Milliseconds(5)));
+  bool delivered = false;
+  ASSERT_TRUE(link.Send(100, [&] { delivered = true; }).ok());
+  // Partition while the message is on the wire.
+  env.RunFor(Milliseconds(1));
+  link.SetConnected(false);
+  env.RunUntilIdle();
+  EXPECT_FALSE(delivered) << "a partition must kill in-flight traffic";
+  EXPECT_EQ(link.messages_dropped(), 1u);
+}
+
+TEST(NetworkLinkFailureTest, FlapDropsEvenIfReconnectedBeforeArrival) {
+  SimEnvironment env;
+  NetworkLink link(&env, NoBandwidth(Milliseconds(10)));
+  bool delivered = false;
+  ASSERT_TRUE(link.Send(100, [&] { delivered = true; }).ok());
+  // A quick flap well before the scheduled arrival: the frames in transit
+  // are gone even though the link is healthy again by then.
+  env.RunFor(Milliseconds(1));
+  link.SetConnected(false);
+  env.RunFor(Milliseconds(1));
+  link.SetConnected(true);
+  env.RunUntilIdle();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(link.messages_dropped(), 1u);
+
+  // The healed link works normally for new traffic.
+  ASSERT_TRUE(link.Send(100, [&] { delivered = true; }).ok());
+  env.RunUntilIdle();
+  EXPECT_TRUE(delivered);
+}
+
+TEST(NetworkLinkFailureTest, DelayPolicyHoldsAndRedeliversInOrder) {
+  SimEnvironment env;
+  NetworkLinkConfig cfg = NoBandwidth(Milliseconds(5));
+  cfg.partition_policy = PartitionPolicy::kDelayInFlight;
+  NetworkLink link(&env, cfg);
+  std::vector<int> order;
+  ASSERT_TRUE(link.Send(10, [&] { order.push_back(0); }).ok());
+  ASSERT_TRUE(link.Send(10, [&] { order.push_back(1); }).ok());
+  env.RunFor(Milliseconds(1));
+  link.SetConnected(false);
+  env.RunFor(Milliseconds(20));  // Outage outlives the original arrivals.
+  EXPECT_TRUE(order.empty()) << "held messages must not leak mid-outage";
+  link.SetConnected(true);
+  env.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_EQ(link.messages_dropped(), 0u);
+}
+
+TEST(NetworkLinkFailureTest, DelayPolicyRedeliveryRespectsChannelFifo) {
+  SimEnvironment env;
+  NetworkLinkConfig cfg = NoBandwidth(Milliseconds(5));
+  cfg.partition_policy = PartitionPolicy::kDelayInFlight;
+  NetworkLink link(&env, cfg);
+  std::vector<int> order;
+  ASSERT_TRUE(link.SendOnChannel(1, 10, [&] { order.push_back(0); }).ok());
+  // Flap instantly: the in-flight message survives the flap (delay policy)
+  // and must still arrive before anything sent after the reconnect.
+  link.SetConnected(false);
+  link.SetConnected(true);
+  ASSERT_TRUE(link.SendOnChannel(1, 10, [&] { order.push_back(1); }).ok());
+  env.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(NetworkLinkFailureTest, DropProbabilityLosesMessagesSilently) {
+  SimEnvironment env;
+  NetworkLinkConfig cfg = NoBandwidth(Milliseconds(1));
+  cfg.drop_probability = 0.5;
+  cfg.seed = 11;
+  NetworkLink link(&env, cfg);
+  int delivered = 0;
+  for (int i = 0; i < 200; ++i) {
+    // The send itself always succeeds: the loss is silent.
+    ASSERT_TRUE(link.Send(10, [&] { ++delivered; }).ok());
+  }
+  env.RunUntilIdle();
+  EXPECT_EQ(static_cast<uint64_t>(delivered) + link.messages_dropped(),
+            200u);
+  // Loose bounds; the RNG is seeded, so this cannot flake.
+  EXPECT_GT(delivered, 50);
+  EXPECT_LT(delivered, 150);
+
+  link.set_drop_probability(0.0);
+  const int before = delivered;
+  ASSERT_TRUE(link.Send(10, [&] { ++delivered; }).ok());
+  env.RunUntilIdle();
+  EXPECT_EQ(delivered, before + 1);
+}
+
+TEST(NetworkLinkFailureTest, EstimateArrivalUsesTheRequestedChannel) {
+  SimEnvironment env;
+  NetworkLink link(&env, NoBandwidth(Milliseconds(2), Milliseconds(10)));
+  // A latency spike while channel 7 has traffic in flight pushes its FIFO
+  // floor far past the healthy-link bound; the spike then ends.
+  link.set_base_latency(Milliseconds(40));
+  ASSERT_TRUE(link.SendOnChannel(7, 8, [] {}).ok());
+  link.set_base_latency(Milliseconds(2));
+  const SimTime est0 = link.EstimateArrival(8, 0);
+  const SimTime est7 = link.EstimateArrival(8, 7);
+  // Channel 0 is untouched, so its bound must not inherit channel 7's
+  // backlog; channel 7's bound must reflect it.
+  EXPECT_GT(est7, est0);
+  SimTime actual = -1;
+  ASSERT_TRUE(link.SendOnChannel(7, 8, [&] { actual = env.now(); }).ok());
+  env.RunUntilIdle();
+  EXPECT_LE(actual, est7) << "estimate must be an upper bound";
+}
+
+TEST(NetworkLinkFailureTest, EstimateArrivalBoundsJitter) {
+  SimEnvironment env;
+  NetworkLink link(&env, NoBandwidth(Milliseconds(2), Milliseconds(5)));
+  for (int i = 0; i < 50; ++i) {
+    const SimTime est = link.EstimateArrival(16);
+    SimTime actual = -1;
+    ASSERT_TRUE(link.Send(16, [&] { actual = env.now(); }).ok());
+    env.RunUntilIdle();
+    EXPECT_LE(actual, est);
+  }
+}
+
+TEST(NetworkLinkFailureTest, ReleaseChannelForgetsFifoState) {
+  SimEnvironment env;
+  NetworkLink link(&env, NoBandwidth(Milliseconds(1)));
+  for (uint64_t ch = 1; ch <= 16; ++ch) {
+    ASSERT_TRUE(link.SendOnChannel(ch, 8, [] {}).ok());
+  }
+  env.RunUntilIdle();
+  EXPECT_EQ(link.tracked_channels(), 16u);
+  for (uint64_t ch = 1; ch <= 16; ++ch) link.ReleaseChannel(ch);
+  EXPECT_EQ(link.tracked_channels(), 0u);
+}
+
 TEST(NetworkLinkChannelTest, DefaultSendIsChannelZero) {
   sim::SimEnvironment env;
   NetworkLink link(&env, NoBandwidth(Milliseconds(1), Milliseconds(20)));
