@@ -87,6 +87,9 @@ void RunBatchIntervalAblation() {
       replication::ConsistencyGroupConfig cg;
       cg.transfer_interval = interval;
       cg.transfer_batch_bytes = batch;
+      // The sweep measures FIXED batch sizes; the adaptive controller
+      // would otherwise walk every cell toward the same operating point.
+      cg.enable_adaptive_batching = false;
       cg.journal_capacity_bytes = 512ull << 20;
       auto group = rig.engine->CreateConsistencyGroup(cg);
       ZB_CHECK(group.ok());

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerates the checked-in benchmark JSON (BENCH_micro.json and
+# BENCH_pipeline.json) from a Release + NDEBUG build, so the recorded perf
+# trajectory is reproducible from one command:
+#
+#   scripts/run_benches.sh
+#
+# Run from anywhere; results land at the repository root.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "${repo_root}"
+
+cmake --preset bench
+cmake --build --preset bench -j "$(nproc)" --target bench_micro bench_pipeline
+
+./build-bench/bench/bench_micro \
+  --benchmark_out="${repo_root}/BENCH_micro.json" \
+  --benchmark_out_format=json
+./build-bench/bench/bench_pipeline --out "${repo_root}/BENCH_pipeline.json"
+
+echo "Wrote BENCH_micro.json and BENCH_pipeline.json"

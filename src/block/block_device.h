@@ -19,6 +19,15 @@ inline constexpr uint32_t kDefaultBlockSize = 4096;
 
 enum class IoType { kRead, kWrite };
 
+// One extent of a multi-write run handed to BlockDevice::WriteRun:
+// `count` blocks at `lba`, with `data` carrying count * block_size()
+// bytes. Runs in one call are applied in array order.
+struct BlockRun {
+  Lba lba = 0;
+  uint32_t count = 0;
+  std::string_view data;
+};
+
 // Synchronous block-device interface. The functional layers (mini-DB,
 // recovery, invariant checkers) use this; the timing-sensitive paths go
 // through AsyncBlockDevice which adds a latency model on top.
@@ -38,6 +47,14 @@ class BlockDevice {
 
   // Writes `data` (must be count * block_size() bytes) at `lba`.
   virtual Status Write(Lba lba, uint32_t count, std::string_view data) = 0;
+
+  // Applies `n` writes in one call, in array order. The replication apply
+  // and resync paths sort records by LBA and hand the whole run here, so
+  // stores that override it (MemVolume) amortize per-call overhead and see
+  // sequential access. Every run is validated before any is applied; on a
+  // bad run the whole call fails without partial effects. The default
+  // implementation loops over Write.
+  virtual Status WriteRun(const BlockRun* runs, size_t n);
 
   // Validates an IO range against the device geometry.
   Status CheckRange(Lba lba, uint32_t count) const;

@@ -6,6 +6,20 @@
 
 namespace zerobak::block {
 
+Status BlockDevice::WriteRun(const BlockRun* runs, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    ZB_RETURN_IF_ERROR(CheckRange(runs[i].lba, runs[i].count));
+    if (runs[i].data.size() !=
+        static_cast<size_t>(runs[i].count) * block_size()) {
+      return InvalidArgumentError("WriteRun payload size mismatch");
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    ZB_RETURN_IF_ERROR(Write(runs[i].lba, runs[i].count, runs[i].data));
+  }
+  return OkStatus();
+}
+
 Status BlockDevice::CheckRange(Lba lba, uint32_t count) const {
   if (count == 0) return InvalidArgumentError("zero-length IO");
   if (lba + count > block_count() || lba + count < lba) {
@@ -44,6 +58,16 @@ bool MemVolume::IsAllocated(Lba lba) const {
   return (chunks_[ci].bitmap[slot / 64] >> (slot % 64)) & 1;
 }
 
+std::string_view MemVolume::TryReadView(Lba lba, uint32_t count) const {
+  if (count == 0 || !CheckRange(lba, count).ok()) return {};
+  const size_t ci = static_cast<size_t>(lba / kBlocksPerChunk);
+  const uint64_t slot = lba % kBlocksPerChunk;
+  if (slot + count > ChunkBlocks(ci)) return {};  // Crosses a chunk.
+  if (chunks_[ci].data == nullptr) return {};     // No slab to point into.
+  return std::string_view(chunks_[ci].data.get() + slot * block_size_,
+                          static_cast<size_t>(count) * block_size_);
+}
+
 std::string_view MemVolume::ReadBlockView(Lba lba) const {
   const size_t ci = static_cast<size_t>(lba / kBlocksPerChunk);
   if (ci >= chunks_.size() || chunks_[ci].data == nullptr) {
@@ -56,8 +80,11 @@ std::string_view MemVolume::ReadBlockView(Lba lba) const {
 
 Status MemVolume::Read(Lba lba, uint32_t count, std::string* out) {
   ZB_RETURN_IF_ERROR(CheckRange(lba, count));
-  out->resize(static_cast<size_t>(count) * block_size_);
-  char* dst = out->data();
+  // reserve + append instead of resize + copy: resize would zero-fill the
+  // buffer only for every byte to be overwritten right after, a second
+  // pass over the data that dominates large extent reads.
+  out->clear();
+  out->reserve(static_cast<size_t>(count) * block_size_);
   uint32_t i = 0;
   while (i < count) {
     const Lba cur = lba + i;
@@ -67,12 +94,11 @@ Status MemVolume::Read(Lba lba, uint32_t count, std::string* out) {
     const uint32_t run = static_cast<uint32_t>(
         std::min<uint64_t>(count - i, ChunkBlocks(ci) - slot));
     if (chunks_[ci].data == nullptr) {
-      std::memset(dst, 0, static_cast<size_t>(run) * block_size_);
+      out->append(static_cast<size_t>(run) * block_size_, '\0');
     } else {
-      std::memcpy(dst, chunks_[ci].data.get() + slot * block_size_,
+      out->append(chunks_[ci].data.get() + slot * block_size_,
                   static_cast<size_t>(run) * block_size_);
     }
-    dst += static_cast<size_t>(run) * block_size_;
     i += run;
   }
   ++reads_;
@@ -86,6 +112,30 @@ Status MemVolume::Write(Lba lba, uint32_t count, std::string_view data) {
         "write payload size mismatch: got " + std::to_string(data.size()) +
         " want " + std::to_string(static_cast<size_t>(count) * block_size_));
   }
+  WriteUnchecked(lba, count, data);
+  ++writes_;
+  return OkStatus();
+}
+
+Status MemVolume::WriteRun(const BlockRun* runs, size_t n) {
+  // Validate the whole run up front so a bad extent cannot leave a
+  // half-applied run behind.
+  for (size_t i = 0; i < n; ++i) {
+    ZB_RETURN_IF_ERROR(CheckRange(runs[i].lba, runs[i].count));
+    if (runs[i].data.size() !=
+        static_cast<size_t>(runs[i].count) * block_size_) {
+      return InvalidArgumentError("WriteRun payload size mismatch");
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    WriteUnchecked(runs[i].lba, runs[i].count, runs[i].data);
+  }
+  writes_ += n;
+  return OkStatus();
+}
+
+void MemVolume::WriteUnchecked(Lba lba, uint32_t count,
+                               std::string_view data) {
   const char* src = data.data();
   uint32_t i = 0;
   while (i < count) {
@@ -97,19 +147,24 @@ Status MemVolume::Write(Lba lba, uint32_t count, std::string_view data) {
     Chunk& chunk = EnsureChunk(cur);
     std::memcpy(chunk.data.get() + slot * block_size_, src,
                 static_cast<size_t>(run) * block_size_);
-    for (uint32_t b = 0; b < run; ++b) {
-      uint64_t& word = chunk.bitmap[(slot + b) / 64];
-      const uint64_t bit = 1ull << ((slot + b) % 64);
-      if ((word & bit) == 0) {
-        word |= bit;
-        ++allocated_blocks_;
-      }
+    // Mark the run allocated a 64-bit word at a time; a per-bit loop is
+    // measurable on multi-block extent applies.
+    uint64_t b = slot;
+    const uint64_t end = slot + run;
+    while (b < end) {
+      const uint64_t lo = b % 64;
+      const uint64_t span = std::min<uint64_t>(64 - lo, end - b);
+      const uint64_t mask =
+          (span == 64 ? ~0ull : ((1ull << span) - 1)) << lo;
+      uint64_t& word = chunk.bitmap[b / 64];
+      allocated_blocks_ +=
+          static_cast<uint64_t>(__builtin_popcountll(mask & ~word));
+      word |= mask;
+      b += span;
     }
     src += static_cast<size_t>(run) * block_size_;
     i += run;
   }
-  ++writes_;
-  return OkStatus();
 }
 
 Status MemVolume::CloneFrom(const MemVolume& src) {

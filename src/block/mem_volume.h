@@ -36,6 +36,9 @@ class MemVolume : public BlockDevice {
 
   Status Read(Lba lba, uint32_t count, std::string* out) override;
   Status Write(Lba lba, uint32_t count, std::string_view data) override;
+  // Validates every extent, then applies them in one pass (one virtual
+  // call and one range-check sweep for a whole sorted apply batch).
+  Status WriteRun(const BlockRun* runs, size_t n) override;
 
   // Returns true if the block has been written at least once.
   bool IsAllocated(Lba lba) const;
@@ -52,6 +55,12 @@ class MemVolume : public BlockDevice {
   // the next Write/CloneFrom/Reset of this volume. Never-written blocks
   // yield a view of a shared zero block.
   std::string_view ReadBlockView(Lba lba) const;
+
+  // Zero-copy multi-block variant: a view of [lba, lba+count) when the
+  // run lies inside one allocated chunk, an empty (nullptr-data) view
+  // otherwise — callers fall back to a copying Read. Valid until the next
+  // Write to the range, or CloneFrom/Reset.
+  std::string_view TryReadView(Lba lba, uint32_t count) const;
 
   // Copies every allocated block of `src` into this volume (same
   // geometry required). Used by replication initial copy and tests.
@@ -97,6 +106,8 @@ class MemVolume : public BlockDevice {
   }
   // Returns the chunk holding `lba`, allocating it zero-filled on demand.
   Chunk& EnsureChunk(Lba lba);
+  // The copy loop of Write, after range/size validation.
+  void WriteUnchecked(Lba lba, uint32_t count, std::string_view data);
 
   uint64_t block_count_;
   uint32_t block_size_;

@@ -105,6 +105,19 @@ void JournalVolume::MarkShipped(SequenceNumber seq) {
   shipped_ = std::max(shipped_, std::min(seq, written_));
 }
 
+uint64_t JournalVolume::FoldPayload(SequenceNumber seq) {
+  if (records_.empty() || seq < first_seq_ || seq > written_) return 0;
+  JournalRecord& rec = records_[seq - first_seq_];
+  if (rec.folded || rec.payload.empty()) return 0;
+  const uint64_t freed = rec.payload.size();
+  rec.payload = PayloadBuffer();
+  rec.folded = true;
+  used_bytes_ -= freed;
+  ++folded_records_;
+  folded_bytes_ += freed;
+  return freed;
+}
+
 Status JournalVolume::TrimThrough(SequenceNumber seq) {
   if (seq > written_) {
     return InvalidArgumentError("trim beyond written watermark");

@@ -89,6 +89,20 @@ struct JournalRecord {
   // compute replication lag and RPO.
   SimTime ack_time = 0;
 
+  // --- Transfer-pipeline metadata (set on shipped copies) -------------------
+  // When non-zero, this record belongs to an atomically-applied batch: the
+  // apply side may only apply it together with every record up to
+  // `atomic_through`, and a recovery point can only cut at a batch
+  // boundary. Write-folding depends on this: a folded record's newest
+  // cover lands in the same atomic batch, so no recovery point can observe
+  // the fold.
+  SequenceNumber atomic_through = kNoSequence;
+  // True when write-folding dropped this record's payload because newer
+  // records in the same batch overwrite every block it touches. The record
+  // ships as a header-only tombstone (its sequence keeps the stream dense)
+  // and the apply side skips its volume write.
+  bool folded = false;
+
   std::string_view data() const { return payload.view(); }
 
   // Bytes this record occupies in the journal / on the wire.
@@ -170,6 +184,19 @@ class JournalVolume {
   // Marks records through `seq` as shipped (transfer watermark).
   void MarkShipped(SequenceNumber seq);
 
+  // Write-folding support: drops the payload of record `seq`, freeing its
+  // bytes from the journal's capacity accounting and marking the record
+  // folded. Called by the transfer engine after it ships a batch in which
+  // a newer record overwrites every block of `seq` — the payload can never
+  // be needed again (re-ship never goes below the shipped watermark, and a
+  // suspension only needs the header to dirty-mark the blocks). Returns
+  // the payload bytes freed (0 if the record is gone or already folded).
+  uint64_t FoldPayload(SequenceNumber seq);
+
+  // Cumulative records folded / payload bytes freed by FoldPayload.
+  uint64_t folded_records() const { return folded_records_; }
+  uint64_t folded_bytes() const { return folded_bytes_; }
+
   // Marks records through `seq` as applied and trims them from memory.
   Status TrimThrough(SequenceNumber seq);
 
@@ -219,6 +246,8 @@ class JournalVolume {
   uint64_t appends_ = 0;
   uint64_t overflows_ = 0;
   uint64_t peak_used_bytes_ = 0;
+  uint64_t folded_records_ = 0;
+  uint64_t folded_bytes_ = 0;
 };
 
 }  // namespace zerobak::journal

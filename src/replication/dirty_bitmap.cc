@@ -1,0 +1,117 @@
+#include "replication/dirty_bitmap.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.h"
+
+namespace zerobak::replication {
+
+namespace {
+inline uint64_t WordsFor(uint64_t bits) { return (bits + 63) / 64; }
+}  // namespace
+
+void DirtyBitmap::Reset(uint64_t block_count) {
+  block_count_ = block_count;
+  count_ = 0;
+  leaves_.assign(WordsFor(block_count), 0);
+  summary_.assign(WordsFor(leaves_.size()), 0);
+}
+
+bool DirtyBitmap::Set(uint64_t lba) {
+  ZB_CHECK(lba < block_count_) << "DirtyBitmap::Set out of range";
+  const uint64_t wi = lba / 64;
+  const uint64_t bit = 1ull << (lba % 64);
+  if (leaves_[wi] & bit) return false;
+  leaves_[wi] |= bit;
+  summary_[wi / 64] |= 1ull << (wi % 64);
+  ++count_;
+  return true;
+}
+
+bool DirtyBitmap::Clear(uint64_t lba) {
+  if (lba >= block_count_) return false;
+  const uint64_t wi = lba / 64;
+  const uint64_t bit = 1ull << (lba % 64);
+  if ((leaves_[wi] & bit) == 0) return false;
+  leaves_[wi] &= ~bit;
+  if (leaves_[wi] == 0) summary_[wi / 64] &= ~(1ull << (wi % 64));
+  --count_;
+  return true;
+}
+
+bool DirtyBitmap::Test(uint64_t lba) const {
+  if (lba >= block_count_) return false;
+  return (leaves_[lba / 64] >> (lba % 64)) & 1;
+}
+
+void DirtyBitmap::SetRange(uint64_t lba, uint64_t n) {
+  for (uint64_t i = 0; i < n; ++i) Set(lba + i);
+}
+
+void DirtyBitmap::ClearRange(uint64_t lba, uint64_t n) {
+  for (uint64_t i = 0; i < n; ++i) Clear(lba + i);
+}
+
+void DirtyBitmap::ClearAll() {
+  std::fill(leaves_.begin(), leaves_.end(), 0);
+  std::fill(summary_.begin(), summary_.end(), 0);
+  count_ = 0;
+}
+
+void DirtyBitmap::UnionWith(const DirtyBitmap& other) {
+  ZB_CHECK(other.block_count_ == block_count_)
+      << "DirtyBitmap::UnionWith geometry mismatch";
+  count_ = 0;
+  for (size_t wi = 0; wi < leaves_.size(); ++wi) {
+    leaves_[wi] |= other.leaves_[wi];
+    count_ += static_cast<uint64_t>(std::popcount(leaves_[wi]));
+    if (leaves_[wi] != 0) summary_[wi / 64] |= 1ull << (wi % 64);
+  }
+}
+
+uint64_t DirtyBitmap::NextDirty(uint64_t from) const {
+  if (from >= block_count_) return kNone;
+  uint64_t wi = from / 64;
+  // Tail of the word containing `from`.
+  const uint64_t head = leaves_[wi] & (~0ull << (from % 64));
+  if (head != 0) {
+    return wi * 64 + static_cast<uint64_t>(std::countr_zero(head));
+  }
+  // Skip clean leaf words through the summary level.
+  ++wi;
+  uint64_t si = wi / 64;
+  if (si >= summary_.size()) return kNone;
+  uint64_t sword = summary_[si] & (wi % 64 == 0 ? ~0ull : ~0ull << (wi % 64));
+  while (sword == 0) {
+    if (++si >= summary_.size()) return kNone;
+    sword = summary_[si];
+  }
+  const uint64_t li = si * 64 + static_cast<uint64_t>(std::countr_zero(sword));
+  return li * 64 + static_cast<uint64_t>(std::countr_zero(leaves_[li]));
+}
+
+uint64_t DirtyBitmap::NextClean(uint64_t from) const {
+  uint64_t lba = from;
+  while (lba < block_count_) {
+    const uint64_t wi = lba / 64;
+    const uint64_t inverted = ~leaves_[wi] & (~0ull << (lba % 64));
+    if (inverted != 0) {
+      return std::min<uint64_t>(
+          block_count_, wi * 64 + static_cast<uint64_t>(std::countr_zero(
+                                      inverted)));
+    }
+    lba = (wi + 1) * 64;
+  }
+  return block_count_;
+}
+
+DirtyBitmap::Run DirtyBitmap::NextRun(uint64_t from, uint64_t max_len) const {
+  const uint64_t start = NextDirty(from);
+  if (start == kNone) return Run{};
+  uint64_t end = NextClean(start);
+  if (max_len != UINT64_MAX && end - start > max_len) end = start + max_len;
+  return Run{start, end - start};
+}
+
+}  // namespace zerobak::replication

@@ -1,0 +1,93 @@
+#ifndef ZEROBAK_REPLICATION_DIRTY_BITMAP_H_
+#define ZEROBAK_REPLICATION_DIRTY_BITMAP_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace zerobak::replication {
+
+// Two-level hierarchical dirty-block bitmap.
+//
+// Replaces the hash-set dirty tracking of the pair state machine: one bit
+// per block in a flat leaf array, plus a summary level with one bit per
+// 64-bit leaf word (set iff the leaf word is non-zero). This gives
+//   * O(1) Set/Clear/Test with dense memory (1 bit per block instead of
+//     ~48 bytes of unordered_set node per dirty block),
+//   * LBA-ordered iteration — scans skip clean regions 4096 blocks at a
+//     time through the summary level, so resync ships a *canonical sorted*
+//     delta instead of hash-order (which made seeded replays bit-exact
+//     only by luck of the stdlib), and
+//   * cheap extent-run merging: NextRun() returns maximal runs of
+//     adjacent dirty blocks, which the resync path turns into one
+//     multi-block record per run.
+class DirtyBitmap {
+ public:
+  // Sentinel LBA returned by NextDirty when no dirty block remains.
+  static constexpr uint64_t kNone = UINT64_MAX;
+
+  DirtyBitmap() = default;
+  explicit DirtyBitmap(uint64_t block_count) { Reset(block_count); }
+
+  // Re-sizes the bitmap to `block_count` blocks, all clean.
+  void Reset(uint64_t block_count);
+
+  uint64_t block_count() const { return block_count_; }
+  // Number of dirty blocks (maintained incrementally; O(1)).
+  uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  // Marks `lba` dirty; returns true if it was clean before.
+  bool Set(uint64_t lba);
+  // Marks `lba` clean; returns true if it was dirty before.
+  bool Clear(uint64_t lba);
+  bool Test(uint64_t lba) const;
+
+  void SetRange(uint64_t lba, uint64_t n);
+  void ClearRange(uint64_t lba, uint64_t n);
+  // Marks every block clean without releasing the geometry.
+  void ClearAll();
+
+  // Bitwise-ORs `other` (same block_count) into this bitmap.
+  void UnionWith(const DirtyBitmap& other);
+
+  // First dirty LBA >= `from`, or kNone. Skips fully-clean 4096-block
+  // regions via the summary level.
+  uint64_t NextDirty(uint64_t from) const;
+
+  // A maximal run of consecutive dirty blocks.
+  struct Run {
+    uint64_t lba = kNone;
+    uint64_t count = 0;
+  };
+
+  // The run starting at the first dirty LBA >= `from`, truncated to
+  // `max_len` blocks. Run{kNone, 0} when nothing is dirty at or after
+  // `from`.
+  Run NextRun(uint64_t from, uint64_t max_len = UINT64_MAX) const;
+
+  // Invokes `fn(Run)` for every dirty extent in ascending LBA order,
+  // splitting runs longer than `max_len`.
+  template <typename Fn>
+  void ForEachRun(Fn&& fn, uint64_t max_len = UINT64_MAX) const {
+    uint64_t from = 0;
+    while (from < block_count_) {
+      Run run = NextRun(from, max_len);
+      if (run.count == 0) return;
+      fn(run);
+      from = run.lba + run.count;
+    }
+  }
+
+ private:
+  // First clean LBA >= `from`, or block_count_ when the tail is solid.
+  uint64_t NextClean(uint64_t from) const;
+
+  uint64_t block_count_ = 0;
+  uint64_t count_ = 0;
+  std::vector<uint64_t> leaves_;   // One bit per block.
+  std::vector<uint64_t> summary_;  // Bit i set iff leaves_[i] != 0.
+};
+
+}  // namespace zerobak::replication
+
+#endif  // ZEROBAK_REPLICATION_DIRTY_BITMAP_H_

@@ -42,6 +42,29 @@ const char* SuspendReasonName(SuspendReason reason) {
   return "?";
 }
 
+ConsistencyGroupConfig ConsistencyGroupConfig::Normalized() const {
+  ConsistencyGroupConfig out = *this;
+  // A batch always has room for at least one default-sized record, so a
+  // zero (or absurdly small) sweep value can never wedge the engine.
+  const uint64_t one_record =
+      journal::JournalRecord::kHeaderSize + (4ull << 10);
+  out.transfer_batch_min_bytes =
+      std::max(out.transfer_batch_min_bytes, one_record);
+  out.transfer_batch_max_bytes =
+      std::max(out.transfer_batch_max_bytes, out.transfer_batch_min_bytes);
+  out.transfer_batch_bytes =
+      std::max(out.transfer_batch_bytes, one_record);
+  if (out.enable_adaptive_batching) {
+    // The fixed-batch ablation sweeps values outside [min, max]; only the
+    // adaptive controller is confined to its own bounds.
+    out.transfer_batch_bytes =
+        std::clamp(out.transfer_batch_bytes, out.transfer_batch_min_bytes,
+                   out.transfer_batch_max_bytes);
+  }
+  if (out.resync_max_extent_blocks == 0) out.resync_max_extent_blocks = 1;
+  return out;
+}
+
 namespace internal {
 
 // Interceptor installed on an async P-VOL: journals the write, acks.
@@ -113,9 +136,7 @@ class ReverseDirtyTracker : public storage::WriteInterceptor {
 
   void OnHostWrite(storage::Volume*, block::Lba lba, uint32_t count,
                    std::string_view, AckFn ack) override {
-    for (uint32_t i = 0; i < count; ++i) {
-      pair_->reverse_dirty_.insert(lba + i);
-    }
+    pair_->reverse_dirty_.SetRange(lba, count);
     ack(OkStatus());
   }
 
@@ -140,6 +161,7 @@ ReplicationEngine::~ReplicationEngine() {
   for (auto& [id, group] : groups_) {
     if (group->transfer_task) group->transfer_task->Stop();
     CancelResyncRetry(group.get());
+    UnprotectInflightResync(group.get());
   }
   // Unregister interceptors so arrays outliving the engine behave.
   for (auto& [vid, ic] : primary_interceptors_) {
@@ -152,6 +174,7 @@ ReplicationEngine::~ReplicationEngine() {
 
 StatusOr<GroupId> ReplicationEngine::CreateConsistencyGroup(
     ConsistencyGroupConfig config) {
+  config = config.Normalized();
   ZB_ASSIGN_OR_RETURN(storage::JournalId pj,
                       primary_->CreateJournal(config.journal_capacity_bytes));
   auto sj_or = secondary_->CreateJournal(config.journal_capacity_bytes);
@@ -165,6 +188,7 @@ StatusOr<GroupId> ReplicationEngine::CreateConsistencyGroup(
   group->config = std::move(config);
   group->primary_journal = pj;
   group->secondary_journal = *sj_or;
+  group->batch_bytes_now = group->config.transfer_batch_bytes;
   Group* raw = group.get();
   group->transfer_task = std::make_unique<sim::PeriodicTask>(
       env_, raw->config.transfer_interval, [this, raw] { PumpGroup(raw); });
@@ -221,6 +245,11 @@ StatusOr<GroupStats> ReplicationEngine::GetGroupStats(GroupId id) const {
   stats.resync_timeouts = group->resync_timeouts;
   stats.auto_resync_attempts = group->auto_resync_attempts;
   stats.apply_lag = env_->now() - group->last_applied_ack_time;
+  stats.records_folded = group->records_folded;
+  stats.folded_bytes_saved = group->folded_bytes_saved;
+  stats.resync_extents = group->resync_extents;
+  stats.resync_blocks = group->resync_blocks;
+  stats.transfer_batch_bytes_now = group->batch_bytes_now;
   return stats;
 }
 
@@ -263,6 +292,8 @@ StatusOr<PairId> ReplicationEngine::CreateAsyncPair(const PairConfig& config,
   pair->config_ = config;
   pair->group_ = group_id;
   pair->state_ = PairState::kCopy;
+  pair->dirty_.Reset(pvol->block_count());
+  pair->reverse_dirty_.Reset(pvol->block_count());
   Pair* raw = pair.get();
 
   auto interceptor = std::make_unique<internal::AdcInterceptor>(this, raw);
@@ -309,6 +340,8 @@ StatusOr<PairId> ReplicationEngine::CreateSyncPair(const PairConfig& config) {
   pair->id_ = id;
   pair->config_ = config;
   pair->state_ = PairState::kCopy;
+  pair->dirty_.Reset(pvol->block_count());
+  pair->reverse_dirty_.Reset(pvol->block_count());
   Pair* raw = pair.get();
 
   auto interceptor = std::make_unique<internal::SyncInterceptor>(this, raw);
@@ -385,19 +418,19 @@ void ReplicationEngine::OnAsyncHostWrite(
     // The group was taken over by the backup site; stop copying but keep
     // serving the host (main-site survivors see no error). Track the
     // divergence so failback can detect a split brain.
-    for (uint32_t i = 0; i < count; ++i) pair->dirty_.insert(lba + i);
+    pair->dirty_.SetRange(lba, count);
     ack(OkStatus());
     return;
   }
   if (group->suspended) {
-    for (uint32_t i = 0; i < count; ++i) pair->dirty_.insert(lba + i);
+    pair->dirty_.SetRange(lba, count);
     ack(OkStatus());
     return;
   }
   if (group->giveback_in_flight) {
     // Remember what the main site rewrites while the giveback batch is on
     // the wire; those blocks are newer than the batch and must win.
-    for (uint32_t i = 0; i < count; ++i) pair->dirty_.insert(lba + i);
+    pair->dirty_.SetRange(lba, count);
   }
   journal::JournalRecord record;
   record.volume_id = volume->id();
@@ -417,7 +450,7 @@ void ReplicationEngine::OnAsyncHostWrite(
                     << " journal overflow; suspending: "
                     << seq_or.status();
     SuspendOnFailure(group, SuspendReason::kJournalOverflow);
-    for (uint32_t i = 0; i < count; ++i) pair->dirty_.insert(lba + i);
+    pair->dirty_.SetRange(lba, count);
   }
   // The ADC ack does not wait for anything remote: this is the paper's
   // "no system slowdown" property.
@@ -433,7 +466,7 @@ void ReplicationEngine::OnSyncHostWrite(
     return;
   }
   if (pair->state_ == PairState::kSuspended) {
-    for (uint32_t i = 0; i < count; ++i) pair->dirty_.insert(lba + i);
+    pair->dirty_.SetRange(lba, count);
     ack(OkStatus());
     return;
   }
@@ -481,7 +514,7 @@ void ReplicationEngine::OnSyncHostWrite(
             // Reverse link is down: the pair suspends; the host write is
             // acknowledged locally (fence level "never").
             p2->state_ = PairState::kSuspended;
-            for (uint32_t i = 0; i < count; ++i) p2->dirty_.insert(lba + i);
+            p2->dirty_.SetRange(lba, count);
             ack(OkStatus());
           }
         });
@@ -489,7 +522,7 @@ void ReplicationEngine::OnSyncHostWrite(
   if (!sent.ok()) {
     --pair->inflight_;
     pair->state_ = PairState::kSuspended;
-    for (uint32_t i = 0; i < count; ++i) pair->dirty_.insert(lba + i);
+    pair->dirty_.SetRange(lba, count);
     ack(OkStatus());
   }
 }
@@ -499,21 +532,65 @@ void ReplicationEngine::PumpGroup(Group* group) {
   if (primary_->failed()) return;
   auto* jnl = primary_->GetJournal(group->primary_journal);
   if (jnl == nullptr) return;
+  if (group->config.enable_adaptive_batching) AdaptBatchSize(group, jnl);
   std::vector<const journal::JournalRecord*> views;
-  if (jnl->PeekViews(jnl->shipped(), group->config.transfer_batch_bytes,
-                     &views) == 0) {
+  if (jnl->PeekViews(jnl->shipped(), group->batch_bytes_now, &views) == 0) {
     return;
   }
+  const journal::SequenceNumber last = views.back()->sequence;
+
+  // Write-folding: a record whose every block is overwritten by later
+  // records of this same batch ships as a header-only tombstone (the
+  // sequence stays, the payload does not). Safe because the batch applies
+  // atomically — every record carries atomic_through == last, so no
+  // recovery point can cut between a tombstone and its newer cover.
+  std::vector<bool> fold(views.size(), false);
+  size_t fold_count = 0;
+  if (group->config.enable_write_folding && views.size() > 1) {
+    // Newest -> oldest; a block is "covered" once any newer record of the
+    // same volume wrote it.
+    std::unordered_map<uint64_t, std::unordered_set<uint64_t>> covered;
+    for (size_t i = views.size(); i-- > 0;) {
+      const journal::JournalRecord* rec = views[i];
+      auto& vol_cov = covered[rec->volume_id];
+      if (i + 1 < views.size() && !rec->payload.empty()) {
+        bool all = true;
+        for (uint32_t b = 0; b < rec->block_count; ++b) {
+          if (!vol_cov.contains(rec->lba + b)) {
+            all = false;
+            break;
+          }
+        }
+        if (all) {
+          fold[i] = true;
+          ++fold_count;
+        }
+      }
+      for (uint32_t b = 0; b < rec->block_count; ++b) {
+        vol_cov.insert(rec->lba + b);
+      }
+    }
+  }
+
   // The batch must survive primary-journal trims while on the wire, so it
-  // copies the record headers — the payload bytes are shared, not cloned.
+  // copies the record headers — the payload bytes are shared, not cloned
+  // (and a tombstone carries no payload at all).
   uint64_t bytes = 0;
   std::vector<journal::JournalRecord> batch;
   batch.reserve(views.size());
-  for (const journal::JournalRecord* rec : views) {
-    bytes += rec->EncodedSize();
-    batch.push_back(*rec);
+  std::vector<std::pair<journal::SequenceNumber, uint64_t>> folds;
+  folds.reserve(fold_count);
+  for (size_t i = 0; i < views.size(); ++i) {
+    journal::JournalRecord rec = *views[i];
+    rec.atomic_through = last;
+    if (fold[i]) {
+      folds.emplace_back(rec.sequence, rec.payload.size());
+      rec.payload = journal::PayloadBuffer();
+      rec.folded = true;
+    }
+    bytes += rec.EncodedSize();
+    batch.push_back(std::move(rec));
   }
-  const journal::SequenceNumber last = batch.back().sequence;
   const GroupId group_id = group->id;
   Status sent = to_secondary_->SendOnChannel(
       group_id, bytes, [this, group_id, batch = std::move(batch)]() mutable {
@@ -531,8 +608,19 @@ void ReplicationEngine::PumpGroup(Group* group) {
         ApplyPending(g);
       });
   if (sent.ok()) {
+    // Fold only after the send succeeded: a failed send re-peeks later
+    // with possibly different batch boundaries, and a tombstone whose
+    // cover is not in the same atomic batch would break the write-order
+    // prefix. After success the payloads can never be needed again
+    // (shipping never re-reads below the shipped watermark; a suspension
+    // dirty-marks from headers alone).
+    for (const auto& [seq, payload_bytes] : folds) {
+      ++group->records_folded;
+      group->folded_bytes_saved += payload_bytes;
+      (void)jnl->FoldPayload(seq);
+    }
     jnl->MarkShipped(last);
-    records_shipped_ += batch.size();
+    records_shipped_ += views.size();
     // "Shipped" only means handed to the link; the batch (or its ack) can
     // still be lost to a partition. Arm a deadline so a silent loss
     // surfaces as a suspension instead of a stalled watermark.
@@ -540,6 +628,29 @@ void ReplicationEngine::PumpGroup(Group* group) {
   }
   // On failure (link down) the records stay unshipped; the journal absorbs
   // the backlog until it overflows and the group suspends.
+}
+
+void ReplicationEngine::AdaptBatchSize(Group* group,
+                                       journal::JournalVolume* jnl) {
+  const ConsistencyGroupConfig& cfg = group->config;
+  // Link backlog: how long past one unloaded trip the next message on the
+  // group's channel would take to arrive. Growth means the link cannot
+  // absorb the current rate — halve the batch so serialization bursts
+  // shrink and the ack deadline stays honest. Journal pressure: a journal
+  // filling past a quarter means ingest outruns the drain — double the
+  // batch to raise wire efficiency (fewer header/latency round-trips per
+  // byte, and bigger batches fold better).
+  const SimDuration backlog =
+      to_secondary_->EstimateArrival(0, group->id) - env_->now() -
+      to_secondary_->config().base_latency - to_secondary_->config().jitter;
+  uint64_t next = group->batch_bytes_now;
+  if (backlog > 4 * cfg.transfer_interval) {
+    next /= 2;
+  } else if (jnl->used_bytes() * 4 > jnl->capacity_bytes()) {
+    next *= 2;
+  }
+  group->batch_bytes_now = std::clamp(next, cfg.transfer_batch_min_bytes,
+                                      cfg.transfer_batch_max_bytes);
 }
 
 void ReplicationEngine::ArmAckDeadline(Group* group,
@@ -630,38 +741,112 @@ void ReplicationEngine::ApplyPending(Group* group) {
   if (sj == nullptr) return;
   journal::SequenceNumber applied = sj->applied();
   bool progressed = false;
-  // Single sweep over the received records instead of a find-by-sequence
-  // lookup per record.
-  journal::JournalVolume::Cursor cursor = sj->ScanFrom(applied + 1);
   while (applied < sj->written()) {
-    const journal::JournalRecord* rec = cursor.Next();
-    if (rec == nullptr) break;
-    auto pit = group->by_primary.find(rec->volume_id);
-    if (pit != group->by_primary.end()) {
-      Pair* pair = FindPair(pit->second);
-      if (pair != nullptr && pair->state_ == PairState::kCopy) {
-        // The base image of this S-VOL has not landed yet; the whole group
-        // stalls here to preserve the cross-volume total order.
+    const journal::JournalRecord* first = sj->Find(applied + 1);
+    if (first == nullptr) break;
+    // A shipped batch applies atomically: the apply watermark only moves
+    // in whole batches. Write-folding depends on this — a *partial*
+    // folded batch is not a write-order prefix, because a tombstone's
+    // newer cover could be in the unapplied remainder.
+    const journal::SequenceNumber end =
+        std::max(first->atomic_through, first->sequence);
+    if (end > sj->written()) break;  // Batch tail still in flight.
+    // The whole batch must be applicable before any of it is: a pair
+    // still in initial copy stalls the group at this batch boundary to
+    // preserve the cross-volume total order.
+    bool stalled = false;
+    journal::JournalVolume::Cursor scan = sj->ScanFrom(applied + 1);
+    for (journal::SequenceNumber s = applied + 1; s <= end; ++s) {
+      const journal::JournalRecord* rec = scan.Next();
+      if (rec == nullptr) {
+        stalled = true;
         break;
       }
-      if (pair != nullptr) {
-        storage::Volume* svol = secondary_->GetVolume(pair->config_.secondary);
-        if (svol != nullptr) {
-          Status ws = svol->Write(rec->lba, rec->block_count, rec->data());
-          if (!ws.ok()) {
-            ZB_LOG(Warning) << "journal apply failed: " << ws;
-          }
-        }
+      auto pit = group->by_primary.find(rec->volume_id);
+      if (pit == group->by_primary.end()) continue;
+      Pair* pair = FindPair(pit->second);
+      if (pair != nullptr && pair->state_ == PairState::kCopy) {
+        stalled = true;
+        break;
       }
     }
-    group->last_applied_ack_time = rec->ack_time;
-    ++applied;
-    ++records_applied_;
+    if (stalled) break;
+    ApplyBatch(group, applied + 1, end);
+    applied = end;
     progressed = true;
   }
   if (progressed) {
     ZB_CHECK(sj->TrimThrough(applied).ok());
     SendApplyAck(group, applied);
+  }
+}
+
+void ReplicationEngine::ApplyBatch(Group* group,
+                                   journal::SequenceNumber first,
+                                   journal::SequenceNumber last) {
+  auto* sj = secondary_->GetJournal(group->secondary_journal);
+  ZB_CHECK(sj != nullptr);
+  // Bucket the batch per volume. std::map keeps the volume order (and so
+  // the whole apply) deterministic across runs and stdlibs.
+  std::map<uint64_t, std::vector<const journal::JournalRecord*>> by_volume;
+  journal::JournalVolume::Cursor scan = sj->ScanFrom(first);
+  for (journal::SequenceNumber s = first; s <= last; ++s) {
+    const journal::JournalRecord* rec = scan.Next();
+    ZB_CHECK(rec != nullptr) << "atomic batch not contiguous in journal";
+    group->last_applied_ack_time = rec->ack_time;
+    ++records_applied_;
+    // A tombstone's blocks are fully rewritten by a newer record of this
+    // same batch; it only advances the watermark.
+    if (rec->folded) continue;
+    by_volume[rec->volume_id].push_back(rec);
+  }
+  for (auto& [volume_id, recs] : by_volume) {
+    auto pit = group->by_primary.find(volume_id);
+    if (pit == group->by_primary.end()) continue;
+    Pair* pair = FindPair(pit->second);
+    if (pair == nullptr) continue;
+    storage::Volume* svol = secondary_->GetVolume(pair->config_.secondary);
+    if (svol == nullptr) continue;
+    bool sorted_ok = group->config.enable_sorted_apply && recs.size() > 1;
+    if (sorted_ok) {
+      // Scan order is sequence order, so the stable sort keeps same-LBA
+      // records in write order — but any overlap (folding only removes
+      // *fully* covered records, partial overlaps survive) makes
+      // reordering unsafe; that volume falls back to sequence order.
+      std::stable_sort(recs.begin(), recs.end(),
+                       [](const journal::JournalRecord* a,
+                          const journal::JournalRecord* b) {
+                         return a->lba < b->lba;
+                       });
+      for (size_t i = 0; i + 1 < recs.size(); ++i) {
+        if (recs[i]->lba + recs[i]->block_count > recs[i + 1]->lba) {
+          sorted_ok = false;
+          break;
+        }
+      }
+      if (!sorted_ok) {
+        std::sort(recs.begin(), recs.end(),
+                  [](const journal::JournalRecord* a,
+                     const journal::JournalRecord* b) {
+                    return a->sequence < b->sequence;
+                  });
+      }
+    }
+    if (sorted_ok) {
+      std::vector<block::BlockRun> runs;
+      runs.reserve(recs.size());
+      for (const journal::JournalRecord* rec : recs) {
+        runs.push_back(block::BlockRun{rec->lba, rec->block_count,
+                                       rec->data()});
+      }
+      Status ws = svol->WriteRun(runs.data(), runs.size());
+      if (!ws.ok()) ZB_LOG(Warning) << "journal apply failed: " << ws;
+    } else {
+      for (const journal::JournalRecord* rec : recs) {
+        Status ws = svol->Write(rec->lba, rec->block_count, rec->data());
+        if (!ws.ok()) ZB_LOG(Warning) << "journal apply failed: " << ws;
+      }
+    }
   }
 }
 
@@ -731,9 +916,62 @@ void ReplicationEngine::StartInitialCopy(Pair* pair, Group* group) {
     // block dirty; a later resync performs the initial copy.
     pair->state_ = PairState::kSuspended;
     for (uint64_t lba = 0; lba < pvol->block_count(); ++lba) {
-      if (pvol->store().IsAllocated(lba)) pair->dirty_.insert(lba);
+      if (pvol->store().IsAllocated(lba)) pair->dirty_.Set(lba);
     }
   }
+}
+
+void ReplicationEngine::ProtectInflightResync(Group* group) {
+  auto extents = group->inflight_resync;
+  if (extents == nullptr || extents->empty()) return;
+  // Extents are ordered by pair (capture iterates group->pairs) and by
+  // ascending LBA within a pair, so each pair owns one contiguous,
+  // sorted subrange — which the hook binary-searches per write.
+  size_t i = 0;
+  while (i < extents->size()) {
+    const PairId pid = (*extents)[i].pair;
+    size_t j = i;
+    bool any_view = false;
+    while (j < extents->size() && (*extents)[j].pair == pid) {
+      if ((*extents)[j].view.data() != nullptr) any_view = true;
+      ++j;
+    }
+    Pair* pair = FindPair(pid);
+    storage::Volume* pvol =
+        pair == nullptr ? nullptr : primary_->GetVolume(pair->config_.primary);
+    if (any_view && pvol != nullptr) {
+      const size_t lo = i;
+      const size_t hi = j;
+      // The lambda keeps the extents alive on its own; it never touches
+      // engine state, so a hook outliving the engine stays safe.
+      const uint64_t token = pvol->AddPreOverwriteHook(
+          [extents, lo, hi](block::Lba lba, std::string_view /*old*/) {
+            auto begin = extents->begin() + static_cast<ptrdiff_t>(lo);
+            auto end = extents->begin() + static_cast<ptrdiff_t>(hi);
+            auto it = std::upper_bound(
+                begin, end, lba,
+                [](block::Lba l, const ResyncExtent& e) { return l < e.lba; });
+            if (it == begin) return;
+            --it;
+            if (it->view.data() == nullptr) return;  // Already owned.
+            if (lba >= it->lba + it->count) return;  // In a gap.
+            // Hooks run before the store write lands, so the view still
+            // shows the captured image: materialize it now.
+            it->data.assign(it->view.data(), it->view.size());
+            it->view = {};
+          });
+      group->resync_cow_hooks.emplace_back(pair->config_.primary, token);
+    }
+    i = j;
+  }
+}
+
+void ReplicationEngine::UnprotectInflightResync(Group* group) {
+  for (const auto& [vid, token] : group->resync_cow_hooks) {
+    storage::Volume* vol = primary_->GetVolume(vid);
+    if (vol != nullptr) vol->RemovePreOverwriteHook(token);
+  }
+  group->resync_cow_hooks.clear();
 }
 
 void ReplicationEngine::MarkGroupSuspended(Group* group) {
@@ -743,9 +981,10 @@ void ReplicationEngine::MarkGroupSuspended(Group* group) {
   // bitmaps and invalidate its delivery/deadline by bumping the epoch.
   ++group->resync_epoch;
   if (group->inflight_resync != nullptr) {
-    for (const ResyncBlock& blk : *group->inflight_resync) {
-      Pair* pair = FindPair(blk.pair);
-      if (pair != nullptr) pair->dirty_.insert(blk.lba);
+    UnprotectInflightResync(group);
+    for (const ResyncExtent& ext : *group->inflight_resync) {
+      Pair* pair = FindPair(ext.pair);
+      if (pair != nullptr) pair->dirty_.SetRange(ext.lba, ext.count);
     }
     group->inflight_resync.reset();
   }
@@ -763,9 +1002,9 @@ void ReplicationEngine::MarkGroupSuspended(Group* group) {
       if (pit == group->by_primary.end()) continue;
       Pair* pair = FindPair(pit->second);
       if (pair == nullptr) continue;
-      for (uint32_t i = 0; i < rec->block_count; ++i) {
-        pair->dirty_.insert(rec->lba + i);
-      }
+      // Headers suffice here: even a folded (tombstoned) record still
+      // names the blocks that must be re-shipped.
+      pair->dirty_.SetRange(rec->lba, rec->block_count);
     }
     (void)jnl->TrimThrough(jnl->written());
     jnl->MarkShipped(jnl->written());
@@ -779,7 +1018,7 @@ void ReplicationEngine::MarkGroupSuspended(Group* group) {
       storage::Volume* pvol = primary_->GetVolume(pair->config_.primary);
       if (pvol != nullptr) {
         for (uint64_t lba = 0; lba < pvol->block_count(); ++lba) {
-          if (pvol->store().IsAllocated(lba)) pair->dirty_.insert(lba);
+          if (pvol->store().IsAllocated(lba)) pair->dirty_.Set(lba);
         }
       }
     }
@@ -831,22 +1070,43 @@ Status ReplicationEngine::ResyncGroup(GroupId id) {
   }
   CancelResyncRetry(group);
 
-  // Capture the dirty-block contents now; journaling resumes immediately,
-  // and the FIFO link guarantees the resync batch applies first. The
-  // bitmaps are NOT cleared here: the clear is deferred to delivery, so a
-  // failed send — or a batch lost in flight — loses no part of the delta.
-  auto blocks = std::make_shared<std::vector<ResyncBlock>>();
+  // Capture the dirty contents now; journaling resumes immediately, and
+  // the FIFO link guarantees the resync batch applies first. The bitmaps
+  // are NOT cleared here: the clear is deferred to delivery, so a failed
+  // send — or a batch lost in flight — loses no part of the delta. The
+  // bitmap walk is in ascending LBA order, so the batch is canonical
+  // (deterministic across runs) and adjacent dirty blocks merge into one
+  // multi-block extent each.
+  auto extents = std::make_shared<std::vector<ResyncExtent>>();
   uint64_t bytes = 0;
+  uint64_t total_blocks = 0;
+  const uint64_t max_len = group->config.enable_extent_resync
+                               ? group->config.resync_max_extent_blocks
+                               : 1;
   for (PairId pid : group->pairs) {
     Pair* pair = FindPair(pid);
     if (pair == nullptr || pair->state_ == PairState::kSwapped) continue;
     storage::Volume* pvol = primary_->GetVolume(pair->config_.primary);
     if (pvol == nullptr) continue;
-    for (uint64_t lba : pair->dirty_) {
-      blocks->push_back(
-          ResyncBlock{pid, lba, pvol->store().ReadBlock(lba)});
-      bytes += pvol->block_size() + journal::JournalRecord::kHeaderSize;
-    }
+    pair->dirty_.ForEachRun(
+        [&](DirtyBitmap::Run run) {
+          ResyncExtent ext;
+          ext.pair = pid;
+          ext.lba = run.lba;
+          ext.count = static_cast<uint32_t>(run.count);
+          // Zero-copy capture: borrow a view of the slab when the run
+          // sits inside one chunk; the pre-overwrite hooks registered on
+          // send materialize the extent if the host writes into it while
+          // the batch is on the wire. Runs crossing a chunk copy.
+          ext.view = pvol->store().TryReadView(run.lba, ext.count);
+          if (ext.view.data() == nullptr) {
+            ZB_CHECK(pvol->store().Read(run.lba, ext.count, &ext.data).ok());
+          }
+          bytes += ext.payload().size() + journal::JournalRecord::kHeaderSize;
+          total_blocks += run.count;
+          extents->push_back(std::move(ext));
+        },
+        max_len);
   }
 
   auto* pj = primary_->GetJournal(group->primary_journal);
@@ -857,23 +1117,24 @@ Status ReplicationEngine::ResyncGroup(GroupId id) {
   const GroupId group_id = id;
   Status sent = to_secondary_->SendOnChannel(
       group_id, std::max<uint64_t>(bytes, kAckMessageBytes),
-      [this, group_id, blocks, resume_seq, resync_id] {
+      [this, group_id, extents, resume_seq, resync_id] {
         Group* g = FindGroup(group_id);
         if (g == nullptr || g->failed_over) return;
         // A newer suspension or resync superseded this batch; its blocks
         // were already put back into the dirty bitmaps.
         if (g->resync_epoch != resync_id) return;
+        UnprotectInflightResync(g);
         g->inflight_resync.reset();
-        for (const auto& blk : *blocks) {
-          Pair* pair = FindPair(blk.pair);
+        for (const auto& ext : *extents) {
+          Pair* pair = FindPair(ext.pair);
           if (pair == nullptr) continue;
-          // Only the captured LBAs are cleared; blocks dirtied after the
-          // capture stay dirty for the next round.
-          pair->dirty_.erase(blk.lba);
+          // Only the captured extents are cleared; blocks dirtied after
+          // the capture stay dirty for the next round.
+          pair->dirty_.ClearRange(ext.lba, ext.count);
           storage::Volume* svol =
               secondary_->GetVolume(pair->config_.secondary);
           if (svol == nullptr) continue;
-          Status ws = svol->Write(blk.lba, 1, blk.data);
+          Status ws = svol->Write(ext.lba, ext.count, ext.payload());
           if (!ws.ok()) ZB_LOG(Warning) << "resync apply failed: " << ws;
         }
         auto* sj = secondary_->GetJournal(g->secondary_journal);
@@ -895,7 +1156,10 @@ Status ReplicationEngine::ResyncGroup(GroupId id) {
     return sent;
   }
   group->suspended = false;
-  group->inflight_resync = blocks;
+  group->inflight_resync = extents;
+  ProtectInflightResync(group);
+  group->resync_extents += extents->size();
+  group->resync_blocks += total_blocks;
   // The resync batch itself can be dropped by a partition; watch for it.
   ArmResyncDeadline(group, resync_id);
   return OkStatus();
@@ -913,25 +1177,32 @@ Status ReplicationEngine::ResyncSyncPair(PairId id) {
   storage::Volume* pvol = primary_->GetVolume(pair->config_.primary);
   if (pvol == nullptr) return NotFoundError("P-VOL vanished");
 
-  // Deferred clear, as in ResyncGroup: the dirty set survives a failed or
-  // lost send; delivery erases exactly the captured LBAs.
-  auto blocks = std::make_shared<std::vector<ResyncBlock>>();
+  // Deferred clear, as in ResyncGroup: the dirty bitmap survives a failed
+  // or lost send; delivery clears exactly the captured extents.
+  auto extents = std::make_shared<std::vector<ResyncExtent>>();
   uint64_t bytes = 0;
-  for (uint64_t lba : pair->dirty_) {
-    blocks->push_back(ResyncBlock{id, lba, pvol->store().ReadBlock(lba)});
-    bytes += pvol->block_size() + journal::JournalRecord::kHeaderSize;
-  }
+  pair->dirty_.ForEachRun(
+      [&](DirtyBitmap::Run run) {
+        ResyncExtent ext;
+        ext.pair = id;
+        ext.lba = run.lba;
+        ext.count = static_cast<uint32_t>(run.count);
+        ZB_CHECK(pvol->store().Read(run.lba, ext.count, &ext.data).ok());
+        bytes += ext.data.size() + journal::JournalRecord::kHeaderSize;
+        extents->push_back(std::move(ext));
+      },
+      kSyncResyncMaxExtentBlocks);
   const PairId pair_id = id;
   Status sent = to_secondary_->SendOnChannel(
       SyncChannel(pair_id), std::max<uint64_t>(bytes, kAckMessageBytes),
-      [this, pair_id, blocks] {
+      [this, pair_id, extents] {
         Pair* p = FindPair(pair_id);
         if (p == nullptr || p->state_ == PairState::kSwapped) return;
         storage::Volume* svol = secondary_->GetVolume(p->config_.secondary);
-        for (const auto& blk : *blocks) {
-          p->dirty_.erase(blk.lba);
+        for (const auto& ext : *extents) {
+          p->dirty_.ClearRange(ext.lba, ext.count);
           if (svol == nullptr) continue;
-          Status ws = svol->Write(blk.lba, 1, blk.data);
+          Status ws = svol->Write(ext.lba, ext.count, ext.data);
           if (!ws.ok()) ZB_LOG(Warning) << "resync apply failed: " << ws;
         }
         // Writes intercepted while the batch was in flight stay dirty; the
@@ -958,6 +1229,7 @@ StatusOr<FailoverReport> ReplicationEngine::FailoverGroup(GroupId id) {
   // about to be promoted).
   CancelResyncRetry(group);
   ++group->resync_epoch;
+  UnprotectInflightResync(group);
   group->inflight_resync.reset();
   group->suspend_reason = SuspendReason::kNone;
 
@@ -989,8 +1261,8 @@ StatusOr<FailoverReport> ReplicationEngine::FailoverGroup(GroupId id) {
                                 std::move(tracker));
     }
     pair->state_ = PairState::kSwapped;
-    pair->dirty_.clear();
-    pair->reverse_dirty_.clear();
+    pair->dirty_.ClearAll();
+    pair->reverse_dirty_.ClearAll();
   }
   return report;
 }
@@ -1018,39 +1290,39 @@ StatusOr<FailbackReport> ReplicationEngine::FailbackGroup(GroupId id,
       if (!force) {
         return FailedPreconditionError(
             "pair " + pair->config_.name + " diverged on the main site (" +
-            std::to_string(pair->dirty_.size()) +
+            std::to_string(pair->dirty_.count()) +
             " blocks); quiesce and retry with force to let the backup "
             "side win");
       }
-      report.conflicts_overwritten += pair->dirty_.size();
+      report.conflicts_overwritten += pair->dirty_.count();
     }
   }
 
   // Capture the giveback delta NOW: all blocks the backup business wrote,
   // plus (under force) the main-side diverged blocks, at their current
-  // backup-site content.
-  struct GivebackBlock {
-    PairId pair;
-    uint64_t lba;
-    std::string data;
-  };
-  auto blocks = std::make_shared<std::vector<GivebackBlock>>();
+  // backup-site content, merged into sorted extents.
+  auto extents = std::make_shared<std::vector<ResyncExtent>>();
   uint64_t bytes = 0;
   for (PairId pid : group->pairs) {
     Pair* pair = FindPair(pid);
     if (pair == nullptr) continue;
     storage::Volume* svol = secondary_->GetVolume(pair->config_.secondary);
     if (svol == nullptr) continue;
-    std::unordered_set<uint64_t> to_ship = pair->reverse_dirty_;
-    if (force) {
-      to_ship.insert(pair->dirty_.begin(), pair->dirty_.end());
-    }
-    for (uint64_t lba : to_ship) {
-      blocks->push_back(GivebackBlock{pid, lba, svol->store().ReadBlock(lba)});
-      bytes += svol->block_size() + journal::JournalRecord::kHeaderSize;
-    }
+    DirtyBitmap to_ship = pair->reverse_dirty_;
+    if (force) to_ship.UnionWith(pair->dirty_);
+    to_ship.ForEachRun(
+        [&](DirtyBitmap::Run run) {
+          ResyncExtent ext;
+          ext.pair = pid;
+          ext.lba = run.lba;
+          ext.count = static_cast<uint32_t>(run.count);
+          ZB_CHECK(svol->store().Read(run.lba, ext.count, &ext.data).ok());
+          bytes += ext.data.size() + journal::JournalRecord::kHeaderSize;
+          report.blocks_shipped += run.count;
+          extents->push_back(std::move(ext));
+        },
+        kSyncResyncMaxExtentBlocks);
   }
-  report.blocks_shipped = blocks->size();
 
   // Resume the forward direction immediately: re-protect the S-VOLs,
   // clear the dirty state, reset both journals (a fresh sequence space)
@@ -1069,8 +1341,8 @@ StatusOr<FailbackReport> ReplicationEngine::FailbackGroup(GroupId id,
       secondary_guards_.emplace(pair->config_.secondary, std::move(guard));
     }
     pair->state_ = PairState::kPaired;
-    pair->dirty_.clear();
-    pair->reverse_dirty_.clear();
+    pair->dirty_.ClearAll();
+    pair->reverse_dirty_.ClearAll();
   }
   auto* pj = primary_->GetJournal(group->primary_journal);
   auto* sj = secondary_->GetJournal(group->secondary_journal);
@@ -1089,24 +1361,38 @@ StatusOr<FailbackReport> ReplicationEngine::FailbackGroup(GroupId id,
   const GroupId group_id = id;
   Status sent = to_primary_->SendOnChannel(
       group_id, std::max<uint64_t>(bytes, kAckMessageBytes),
-      [this, group_id, blocks] {
+      [this, group_id, extents] {
         Group* g = FindGroup(group_id);
         if (g == nullptr) return;
-        for (const auto& blk : *blocks) {
-          Pair* pair = FindPair(blk.pair);
+        for (const auto& ext : *extents) {
+          Pair* pair = FindPair(ext.pair);
           if (pair == nullptr) continue;
-          // A block the main site rewrote after failback started is newer
-          // than the giveback copy: skip it (it is journaled forward).
-          if (pair->dirty_.contains(blk.lba)) continue;
           storage::Volume* pvol = primary_->GetVolume(pair->config_.primary);
           if (pvol == nullptr) continue;
-          Status ws = pvol->Write(blk.lba, 1, blk.data);
-          if (!ws.ok()) ZB_LOG(Warning) << "failback apply failed: " << ws;
+          const uint32_t bs = pvol->block_size();
+          // A block the main site rewrote after failback started is newer
+          // than the giveback copy: skip it (it is journaled forward).
+          // Surviving blocks are applied as contiguous sub-runs.
+          uint32_t i = 0;
+          while (i < ext.count) {
+            if (pair->dirty_.Test(ext.lba + i)) {
+              ++i;
+              continue;
+            }
+            uint32_t j = i + 1;
+            while (j < ext.count && !pair->dirty_.Test(ext.lba + j)) ++j;
+            const std::string_view slice(
+                ext.data.data() + static_cast<size_t>(i) * bs,
+                static_cast<size_t>(j - i) * bs);
+            Status ws = pvol->Write(ext.lba + i, j - i, slice);
+            if (!ws.ok()) ZB_LOG(Warning) << "failback apply failed: " << ws;
+            i = j;
+          }
         }
         g->giveback_in_flight = false;
         for (PairId pid : g->pairs) {
           Pair* pair = FindPair(pid);
-          if (pair != nullptr) pair->dirty_.clear();
+          if (pair != nullptr) pair->dirty_.ClearAll();
         }
       });
   if (!sent.ok()) {

@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -13,6 +14,7 @@
 #include "common/status.h"
 #include "common/time.h"
 #include "journal/journal.h"
+#include "replication/dirty_bitmap.h"
 #include "sim/environment.h"
 #include "sim/network.h"
 #include "storage/array.h"
@@ -58,8 +60,41 @@ struct ConsistencyGroupConfig {
   uint64_t journal_capacity_bytes = 256ull << 20;  // 256 MiB.
   // How often the transfer engine wakes up to ship journal batches.
   SimDuration transfer_interval = Milliseconds(2);
-  // Maximum bytes shipped per wakeup.
+
+  // --- Transfer pipeline (batch sizing + coalescing) ------------------------
+  // Every batch-sizing knob lives here and is normalized by Normalized()
+  // when the group is created, so a sweep value of zero (or inverted
+  // min/max bounds) can never wedge the engine: a batch always has room
+  // for at least one record.
+  //
+  // Bytes shipped per wakeup. Under adaptive batching this is only the
+  // starting point; the engine moves within [min, max].
   uint64_t transfer_batch_bytes = 4ull << 20;  // 4 MiB.
+  // Scale the batch size: up (x2) while the journal backlog builds, down
+  // (/2) when the link backlog grows past a few transfer intervals. Keeps
+  // the drain rate >= the ingest rate without tripping ack deadlines.
+  bool enable_adaptive_batching = true;
+  uint64_t transfer_batch_min_bytes = 64ull << 10;  // 64 KiB.
+  uint64_t transfer_batch_max_bytes = 16ull << 20;  // 16 MiB.
+  // Fold duplicate (volume, block) overwrites inside a shipped batch down
+  // to the newest payload: superseded records ship as header-only
+  // tombstones, their payload bytes are freed from the primary journal,
+  // and the batch applies atomically so every recovery point is still a
+  // write-order prefix.
+  bool enable_write_folding = true;
+  // Within an atomically-applied batch, group records by volume and apply
+  // them in LBA order through the WriteRun API (sequential store access).
+  bool enable_sorted_apply = true;
+  // Ship resync deltas as sorted extent runs (adjacent dirty blocks merged
+  // into one multi-block record) instead of single blocks.
+  bool enable_extent_resync = true;
+  // Longest extent (in blocks) a single resync record may carry.
+  uint32_t resync_max_extent_blocks = 256;
+
+  // Returns a copy with the batch-sizing knobs forced into a sane shape:
+  // min >= one default-sized record, max >= min, batch clamped into
+  // [min, max], extent length >= 1.
+  ConsistencyGroupConfig Normalized() const;
 
   // --- Failure detection and recovery ---------------------------------------
   // Grace period, measured from a shipped batch's latest possible arrival,
@@ -102,6 +137,16 @@ struct GroupStats {
   // Age of the newest applied record relative to the newest written one
   // (an RPO estimate while the system is healthy).
   SimDuration apply_lag = 0;
+  // --- Transfer-pipeline health ---
+  // Records tombstoned by write-folding and the payload bytes that never
+  // hit the wire because of it.
+  uint64_t records_folded = 0;
+  uint64_t folded_bytes_saved = 0;
+  // Extent records shipped by resyncs and the blocks they carried.
+  uint64_t resync_extents = 0;
+  uint64_t resync_blocks = 0;
+  // Current (possibly adapted) transfer batch size.
+  uint64_t transfer_batch_bytes_now = 0;
 };
 
 // Result of a failover (disaster recovery takeover) on a group.
@@ -142,9 +187,9 @@ class Pair {
   GroupId group() const { return group_; }
   // Blocks written while suspended (or, after a failover, on the P-VOL);
   // shipped again on resync / reconciled on failback.
-  size_t dirty_blocks() const { return dirty_.size(); }
+  size_t dirty_blocks() const { return dirty_.count(); }
   // Blocks the business wrote on the S-VOL after a failover.
-  size_t reverse_dirty_blocks() const { return reverse_dirty_.size(); }
+  size_t reverse_dirty_blocks() const { return reverse_dirty_.count(); }
 
  private:
   friend class ReplicationEngine;
@@ -156,8 +201,10 @@ class Pair {
   PairConfig config_;
   GroupId group_ = 0;  // 0 for synchronous pairs.
   PairState state_ = PairState::kCopy;
-  std::unordered_set<uint64_t> dirty_;
-  std::unordered_set<uint64_t> reverse_dirty_;
+  // Hierarchical (two-level) bitmaps sized to the volume at pair creation;
+  // resync walks them as sorted extent runs instead of hash-ordered blocks.
+  DirtyBitmap dirty_;
+  DirtyBitmap reverse_dirty_;
   // Sync-mode bookkeeping: writes in flight to the remote site.
   uint64_t inflight_ = 0;
 };
@@ -250,11 +297,21 @@ class ReplicationEngine {
   friend class internal::AdcInterceptor;
   friend class internal::SyncInterceptor;
 
-  // One dirty block captured for a resync batch.
-  struct ResyncBlock {
+  // One dirty extent (a run of adjacent blocks) captured for a resync
+  // batch. With extent resync disabled every extent has count == 1.
+  // Group resyncs capture zero-copy when the run sits inside one slab
+  // chunk: `view` borrows the primary's current content, and a
+  // pre-overwrite hook materializes it into `data` the moment the host
+  // writes into the captured range while the batch is on the wire.
+  struct ResyncExtent {
     PairId pair = 0;
     uint64_t lba = 0;
+    uint32_t count = 0;
+    std::string_view view;
     std::string data;
+    std::string_view payload() const {
+      return view.data() != nullptr ? view : std::string_view(data);
+    }
   };
 
   struct Group {
@@ -282,9 +339,12 @@ class ReplicationEngine {
     // Bumped whenever a resync attempt is superseded (new suspension,
     // failover); a resync delivery from an older epoch is ignored.
     uint64_t resync_epoch = 0;
-    // The blocks of the resync batch currently on the wire; restored into
+    // The extents of the resync batch currently on the wire; restored into
     // the dirty bitmaps if the batch is declared lost.
-    std::shared_ptr<std::vector<ResyncBlock>> inflight_resync;
+    std::shared_ptr<std::vector<ResyncExtent>> inflight_resync;
+    // Pre-overwrite hooks guarding the view-captured extents of that
+    // batch: (primary volume id, hook token).
+    std::vector<std::pair<storage::VolumeId, uint64_t>> resync_cow_hooks;
     // Auto-resync backoff bookkeeping.
     SimDuration resync_backoff = 0;
     sim::EventId resync_retry_event{};
@@ -293,6 +353,15 @@ class ReplicationEngine {
     uint64_t ack_timeouts = 0;
     uint64_t resync_timeouts = 0;
     uint64_t auto_resync_attempts = 0;
+
+    // --- Transfer-pipeline state ---
+    // Current batch size; starts at config.transfer_batch_bytes and moves
+    // within [min, max] under adaptive batching.
+    uint64_t batch_bytes_now = 0;
+    uint64_t records_folded = 0;
+    uint64_t folded_bytes_saved = 0;
+    uint64_t resync_extents = 0;
+    uint64_t resync_blocks = 0;
   };
 
   // Write-path handlers, called by the interceptors.
@@ -307,11 +376,23 @@ class ReplicationEngine {
   void PumpGroup(Group* group);
   // Applies contiguous received records to the S-VOLs.
   void ApplyPending(Group* group);
+  // Applies one atomic batch [first, last] from the secondary journal to
+  // the S-VOLs: grouped by volume and sorted by LBA when safe, in
+  // sequence order otherwise.
+  void ApplyBatch(Group* group, journal::SequenceNumber first,
+                  journal::SequenceNumber last);
+  // Adjusts group->batch_bytes_now from journal backlog and link backlog.
+  void AdaptBatchSize(Group* group, journal::JournalVolume* jnl);
   // Sends the applied watermark back to trim the primary journal.
   void SendApplyAck(Group* group, journal::SequenceNumber seq);
 
   void StartInitialCopy(Pair* pair, Group* group);
   void MarkGroupSuspended(Group* group);
+  // Copy-on-write protection for a resync batch on the wire: registers
+  // (removes) pre-overwrite hooks that materialize view-captured extents
+  // just before the host overwrites the captured range.
+  void ProtectInflightResync(Group* group);
+  void UnprotectInflightResync(Group* group);
 
   // Failure detection: schedules a check that the batch ending at `expect`
   // is acked within ack_timeout of its latest possible arrival.
@@ -352,6 +433,8 @@ class ReplicationEngine {
   uint64_t records_applied_ = 0;
 
   static constexpr uint64_t kAckMessageBytes = 64;
+  // Extent cap for standalone sync-pair resyncs (groups use their config).
+  static constexpr uint64_t kSyncResyncMaxExtentBlocks = 256;
 
   // Channel scheme on the inter-site links: a consistency group's traffic
   // uses channel == its group id (one ordered stream per group — the

@@ -17,6 +17,22 @@ Status Volume::Read(block::Lba lba, uint32_t count, std::string* out) {
 
 Status Volume::Write(block::Lba lba, uint32_t count, std::string_view data) {
   ZB_RETURN_IF_ERROR(store_.CheckRange(lba, count));
+  return WriteChecked(lba, count, data);
+}
+
+Status Volume::WriteRun(const block::BlockRun* runs, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    ZB_RETURN_IF_ERROR(store_.CheckRange(runs[i].lba, runs[i].count));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    ZB_RETURN_IF_ERROR(
+        WriteChecked(runs[i].lba, runs[i].count, runs[i].data));
+  }
+  return OkStatus();
+}
+
+Status Volume::WriteChecked(block::Lba lba, uint32_t count,
+                            std::string_view data) {
   // Thin provisioning: physical blocks are consumed on first write; a
   // full pool rejects the write before anything changes.
   if (pool_ != nullptr) {

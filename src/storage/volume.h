@@ -48,6 +48,12 @@ class Volume : public block::BlockDevice {
   Status Write(block::Lba lba, uint32_t count,
                std::string_view data) override;
 
+  // Applies a sorted multi-extent run in one call (the replication apply
+  // path). Every extent is range-validated before any is applied; pool
+  // accounting and pre-overwrite hooks fire exactly as they would for
+  // per-extent Write calls.
+  Status WriteRun(const block::BlockRun* runs, size_t n) override;
+
   // Registers a pre-overwrite hook; returns a token for removal.
   uint64_t AddPreOverwriteHook(PreOverwriteHook hook);
   void RemovePreOverwriteHook(uint64_t token);
@@ -62,6 +68,9 @@ class Volume : public block::BlockDevice {
   }
 
  private:
+  // Pool accounting + hooks + store write, after range validation.
+  Status WriteChecked(block::Lba lba, uint32_t count, std::string_view data);
+
   VolumeId id_;
   std::string name_;
   block::MemVolume store_;

@@ -57,7 +57,10 @@ struct WriteEvent {
 
 class ChaosRun {
  public:
-  explicit ChaosRun(uint64_t seed)
+  // `coalesce` toggles the whole transfer-pipeline optimization bundle
+  // (write-folding, sorted apply, extent resync, adaptive batching): the
+  // prefix invariant must hold identically with it on and off.
+  explicit ChaosRun(uint64_t seed, bool coalesce = true)
       : main_(&env_, ZeroLatency("MAIN")),
         backup_(&env_, ZeroLatency("BKUP")),
         to_backup_(&env_, ChaosLink(seed * 31 + 1), "fwd"),
@@ -72,6 +75,10 @@ class ChaosRun {
     cfg.ack_timeout = Milliseconds(10);
     cfg.resync_backoff_initial = Milliseconds(2);
     cfg.resync_backoff_max = Milliseconds(20);
+    cfg.enable_write_folding = coalesce;
+    cfg.enable_sorted_apply = coalesce;
+    cfg.enable_extent_resync = coalesce;
+    cfg.enable_adaptive_batching = coalesce;
     auto g = engine_.CreateConsistencyGroup(cfg);
     EXPECT_TRUE(g.ok());
     group_ = *g;
@@ -285,8 +292,8 @@ struct ScenarioResult {
   std::vector<uint64_t> fingerprint;
 };
 
-ScenarioResult RunScenario(uint64_t seed) {
-  ChaosRun run(seed);
+ScenarioResult RunScenario(uint64_t seed, bool coalesce = true) {
+  ChaosRun run(seed, coalesce);
   ScenarioResult result;
 
   // Phase 1: sustained chaos, then heal and demand full auto-recovery.
@@ -308,27 +315,32 @@ ScenarioResult RunScenario(uint64_t seed) {
 }
 
 TEST(ChaosTest, BackupIsWriteOrderPrefixAcrossSeeds) {
-  uint64_t total_overflows = 0;
-  uint64_t total_faults = 0;
-  for (uint64_t seed : {11, 12, 13, 14, 15, 16, 17, 18}) {
-    ScenarioResult r = RunScenario(seed);
-    total_overflows += r.overflows;
-    total_faults += r.faults;
+  for (bool coalesce : {true, false}) {
+    uint64_t total_overflows = 0;
+    uint64_t total_faults = 0;
+    for (uint64_t seed : {11, 12, 13, 14, 15, 16, 17, 18}) {
+      ScenarioResult r = RunScenario(seed, coalesce);
+      total_overflows += r.overflows;
+      total_faults += r.faults;
+    }
+    // The drill must actually have exercised the failure paths: injected
+    // faults fired and at least one journal overflow occurred somewhere.
+    EXPECT_GT(total_faults, 0u) << "coalesce=" << coalesce;
+    EXPECT_GE(total_overflows, 1u)
+        << "coalesce=" << coalesce
+        << ": no seed overflowed the journal; shrink it or lengthen outages";
   }
-  // The drill must actually have exercised the failure paths: injected
-  // faults fired and at least one journal overflow occurred somewhere.
-  EXPECT_GT(total_faults, 0u);
-  EXPECT_GE(total_overflows, 1u)
-      << "no seed overflowed the journal; shrink it or lengthen outages";
 }
 
 TEST(ChaosTest, ScenarioIsDeterministic) {
-  ScenarioResult a = RunScenario(13);
-  ScenarioResult b = RunScenario(13);
-  EXPECT_EQ(a.recovery_point, b.recovery_point);
-  EXPECT_EQ(a.fingerprint, b.fingerprint);
-  EXPECT_EQ(a.overflows, b.overflows);
-  EXPECT_EQ(a.faults, b.faults);
+  for (bool coalesce : {true, false}) {
+    ScenarioResult a = RunScenario(13, coalesce);
+    ScenarioResult b = RunScenario(13, coalesce);
+    EXPECT_EQ(a.recovery_point, b.recovery_point) << coalesce;
+    EXPECT_EQ(a.fingerprint, b.fingerprint) << coalesce;
+    EXPECT_EQ(a.overflows, b.overflows) << coalesce;
+    EXPECT_EQ(a.faults, b.faults) << coalesce;
+  }
 }
 
 // The same chaos drill through the database layer: two MiniDb volumes in

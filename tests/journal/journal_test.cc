@@ -164,5 +164,47 @@ TEST(JournalTest, PeakUsageIsSticky) {
   EXPECT_EQ(j.peak_used_bytes(), peak);
 }
 
+TEST(JournalTest, FoldPayloadFreesBytesAndMarksTombstone) {
+  JournalVolume j(1 << 20);
+  ASSERT_TRUE(j.Append(Rec(1, 0, 100)).ok());
+  ASSERT_TRUE(j.Append(Rec(1, 0, 100)).ok());
+  const uint64_t before = j.used_bytes();
+  EXPECT_EQ(j.FoldPayload(1), 100u);
+  EXPECT_EQ(j.used_bytes(), before - 100);
+  const JournalRecord* rec = j.Find(1);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_TRUE(rec->folded);
+  EXPECT_TRUE(rec->payload.empty());
+  EXPECT_EQ(rec->EncodedSize(), JournalRecord::kHeaderSize);
+  // The sequence space stays dense: the tombstone still occupies seq 1.
+  EXPECT_EQ(j.record_count(), 2u);
+  EXPECT_EQ(j.folded_records(), 1u);
+  EXPECT_EQ(j.folded_bytes(), 100u);
+}
+
+TEST(JournalTest, FoldPayloadIsIdempotentAndRangeChecked) {
+  JournalVolume j(1 << 20);
+  ASSERT_TRUE(j.Append(Rec(1, 0, 100)).ok());
+  EXPECT_EQ(j.FoldPayload(1), 100u);
+  EXPECT_EQ(j.FoldPayload(1), 0u);  // Already folded.
+  EXPECT_EQ(j.FoldPayload(0), 0u);  // kNoSequence.
+  EXPECT_EQ(j.FoldPayload(7), 0u);  // Never written.
+  ASSERT_TRUE(j.TrimThrough(1).ok());
+  EXPECT_EQ(j.FoldPayload(1), 0u);  // Trimmed away.
+  EXPECT_EQ(j.folded_records(), 1u);
+}
+
+TEST(JournalTest, FoldedCapacityIsReusable) {
+  // Two 1000-byte payloads fill the journal; folding one must make room
+  // for the next append.
+  JournalVolume j(2 * (JournalRecord::kHeaderSize + 1000));
+  ASSERT_TRUE(j.Append(Rec(1, 0, 1000)).ok());
+  ASSERT_TRUE(j.Append(Rec(1, 0, 1000)).ok());
+  EXPECT_FALSE(j.Append(Rec(1, 0, 1000)).ok());
+  EXPECT_EQ(j.FoldPayload(1), 1000u);
+  // 1000 bytes freed: a header + 900-byte record now fits.
+  EXPECT_TRUE(j.Append(Rec(1, 0, 900)).ok());
+}
+
 }  // namespace
 }  // namespace zerobak::journal

@@ -1,0 +1,145 @@
+// Unit tests for the two-level hierarchical dirty bitmap that backs pair
+// dirty tracking and extent resync.
+#include "replication/dirty_bitmap.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace zerobak::replication {
+namespace {
+
+TEST(DirtyBitmapTest, SetClearTestAndCount) {
+  DirtyBitmap bm(256);
+  EXPECT_TRUE(bm.empty());
+  EXPECT_EQ(bm.block_count(), 256u);
+
+  EXPECT_TRUE(bm.Set(7));
+  EXPECT_FALSE(bm.Set(7));  // Already dirty.
+  EXPECT_TRUE(bm.Test(7));
+  EXPECT_FALSE(bm.Test(8));
+  EXPECT_EQ(bm.count(), 1u);
+
+  EXPECT_TRUE(bm.Clear(7));
+  EXPECT_FALSE(bm.Clear(7));  // Already clean.
+  EXPECT_FALSE(bm.Test(7));
+  EXPECT_TRUE(bm.empty());
+}
+
+TEST(DirtyBitmapTest, TestAndClearOutOfRangeAreSafe) {
+  DirtyBitmap bm(64);
+  EXPECT_FALSE(bm.Test(64));
+  EXPECT_FALSE(bm.Test(1 << 20));
+  EXPECT_FALSE(bm.Clear(64));
+}
+
+TEST(DirtyBitmapTest, NextDirtyCrossesLeafAndSummaryBoundaries) {
+  // 3 summary words' worth of blocks: a leaf word covers 64 blocks, a
+  // summary word covers 64 leaf words = 4096 blocks.
+  DirtyBitmap bm(3 * 4096);
+  ASSERT_TRUE(bm.Set(0));
+  ASSERT_TRUE(bm.Set(63));     // Same leaf word.
+  ASSERT_TRUE(bm.Set(64));     // Next leaf word.
+  ASSERT_TRUE(bm.Set(4095));   // Last block of summary word 0.
+  ASSERT_TRUE(bm.Set(4096));   // First block of summary word 1.
+  ASSERT_TRUE(bm.Set(10000));  // Deep inside summary word 2.
+
+  EXPECT_EQ(bm.NextDirty(0), 0u);
+  EXPECT_EQ(bm.NextDirty(1), 63u);
+  EXPECT_EQ(bm.NextDirty(64), 64u);
+  EXPECT_EQ(bm.NextDirty(65), 4095u);
+  EXPECT_EQ(bm.NextDirty(4096), 4096u);
+  EXPECT_EQ(bm.NextDirty(4097), 10000u);
+  EXPECT_EQ(bm.NextDirty(10001), DirtyBitmap::kNone);
+  EXPECT_EQ(bm.NextDirty(3 * 4096), DirtyBitmap::kNone);
+  EXPECT_EQ(bm.count(), 6u);
+}
+
+TEST(DirtyBitmapTest, RangesAndRunMerging) {
+  DirtyBitmap bm(8192);
+  bm.SetRange(10, 5);      // [10, 15)
+  bm.SetRange(15, 3);      // Adjacent: extends to [10, 18)
+  bm.SetRange(100, 200);   // [100, 300) — crosses leaf words.
+  bm.Set(4095);
+  bm.Set(4096);            // Run across a summary boundary.
+
+  std::vector<DirtyBitmap::Run> runs;
+  bm.ForEachRun([&](DirtyBitmap::Run run) { runs.push_back(run); });
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0].lba, 10u);
+  EXPECT_EQ(runs[0].count, 8u);
+  EXPECT_EQ(runs[1].lba, 100u);
+  EXPECT_EQ(runs[1].count, 200u);
+  EXPECT_EQ(runs[2].lba, 4095u);
+  EXPECT_EQ(runs[2].count, 2u);
+  EXPECT_EQ(bm.count(), 8u + 200u + 2u);
+
+  bm.ClearRange(100, 200);
+  runs.clear();
+  bm.ForEachRun([&](DirtyBitmap::Run run) { runs.push_back(run); });
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[1].lba, 4095u);
+}
+
+TEST(DirtyBitmapTest, ForEachRunSplitsAtMaxLen) {
+  DirtyBitmap bm(1024);
+  bm.SetRange(0, 300);
+  std::vector<DirtyBitmap::Run> runs;
+  bm.ForEachRun([&](DirtyBitmap::Run run) { runs.push_back(run); },
+                /*max_len=*/128);
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0].lba, 0u);
+  EXPECT_EQ(runs[0].count, 128u);
+  EXPECT_EQ(runs[1].lba, 128u);
+  EXPECT_EQ(runs[1].count, 128u);
+  EXPECT_EQ(runs[2].lba, 256u);
+  EXPECT_EQ(runs[2].count, 44u);
+}
+
+TEST(DirtyBitmapTest, FullBitmapIsOneRun) {
+  DirtyBitmap bm(4160);  // Not a multiple of 4096: ragged tail.
+  bm.SetRange(0, 4160);
+  EXPECT_EQ(bm.count(), 4160u);
+  std::vector<DirtyBitmap::Run> runs;
+  bm.ForEachRun([&](DirtyBitmap::Run run) { runs.push_back(run); });
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].lba, 0u);
+  EXPECT_EQ(runs[0].count, 4160u);
+}
+
+TEST(DirtyBitmapTest, ClearAllKeepsGeometry) {
+  DirtyBitmap bm(512);
+  bm.SetRange(0, 512);
+  bm.ClearAll();
+  EXPECT_TRUE(bm.empty());
+  EXPECT_EQ(bm.block_count(), 512u);
+  EXPECT_EQ(bm.NextDirty(0), DirtyBitmap::kNone);
+  EXPECT_TRUE(bm.Set(31));  // Still usable after the wipe.
+}
+
+TEST(DirtyBitmapTest, UnionWithRecountsOverlap) {
+  DirtyBitmap a(256);
+  DirtyBitmap b(256);
+  a.SetRange(0, 10);
+  b.SetRange(5, 10);  // Overlaps [5, 10).
+  b.Set(200);
+  a.UnionWith(b);
+  EXPECT_EQ(a.count(), 16u);  // [0, 15) plus 200 — overlap not double-counted.
+  EXPECT_TRUE(a.Test(0));
+  EXPECT_TRUE(a.Test(14));
+  EXPECT_FALSE(a.Test(15));
+  EXPECT_TRUE(a.Test(200));
+}
+
+TEST(DirtyBitmapTest, ResetResizesAndClears) {
+  DirtyBitmap bm(64);
+  bm.SetRange(0, 64);
+  bm.Reset(8192);
+  EXPECT_TRUE(bm.empty());
+  EXPECT_EQ(bm.block_count(), 8192u);
+  EXPECT_TRUE(bm.Set(8191));
+  EXPECT_EQ(bm.NextDirty(0), 8191u);
+}
+
+}  // namespace
+}  // namespace zerobak::replication
