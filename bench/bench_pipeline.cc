@@ -1,10 +1,11 @@
-// E10 — Coalescing transfer pipeline (DESIGN.md section 3c): measures what
-// the folding/extent machinery actually buys on the wire and in CPU.
+// E10/E11 — Transfer pipeline benches: what the coalescing machinery
+// (DESIGN.md section 3c) and the wire format (section 3d) actually buy on
+// the wire and in CPU.
 //
 //   E10a Skewed-overwrite workload (hot 10% of blocks takes 90% of the
-//        writes): bytes shipped, fold ratio, steady-state journal depth
-//        and apply throughput with write-folding on vs off, at the same
-//        host write rate.
+//        writes): bytes shipped (journal-logical and framed wire), fold
+//        ratio, steady-state journal depth and apply throughput with
+//        write-folding on vs off, at the same host write rate.
 //   E10b Resync of a 25%-dirty volume: extent-merged transfer vs the
 //        per-block transfer the old unordered-set engine performed (one
 //        record, one heap string and one secondary write per block, in
@@ -21,12 +22,21 @@
 //        on top. Reported in host CPU time — the simulated wire carries
 //        almost the same bytes either way.
 //
+//   E11  Wire-format shipping under a bandwidth-constrained (100 Mbit/s)
+//        inter-site link, driven by real database workloads (the
+//        e-commerce order flow and the KV mix) whose WAL pages are what
+//        the compressor actually sees. Reports logical vs framed wire
+//        bytes, compression ratio, applies/s and the apply-lag RPO
+//        estimate for the compression x write-folding ablation.
+//
 // Writes the results as JSON (default BENCH_pipeline.json; --out PATH to
 // override). --quick shrinks volumes and durations for the ctest smoke
-// run; the committed JSON comes from the full run via
-// scripts/run_benches.sh.
+// run; --wire-only runs just E11 (the bench_wire_smoke ctest entry); the
+// committed JSON comes from the full run via scripts/run_benches.sh.
+#include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -34,6 +44,7 @@
 #include "bench/bench_util.h"
 #include "common/rng.h"
 #include "replication/replication.h"
+#include "workload/kv_workload.h"
 
 namespace zerobak::bench {
 namespace {
@@ -77,7 +88,8 @@ Rig MakeRig(double bandwidth_bytes_per_sec) {
 // ---- E10a: write-folding under skewed overwrites -----------------------------
 
 struct FoldResult {
-  uint64_t shipped_bytes = 0;       // Wire bytes during the measure window.
+  uint64_t logical_bytes = 0;       // Journal bytes the frames represent.
+  uint64_t wire_bytes = 0;          // Framed (compressed) bytes on the link.
   uint64_t host_bytes = 0;          // Payload bytes the host wrote.
   uint64_t records_folded = 0;
   uint64_t folded_bytes_saved = 0;
@@ -130,6 +142,7 @@ FoldResult RunFoldScenario(bool folding, bool quick) {
 
   FoldResult res;
   const uint64_t wire_before = rig.fwd->bytes_sent();
+  const uint64_t logical_before = rig.fwd->logical_bytes_sent();
   auto before = rig.engine->GetGroupStats(*group);
   ZB_CHECK(before.ok());
   const SimTime t0 = rig.env->now();
@@ -150,7 +163,8 @@ FoldResult RunFoldScenario(bool folding, bool quick) {
   }
   auto after = rig.engine->GetGroupStats(*group);
   ZB_CHECK(after.ok());
-  res.shipped_bytes = rig.fwd->bytes_sent() - wire_before;
+  res.wire_bytes = rig.fwd->bytes_sent() - wire_before;
+  res.logical_bytes = rig.fwd->logical_bytes_sent() - logical_before;
   res.records_folded = after->records_folded - before->records_folded;
   res.folded_bytes_saved =
       after->folded_bytes_saved - before->folded_bytes_saved;
@@ -323,119 +337,310 @@ ResyncResult RunLegacyResyncBaseline(bool quick) {
   return res;
 }
 
+// ---- E11: wire compression under a bandwidth-constrained link ---------------
+
+struct WireRunResult {
+  uint64_t logical_bytes = 0;   // Journal bytes represented by the frames.
+  uint64_t wire_bytes = 0;      // Framed bytes actually on the link.
+  double ratio = 0;             // logical / wire.
+  double applies_per_sec = 0;   // Records applied per sim-second.
+  double mean_lag_ms = 0;       // Apply lag (RPO estimate), sampled per ms.
+  double max_lag_ms = 0;
+  uint64_t txns = 0;            // Workload transactions in the window.
+};
+
+// One cell of the E11 ablation.
+struct WireCell {
+  const char* workload;  // "ecommerce" or "kv".
+  bool compress;
+  bool folding;
+  WireRunResult r;
+};
+
+// Replicates one (ecommerce) or two (kv uses one) MiniDb volumes over a
+// 100 Mbit/s link and drives real transactions against them, so the bytes
+// on the wire are genuine WAL and checkpoint pages, not synthetic fill.
+WireRunResult RunWireScenario(bool ecommerce, bool compress, bool folding,
+                              bool quick) {
+  Rig rig = MakeRig(1.25e7);  // 100 Mbit/s: the constrained inter-site WAN.
+  constexpr uint64_t kDbBlocks = 4096;  // 16 MiB per database volume.
+  auto p1 = rig.main->CreateVolume("p1", kDbBlocks);
+  auto s1 = rig.backup->CreateVolume("s1", kDbBlocks);
+  auto p2 = rig.main->CreateVolume("p2", kDbBlocks);
+  auto s2 = rig.backup->CreateVolume("s2", kDbBlocks);
+  ZB_CHECK(p1.ok() && s1.ok() && p2.ok() && s2.ok());
+  replication::ConsistencyGroupConfig cg;
+  cg.name = "wire";
+  cg.transfer_interval = Milliseconds(8);
+  cg.journal_capacity_bytes = 64ull << 20;
+  cg.compress_transfers = compress;
+  cg.enable_write_folding = folding;
+  auto group = rig.engine->CreateConsistencyGroup(cg);
+  ZB_CHECK(group.ok());
+  auto add_pair = [&](const char* name, storage::VolumeId pv,
+                      storage::VolumeId sv) {
+    replication::PairConfig pc;
+    pc.name = name;
+    pc.primary = pv;
+    pc.secondary = sv;
+    pc.mode = replication::ReplicationMode::kAsynchronous;
+    ZB_CHECK(rig.engine->CreateAsyncPair(pc, *group).ok());
+  };
+  add_pair("pair1", *p1, *s1);
+  add_pair("pair2", *p2, *s2);
+  rig.env->RunFor(Milliseconds(20));
+
+  storage::ArrayVolumeDevice dev1(rig.main.get(), *p1);
+  storage::ArrayVolumeDevice dev2(rig.main.get(), *p2);
+  ZB_CHECK(db::MiniDb::Format(&dev1, BenchDbOptions()).ok());
+  auto db1 = std::move(db::MiniDb::Open(&dev1, BenchDbOptions())).value();
+  std::unique_ptr<db::MiniDb> db2;
+  std::unique_ptr<workload::EcommerceApp> app;
+  std::unique_ptr<workload::KvWorkload> kv;
+  if (ecommerce) {
+    ZB_CHECK(db::MiniDb::Format(&dev2, BenchDbOptions()).ok());
+    db2 = std::move(db::MiniDb::Open(&dev2, BenchDbOptions())).value();
+    app = std::make_unique<workload::EcommerceApp>(db1.get(), db2.get());
+    ZB_CHECK(app->InitializeCatalog().ok());
+  } else {
+    workload::KvWorkloadConfig kcfg;
+    kcfg.record_count = quick ? 200 : 1000;
+    kcfg.zipf_theta = 0.9;
+    kv = std::make_unique<workload::KvWorkload>(db1.get(), kcfg);
+    ZB_CHECK(kv->Load().ok());
+  }
+
+  constexpr double kTxnRate = 2000.0;  // Transactions per sim-second.
+  const auto period = static_cast<SimDuration>(kSecond / kTxnRate);
+  const SimDuration warmup = quick ? Milliseconds(40) : Milliseconds(200);
+  const SimDuration measure = quick ? Milliseconds(120) : Milliseconds(600);
+  auto step = [&] {
+    if (ecommerce) {
+      ZB_CHECK(app->PlaceOrder().ok());
+    } else {
+      ZB_CHECK(kv->Run(1).ok());
+    }
+    rig.env->RunFor(period);
+  };
+
+  const SimTime warm_until = rig.env->now() + warmup;
+  while (rig.env->now() < warm_until) step();
+
+  WireRunResult res;
+  auto before = rig.engine->GetGroupStats(*group);
+  ZB_CHECK(before.ok());
+  const SimTime t0 = rig.env->now();
+  const SimTime until = rig.env->now() + measure;
+  SimTime next_sample = rig.env->now();
+  uint64_t samples = 0;
+  while (rig.env->now() < until) {
+    step();
+    ++res.txns;
+    if (rig.env->now() >= next_sample) {
+      auto stats = rig.engine->GetGroupStats(*group);
+      ZB_CHECK(stats.ok());
+      const double lag_ms = double(stats->apply_lag) / double(kMillisecond);
+      res.mean_lag_ms += lag_ms;
+      res.max_lag_ms = std::max(res.max_lag_ms, lag_ms);
+      ++samples;
+      next_sample += Milliseconds(1);
+    }
+  }
+  auto after = rig.engine->GetGroupStats(*group);
+  ZB_CHECK(after.ok());
+  ZB_CHECK(after->checksum_rejects == 0);  // Clean link: no CRC rejects.
+  res.logical_bytes =
+      after->logical_bytes_shipped - before->logical_bytes_shipped;
+  res.wire_bytes = after->wire_bytes_shipped - before->wire_bytes_shipped;
+  res.ratio = res.wire_bytes > 0
+                  ? double(res.logical_bytes) / double(res.wire_bytes)
+                  : 1.0;
+  if (samples > 0) res.mean_lag_ms /= double(samples);
+  res.applies_per_sec = double(after->applied - before->applied) /
+                        (double(rig.env->now() - t0) / double(kSecond));
+  return res;
+}
+
+std::vector<WireCell> RunWireAblation(bool quick) {
+  std::vector<WireCell> cells;
+  // Full compression x folding grid on the e-commerce order flow, plus
+  // the compression toggle on the KV mix (folding on, its default).
+  for (const bool compress : {true, false}) {
+    for (const bool folding : {true, false}) {
+      cells.push_back(WireCell{"ecommerce", compress, folding,
+                               RunWireScenario(true, compress, folding,
+                                               quick)});
+    }
+  }
+  for (const bool compress : {true, false}) {
+    cells.push_back(WireCell{
+        "kv", compress, true, RunWireScenario(false, compress, true, quick)});
+  }
+  return cells;
+}
+
 // ---- JSON + table output ----------------------------------------------------
 
-void WriteJson(const std::string& path, bool quick, const FoldResult& on,
-               const FoldResult& off, const ResyncResult& ext,
-               const ResyncResult& blk, const ResyncResult& legacy) {
+void WriteJson(const std::string& path, bool quick, bool wire_only,
+               const FoldResult& on, const FoldResult& off,
+               const ResyncResult& ext, const ResyncResult& blk,
+               const ResyncResult& legacy,
+               const std::vector<WireCell>& wire) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   ZB_CHECK(f != nullptr);
-  const double fold_reduction =
-      on.shipped_bytes > 0 ? double(off.shipped_bytes) / double(on.shipped_bytes)
-                           : 0;
-  const double depth_ratio =
-      on.mean_journal_depth > 0
-          ? off.mean_journal_depth / on.mean_journal_depth
-          : 0;
-  const double resync_speedup =
-      ext.host_seconds > 0 ? legacy.host_seconds / ext.host_seconds : 0;
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"bench\": \"bench_pipeline\",\n");
   std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
-  std::fprintf(f, "  \"fold\": {\n");
-  auto fold_obj = [&](const char* key, const FoldResult& r,
-                      const char* tail) {
-    std::fprintf(f,
-                 "    \"%s\": {\"shipped_bytes\": %llu, \"host_bytes\": "
-                 "%llu, \"records_folded\": %llu, \"folded_bytes_saved\": "
-                 "%llu, \"mean_journal_depth_bytes\": %.0f, "
-                 "\"apply_records_per_sec\": %.0f}%s\n",
-                 key, (unsigned long long)r.shipped_bytes,
-                 (unsigned long long)r.host_bytes,
-                 (unsigned long long)r.records_folded,
-                 (unsigned long long)r.folded_bytes_saved,
-                 r.mean_journal_depth, r.apply_throughput, tail);
-  };
-  fold_obj("folding_on", on, ",");
-  fold_obj("folding_off", off, ",");
-  std::fprintf(f, "    \"shipped_bytes_reduction\": %.3f,\n",
-               fold_reduction);
-  std::fprintf(f, "    \"journal_depth_ratio\": %.3f\n", depth_ratio);
-  std::fprintf(f, "  },\n");
-  std::fprintf(f, "  \"resync\": {\n");
-  std::fprintf(f, "    \"sector_bytes\": %u,\n", kSectorBytes);
-  auto resync_obj = [&](const char* key, const ResyncResult& r,
+  if (!wire_only) {
+    const double fold_reduction =
+        on.logical_bytes > 0
+            ? double(off.logical_bytes) / double(on.logical_bytes)
+            : 0;
+    const double depth_ratio =
+        on.mean_journal_depth > 0
+            ? off.mean_journal_depth / on.mean_journal_depth
+            : 0;
+    const double resync_speedup =
+        ext.host_seconds > 0 ? legacy.host_seconds / ext.host_seconds : 0;
+    std::fprintf(f, "  \"fold\": {\n");
+    auto fold_obj = [&](const char* key, const FoldResult& r,
                         const char* tail) {
+      std::fprintf(f,
+                   "    \"%s\": {\"logical_bytes\": %llu, \"wire_bytes\": "
+                   "%llu, \"host_bytes\": %llu, \"records_folded\": %llu, "
+                   "\"folded_bytes_saved\": %llu, "
+                   "\"mean_journal_depth_bytes\": %.0f, "
+                   "\"apply_records_per_sec\": %.0f}%s\n",
+                   key, (unsigned long long)r.logical_bytes,
+                   (unsigned long long)r.wire_bytes,
+                   (unsigned long long)r.host_bytes,
+                   (unsigned long long)r.records_folded,
+                   (unsigned long long)r.folded_bytes_saved,
+                   r.mean_journal_depth, r.apply_throughput, tail);
+    };
+    fold_obj("folding_on", on, ",");
+    fold_obj("folding_off", off, ",");
+    std::fprintf(f, "    \"logical_bytes_reduction\": %.3f,\n",
+                 fold_reduction);
+    std::fprintf(f, "    \"journal_depth_ratio\": %.3f\n", depth_ratio);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"resync\": {\n");
+    std::fprintf(f, "    \"sector_bytes\": %u,\n", kSectorBytes);
+    auto resync_obj = [&](const char* key, const ResyncResult& r,
+                          const char* tail) {
+      std::fprintf(f,
+                   "    \"%s\": {\"host_seconds\": %.6f, \"sim_seconds\": "
+                   "%.6f, \"wire_bytes\": %llu, \"extents\": %llu, "
+                   "\"blocks\": %llu}%s\n",
+                   key, r.host_seconds, r.sim_seconds,
+                   (unsigned long long)r.wire_bytes,
+                   (unsigned long long)r.extents,
+                   (unsigned long long)r.blocks, tail);
+    };
+    resync_obj("extent", ext, ",");
+    resync_obj("per_block", blk, ",");
+    resync_obj("legacy_unordered_set", legacy, ",");
+    std::fprintf(f, "    \"host_time_speedup_vs_legacy\": %.3f\n",
+                 resync_speedup);
+    std::fprintf(f, "  },\n");
+  }
+  std::fprintf(f, "  \"wire\": [\n");
+  for (size_t i = 0; i < wire.size(); ++i) {
+    const WireCell& c = wire[i];
     std::fprintf(f,
-                 "    \"%s\": {\"host_seconds\": %.6f, \"sim_seconds\": "
-                 "%.6f, \"wire_bytes\": %llu, \"extents\": %llu, "
-                 "\"blocks\": %llu}%s\n",
-                 key, r.host_seconds, r.sim_seconds,
-                 (unsigned long long)r.wire_bytes,
-                 (unsigned long long)r.extents,
-                 (unsigned long long)r.blocks, tail);
-  };
-  resync_obj("extent", ext, ",");
-  resync_obj("per_block", blk, ",");
-  resync_obj("legacy_unordered_set", legacy, ",");
-  std::fprintf(f, "    \"host_time_speedup_vs_legacy\": %.3f\n",
-               resync_speedup);
-  std::fprintf(f, "  }\n");
+                 "    {\"workload\": \"%s\", \"compress\": %s, "
+                 "\"folding\": %s, \"logical_bytes\": %llu, "
+                 "\"wire_bytes\": %llu, \"compression_ratio\": %.3f, "
+                 "\"applies_per_sec\": %.0f, \"mean_apply_lag_ms\": %.3f, "
+                 "\"max_apply_lag_ms\": %.3f, \"txns\": %llu}%s\n",
+                 c.workload, c.compress ? "true" : "false",
+                 c.folding ? "true" : "false",
+                 (unsigned long long)c.r.logical_bytes,
+                 (unsigned long long)c.r.wire_bytes, c.r.ratio,
+                 c.r.applies_per_sec, c.r.mean_lag_ms, c.r.max_lag_ms,
+                 (unsigned long long)c.r.txns,
+                 i + 1 < wire.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
 }
 
-int Run(bool quick, const std::string& out_path) {
-  PrintTitle("E10a: write-folding on the hot-10% overwrite workload "
-             "(20k writes/s, 16 ms cycle, 1 Gbit/s link)");
-  PrintLine("%12s %14s %14s %14s %14s %16s", "folding", "host_MB",
-            "shipped_MB", "folded_recs", "depth_KB", "applied_per_s");
+int Run(bool quick, bool wire_only, const std::string& out_path) {
+  FoldResult on, off;
+  ResyncResult ext, blk, legacy;
+  if (!wire_only) {
+    PrintTitle("E10a: write-folding on the hot-10% overwrite workload "
+               "(20k writes/s, 16 ms cycle, 1 Gbit/s link)");
+    PrintLine("%12s %12s %12s %12s %12s %12s %16s", "folding", "host_MB",
+              "logical_MB", "wire_MB", "folded_recs", "depth_KB",
+              "applied_per_s");
+    PrintRule();
+    on = RunFoldScenario(true, quick);
+    off = RunFoldScenario(false, quick);
+    for (const auto& [label, r] :
+         {std::pair<const char*, const FoldResult&>{"on", on},
+          {"off", off}}) {
+      PrintLine("%12s %12.1f %12.1f %12.1f %12llu %12.0f %16.0f", label,
+                double(r.host_bytes) / 1e6, double(r.logical_bytes) / 1e6,
+                double(r.wire_bytes) / 1e6,
+                (unsigned long long)r.records_folded,
+                r.mean_journal_depth / 1024.0, r.apply_throughput);
+    }
+    PrintRule();
+    const double fold_reduction =
+        on.logical_bytes > 0
+            ? double(off.logical_bytes) / double(on.logical_bytes)
+            : 0;
+    const double depth_ratio =
+        on.mean_journal_depth > 0
+            ? off.mean_journal_depth / on.mean_journal_depth
+            : 0;
+    PrintLine("logical-bytes reduction: %.2fx   journal-depth ratio: %.2fx",
+              fold_reduction, depth_ratio);
+
+    PrintTitle("E10b: 25%-dirty 1 GiB volume resync (512 B sectors) — "
+               "merged extents vs the per-block transfer of the "
+               "unordered-set engine");
+    PrintLine("%12s %14s %14s %14s %14s", "mode", "host_ms", "sim_ms",
+              "extents", "wire_MB");
+    PrintRule();
+    ext = RunResyncScenario(true, quick);
+    blk = RunResyncScenario(false, quick);
+    legacy = RunLegacyResyncBaseline(quick);
+    for (const auto& [label, r] :
+         {std::pair<const char*, const ResyncResult&>{"extent", ext},
+          {"per_block", blk},
+          {"legacy_set", legacy}}) {
+      PrintLine("%12s %14.2f %14.2f %14llu %14.1f", label,
+                r.host_seconds * 1e3, r.sim_seconds * 1e3,
+                (unsigned long long)r.extents, double(r.wire_bytes) / 1e6);
+    }
+    PrintRule();
+    const double resync_speedup =
+        ext.host_seconds > 0 ? legacy.host_seconds / ext.host_seconds : 0;
+    PrintLine("resync host-time speedup vs unordered-set engine: %.2fx",
+              resync_speedup);
+  }
+
+  PrintTitle("E11: wire-format shipping on a 100 Mbit/s link — "
+             "compression x write-folding over real DB workloads "
+             "(2k txn/s)");
+  PrintLine("%12s %10s %10s %12s %12s %8s %14s %12s %12s", "workload",
+            "compress", "folding", "logical_MB", "wire_MB", "ratio",
+            "applies_per_s", "lag_ms_avg", "lag_ms_max");
   PrintRule();
-  FoldResult on = RunFoldScenario(true, quick);
-  FoldResult off = RunFoldScenario(false, quick);
-  for (const auto& [label, r] :
-       {std::pair<const char*, const FoldResult&>{"on", on},
-        {"off", off}}) {
-    PrintLine("%12s %14.1f %14.1f %14llu %14.0f %16.0f", label,
-              double(r.host_bytes) / 1e6, double(r.shipped_bytes) / 1e6,
-              (unsigned long long)r.records_folded,
-              r.mean_journal_depth / 1024.0, r.apply_throughput);
+  std::vector<WireCell> wire = RunWireAblation(quick);
+  for (const WireCell& c : wire) {
+    PrintLine("%12s %10s %10s %12.2f %12.2f %8.2f %14.0f %12.2f %12.2f",
+              c.workload, c.compress ? "on" : "off",
+              c.folding ? "on" : "off", double(c.r.logical_bytes) / 1e6,
+              double(c.r.wire_bytes) / 1e6, c.r.ratio, c.r.applies_per_sec,
+              c.r.mean_lag_ms, c.r.max_lag_ms);
   }
   PrintRule();
-  const double fold_reduction =
-      on.shipped_bytes > 0 ? double(off.shipped_bytes) / double(on.shipped_bytes)
-                           : 0;
-  const double depth_ratio =
-      on.mean_journal_depth > 0
-          ? off.mean_journal_depth / on.mean_journal_depth
-          : 0;
-  PrintLine("shipped-bytes reduction: %.2fx   journal-depth ratio: %.2fx",
-            fold_reduction, depth_ratio);
 
-  PrintTitle("E10b: 25%-dirty 1 GiB volume resync (512 B sectors) — "
-             "merged extents vs the per-block transfer of the "
-             "unordered-set engine");
-  PrintLine("%12s %14s %14s %14s %14s", "mode", "host_ms", "sim_ms",
-            "extents", "wire_MB");
-  PrintRule();
-  ResyncResult ext = RunResyncScenario(true, quick);
-  ResyncResult blk = RunResyncScenario(false, quick);
-  ResyncResult legacy = RunLegacyResyncBaseline(quick);
-  for (const auto& [label, r] :
-       {std::pair<const char*, const ResyncResult&>{"extent", ext},
-        {"per_block", blk},
-        {"legacy_set", legacy}}) {
-    PrintLine("%12s %14.2f %14.2f %14llu %14.1f", label,
-              r.host_seconds * 1e3, r.sim_seconds * 1e3,
-              (unsigned long long)r.extents, double(r.wire_bytes) / 1e6);
-  }
-  PrintRule();
-  const double resync_speedup =
-      ext.host_seconds > 0 ? legacy.host_seconds / ext.host_seconds : 0;
-  PrintLine("resync host-time speedup vs unordered-set engine: %.2fx",
-            resync_speedup);
-
-  WriteJson(out_path, quick, on, off, ext, blk, legacy);
+  WriteJson(out_path, quick, wire_only, on, off, ext, blk, legacy, wire);
   PrintLine("wrote %s", out_path.c_str());
   return 0;
 }
@@ -446,13 +651,16 @@ int Run(bool quick, const std::string& out_path) {
 int main(int argc, char** argv) {
   zerobak::SetLogLevel(zerobak::LogLevel::kError);
   bool quick = false;
+  bool wire_only = false;
   std::string out_path = "BENCH_pipeline.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--wire-only") == 0) {
+      wire_only = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     }
   }
-  return zerobak::bench::Run(quick, out_path);
+  return zerobak::bench::Run(quick, wire_only, out_path);
 }

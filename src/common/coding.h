@@ -54,6 +54,54 @@ inline bool GetFixed64(std::string_view* in, uint64_t* v) {
   return true;
 }
 
+// LEB128 varints, used where values are usually small (wire-format record
+// headers, compressed-block sizes). 7 bits per byte, high bit = continue.
+
+inline void PutVarint64(std::string* dst, uint64_t v) {
+  char buf[10];
+  int n = 0;
+  while (v >= 0x80) {
+    buf[n++] = static_cast<char>(v | 0x80);
+    v >>= 7;
+  }
+  buf[n++] = static_cast<char>(v);
+  dst->append(buf, n);
+}
+
+inline void PutVarint32(std::string* dst, uint32_t v) {
+  PutVarint64(dst, v);
+}
+
+inline bool GetVarint64(std::string_view* in, uint64_t* v) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63 && !in->empty(); shift += 7) {
+    const uint8_t byte = static_cast<uint8_t>(in->front());
+    in->remove_prefix(1);
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return true;
+    }
+  }
+  return false;  // Underflow or more than 10 continuation bytes.
+}
+
+inline bool GetVarint32(std::string_view* in, uint32_t* v) {
+  uint64_t wide;
+  if (!GetVarint64(in, &wide) || wide > UINT32_MAX) return false;
+  *v = static_cast<uint32_t>(wide);
+  return true;
+}
+
+inline int VarintLength(uint64_t v) {
+  int n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
 // Length-prefixed string: fixed32 length followed by the bytes.
 inline void PutLengthPrefixed(std::string* dst, std::string_view value) {
   PutFixed32(dst, static_cast<uint32_t>(value.size()));

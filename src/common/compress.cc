@@ -1,0 +1,226 @@
+#include "common/compress.h"
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace zerobak {
+namespace {
+
+constexpr uint8_t kMethodStored = 0;
+constexpr uint8_t kMethodLz = 1;
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxOffset = 65535;
+// Below this there is nothing worth matching; store verbatim.
+constexpr size_t kMinLzInput = 16;
+// Decoder refuses raw sizes beyond this, so corrupt headers cannot ask
+// for arbitrarily large allocations. Far above any transfer batch.
+constexpr size_t kMaxRawSize = size_t{1} << 30;
+
+constexpr int kHashBits = 13;
+constexpr size_t kHashSize = size_t{1} << kHashBits;
+
+inline uint32_t Load32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline uint32_t Hash(uint32_t v) {
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+// Emits a nibble-with-extensions length as in LZ4: `nibble` already holds
+// min(len, 15); the remainder follows as 0xff runs plus a final byte.
+void PutLengthExtension(std::string* out, size_t len) {
+  if (len < 15) return;
+  size_t rest = len - 15;
+  while (rest >= 255) {
+    out->push_back(static_cast<char>(0xff));
+    rest -= 255;
+  }
+  out->push_back(static_cast<char>(rest));
+}
+
+// Reads the extension of a length nibble. Returns false on truncation.
+bool GetLengthExtension(std::string_view* in, size_t nibble, size_t* len) {
+  *len = nibble;
+  if (nibble < 15) return true;
+  while (true) {
+    if (in->empty()) return false;
+    const uint8_t byte = static_cast<uint8_t>(in->front());
+    in->remove_prefix(1);
+    *len += byte;
+    if (*len > kMaxRawSize) return false;  // Corrupt run of 0xff bytes.
+    if (byte != 0xff) return true;
+  }
+}
+
+void EmitSequence(std::string* out, const char* lit, size_t lit_len,
+                  size_t match_len, size_t offset) {
+  const size_t lit_nibble = lit_len < 15 ? lit_len : 15;
+  const size_t match_code = match_len == 0 ? 0 : match_len - kMinMatch;
+  const size_t match_nibble = match_code < 15 ? match_code : 15;
+  out->push_back(static_cast<char>((lit_nibble << 4) | match_nibble));
+  PutLengthExtension(out, lit_len);
+  out->append(lit, lit_len);
+  if (match_len == 0) return;  // Final literals-only sequence.
+  out->push_back(static_cast<char>(offset & 0xff));
+  out->push_back(static_cast<char>(offset >> 8));
+  PutLengthExtension(out, match_code);
+}
+
+// Greedy LZ pass. Appends sequences to `*out` and returns true, or
+// returns false (leaving `*out` untouched) when the input is too small
+// to bother.
+bool CompressLz(std::string_view input, std::string* out) {
+  const size_t n = input.size();
+  if (n < kMinLzInput) return false;
+  const char* base = input.data();
+
+  uint32_t table[kHashSize];
+  std::memset(table, 0xff, sizeof(table));  // 0xffffffff = empty slot.
+
+  size_t anchor = 0;
+  size_t i = 0;
+  // Leave room so Load32 and match extension never read past the end.
+  const size_t limit = n - kMinMatch;
+  while (i <= limit) {
+    const uint32_t v = Load32(base + i);
+    const uint32_t h = Hash(v);
+    const uint32_t cand = table[h];
+    table[h] = static_cast<uint32_t>(i);
+    if (cand == 0xffffffffu || i - cand > kMaxOffset ||
+        Load32(base + cand) != v) {
+      ++i;
+      continue;
+    }
+    // Extend the match forwards.
+    size_t len = kMinMatch;
+    while (i + len < n && base[cand + len] == base[i + len]) ++len;
+    EmitSequence(out, base + anchor, i - anchor, len, i - cand);
+    i += len;
+    anchor = i;
+  }
+  if (anchor < n) {
+    EmitSequence(out, base + anchor, n - anchor, 0, 0);
+  }
+  return true;
+}
+
+}  // namespace
+
+void Compress(std::string_view input, std::string* out) {
+  const size_t header_at = out->size();
+  out->push_back(static_cast<char>(kMethodLz));
+  PutVarint64(out, input.size());
+  const size_t body_at = out->size();
+  if (!CompressLz(input, out) ||
+      out->size() - body_at >= input.size()) {
+    // Incompressible (or too small): rewrite as a stored frame.
+    out->resize(header_at);
+    out->push_back(static_cast<char>(kMethodStored));
+    PutVarint64(out, input.size());
+    out->append(input.data(), input.size());
+  }
+}
+
+Status Decompress(std::string_view input, std::string* out) {
+  if (input.empty()) return DataLossError("compress: empty frame");
+  const uint8_t method = static_cast<uint8_t>(input.front());
+  input.remove_prefix(1);
+  uint64_t raw_size = 0;
+  if (!GetVarint64(&input, &raw_size)) {
+    return DataLossError("compress: truncated frame header");
+  }
+  if (raw_size > kMaxRawSize) {
+    return DataLossError("compress: implausible raw size");
+  }
+
+  if (method == kMethodStored) {
+    if (input.size() != raw_size) {
+      return DataLossError("compress: stored frame length mismatch");
+    }
+    out->append(input.data(), input.size());
+    return OkStatus();
+  }
+  if (method != kMethodLz) {
+    return DataLossError("compress: unknown method byte");
+  }
+
+  const size_t out_base = out->size();
+  out->reserve(out_base + raw_size);
+  size_t produced = 0;
+  while (!input.empty()) {
+    const uint8_t token = static_cast<uint8_t>(input.front());
+    input.remove_prefix(1);
+
+    size_t lit_len = 0;
+    if (!GetLengthExtension(&input, token >> 4, &lit_len)) {
+      return DataLossError("compress: truncated literal length");
+    }
+    if (lit_len > input.size()) {
+      return DataLossError("compress: literal run past end of frame");
+    }
+    if (produced + lit_len > raw_size) {
+      return DataLossError("compress: output overruns raw size");
+    }
+    out->append(input.data(), lit_len);
+    input.remove_prefix(lit_len);
+    produced += lit_len;
+
+    if (input.empty()) break;  // Final literals-only sequence.
+
+    if (input.size() < 2) {
+      return DataLossError("compress: truncated match offset");
+    }
+    const size_t offset = static_cast<uint8_t>(input[0]) |
+                          (static_cast<size_t>(static_cast<uint8_t>(input[1]))
+                           << 8);
+    input.remove_prefix(2);
+    if (offset == 0 || offset > produced) {
+      return DataLossError("compress: match offset out of range");
+    }
+
+    size_t match_code = 0;
+    if (!GetLengthExtension(&input, token & 0x0f, &match_code)) {
+      return DataLossError("compress: truncated match length");
+    }
+    const size_t match_len = match_code + kMinMatch;
+    if (produced + match_len > raw_size) {
+      return DataLossError("compress: match overruns raw size");
+    }
+    // Byte-wise copy: matches may overlap their own output (RLE-style).
+    for (size_t k = 0; k < match_len; ++k) {
+      out->push_back((*out)[out_base + produced - offset + k]);
+    }
+    produced += match_len;
+  }
+
+  if (produced != raw_size) {
+    out->resize(out_base);
+    return DataLossError("compress: frame shorter than raw size");
+  }
+  return OkStatus();
+}
+
+StatusOr<size_t> DecompressedSize(std::string_view input) {
+  if (input.empty()) return DataLossError("compress: empty frame");
+  const uint8_t method = static_cast<uint8_t>(input.front());
+  if (method != kMethodStored && method != kMethodLz) {
+    return DataLossError("compress: unknown method byte");
+  }
+  input.remove_prefix(1);
+  uint64_t raw_size = 0;
+  if (!GetVarint64(&input, &raw_size)) {
+    return DataLossError("compress: truncated frame header");
+  }
+  if (raw_size > kMaxRawSize) {
+    return DataLossError("compress: implausible raw size");
+  }
+  return static_cast<size_t>(raw_size);
+}
+
+}  // namespace zerobak

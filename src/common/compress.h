@@ -1,0 +1,49 @@
+#ifndef ZEROBAK_COMMON_COMPRESS_H_
+#define ZEROBAK_COMMON_COMPRESS_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace zerobak {
+
+// Self-contained LZ-style block compressor used by the replication wire
+// format. Greedy 4-byte hash matching with literal runs, LZ4-like token
+// encoding, no external dependencies. Every frame starts with a method
+// byte and the varint raw size, so the decoder can validate lengths and
+// incompressible input falls back to a "stored" escape — compression
+// therefore never expands a block by more than the small frame header.
+//
+// Frame layout:
+//   [method u8]  0 = stored, 1 = LZ
+//   [varint raw_size]
+//   stored: raw_size bytes verbatim
+//   LZ:     sequences of {token, literal-length ext*, literals,
+//            offset u16le, match-length ext*}; the final sequence may be
+//            literals-only. Token = (lit_len << 4) | (match_len - 4),
+//            nibble value 15 extended with 0xff runs as in LZ4.
+
+// Upper bound on the encoded size of `n` input bytes (stored escape +
+// frame header). Callers may reserve this much before Compress.
+inline size_t CompressBound(size_t n) { return n + 16; }
+
+// Compresses `input` and appends the frame to `*out`. Never fails: when
+// the LZ encoding would not shrink the block the frame stores the input
+// verbatim.
+void Compress(std::string_view input, std::string* out);
+
+// Decompresses one frame produced by Compress, appending the raw bytes to
+// `*out`. Returns DataLoss on any malformed input — truncated frames,
+// out-of-range match offsets, length mismatches — and never reads or
+// writes out of bounds regardless of how corrupt the input is.
+Status Decompress(std::string_view input, std::string* out);
+
+// Returns the raw size recorded in a frame header without decompressing,
+// or an error if the header is malformed.
+StatusOr<size_t> DecompressedSize(std::string_view input);
+
+}  // namespace zerobak
+
+#endif  // ZEROBAK_COMMON_COMPRESS_H_

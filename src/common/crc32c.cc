@@ -1,37 +1,166 @@
 #include "common/crc32c.h"
 
 #include <array>
+#include <bit>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define ZEROBAK_CRC32C_X86 1
+#include <nmmintrin.h>
+#endif
 
 namespace zerobak {
 namespace {
 
-// Table-driven CRC-32C. The table is generated once at startup from the
-// Castagnoli polynomial (reflected form 0x82f63b78).
-struct Crc32cTable {
-  std::array<uint32_t, 256> entries;
+// Castagnoli polynomial, reflected form.
+constexpr uint32_t kPoly = 0x82f63b78u;
 
-  constexpr Crc32cTable() : entries() {
+// Slice-by-8 table set. Table 0 is the classic byte-at-a-time table;
+// table k folds a byte that sits k positions deeper in the input word, so
+// eight table lookups retire eight input bytes per iteration instead of
+// one. 8 KiB total, built at compile time.
+struct Crc32cTables {
+  std::array<std::array<uint32_t, 256>, 8> t;
+
+  constexpr Crc32cTables() : t() {
     for (uint32_t i = 0; i < 256; ++i) {
       uint32_t crc = i;
       for (int j = 0; j < 8; ++j) {
-        crc = (crc >> 1) ^ ((crc & 1u) ? 0x82f63b78u : 0u);
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
       }
-      entries[i] = crc;
+      t[0][i] = crc;
+    }
+    for (int k = 1; k < 8; ++k) {
+      for (uint32_t i = 0; i < 256; ++i) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xffu];
+      }
     }
   }
 };
 
-constexpr Crc32cTable kTable;
+constexpr Crc32cTables kTables;
+
+}  // namespace
+
+namespace internal {
+
+uint32_t Crc32cPortable(uint32_t crc, const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < n; ++i) {
+    crc = kTables.t[0][(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t Crc32cSlice8(uint32_t crc, const void* data, size_t n) {
+  // The 8-lane update below folds the running CRC into the low word of a
+  // little-endian 64-bit load; on a big-endian host fall back to the
+  // byte loop rather than byte-swapping every word.
+  if constexpr (std::endian::native != std::endian::little) {
+    return Crc32cPortable(crc, data, n);
+  }
+  const auto* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  // Align to 8 so the main loop's loads never straddle a cache line
+  // unaligned (memcpy below would still be correct either way).
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7u) != 0) {
+    crc = kTables.t[0][(crc ^ *p++) & 0xffu] ^ (crc >> 8);
+    --n;
+  }
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    word ^= crc;
+    const uint32_t lo = static_cast<uint32_t>(word);
+    const uint32_t hi = static_cast<uint32_t>(word >> 32);
+    crc = kTables.t[7][lo & 0xffu] ^ kTables.t[6][(lo >> 8) & 0xffu] ^
+          kTables.t[5][(lo >> 16) & 0xffu] ^ kTables.t[4][lo >> 24] ^
+          kTables.t[3][hi & 0xffu] ^ kTables.t[2][(hi >> 8) & 0xffu] ^
+          kTables.t[1][(hi >> 16) & 0xffu] ^ kTables.t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = kTables.t[0][(crc ^ *p++) & 0xffu] ^ (crc >> 8);
+    --n;
+  }
+  return ~crc;
+}
+
+#if defined(ZEROBAK_CRC32C_X86)
+
+bool Crc32cHardwareSupported() { return __builtin_cpu_supports("sse4.2"); }
+
+// Compiled for SSE4.2 regardless of the global -m flags; only ever called
+// after the runtime check above.
+__attribute__((target("sse4.2"))) uint32_t Crc32cHardware(uint32_t crc,
+                                                          const void* data,
+                                                          size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7u) != 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+    --n;
+  }
+#if defined(__x86_64__)
+  uint64_t crc64 = crc;
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    crc64 = _mm_crc32_u64(crc64, word);
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<uint32_t>(crc64);
+#else
+  while (n >= 4) {
+    uint32_t word;
+    std::memcpy(&word, p, 4);
+    crc = _mm_crc32_u32(crc, word);
+    p += 4;
+    n -= 4;
+  }
+#endif
+  while (n > 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+    --n;
+  }
+  return ~crc;
+}
+
+#else  // !ZEROBAK_CRC32C_X86
+
+bool Crc32cHardwareSupported() { return false; }
+
+uint32_t Crc32cHardware(uint32_t crc, const void* data, size_t n) {
+  return Crc32cSlice8(crc, data, n);
+}
+
+#endif  // ZEROBAK_CRC32C_X86
+
+const char* Crc32cImplementation() {
+  if (Crc32cHardwareSupported()) return "sse4.2";
+  return std::endian::native == std::endian::little ? "slice8" : "portable";
+}
+
+}  // namespace internal
+
+namespace {
+
+using Crc32cKernel = uint32_t (*)(uint32_t, const void*, size_t);
+
+Crc32cKernel PickKernel() {
+  if (internal::Crc32cHardwareSupported()) return &internal::Crc32cHardware;
+  return &internal::Crc32cSlice8;  // Falls through to portable on BE hosts.
+}
 
 }  // namespace
 
 uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
-  const auto* p = static_cast<const uint8_t*>(data);
-  crc = ~crc;
-  for (size_t i = 0; i < n; ++i) {
-    crc = kTable.entries[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
-  }
-  return ~crc;
+  // Resolved exactly once, thread-safely, on first use.
+  static const Crc32cKernel kernel = PickKernel();
+  return kernel(crc, data, n);
 }
 
 uint32_t Crc32cMask(uint32_t crc) {

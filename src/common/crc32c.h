@@ -7,7 +7,15 @@
 namespace zerobak {
 
 // CRC-32C (Castagnoli polynomial), the checksum used by the WAL, journal
-// records and page headers to detect torn or corrupted writes.
+// records, page headers and the replication wire format to detect torn or
+// corrupted writes.
+//
+// The implementation dispatches once, at first use, to the fastest kernel
+// the host supports: the SSE4.2 CRC32 instruction on x86-64, a slice-by-8
+// table kernel on little-endian hosts without it, and a byte-at-a-time
+// table loop everywhere else. All kernels compute the identical function;
+// tests/common/crc32c_test.cc holds them to the RFC 3720 vectors and to
+// each other.
 
 // Extends `crc` with `data[0, n)` and returns the new checksum. Start a
 // fresh computation with crc == 0.
@@ -23,6 +31,23 @@ inline uint32_t Crc32c(const void* data, size_t n) {
 // rotated and offset.
 uint32_t Crc32cMask(uint32_t crc);
 uint32_t Crc32cUnmask(uint32_t masked);
+
+namespace internal {
+
+// The individual kernels behind Crc32cExtend, exposed so the dispatch
+// test can assert they agree bit-for-bit on identical input. Each has the
+// full Crc32cExtend contract.
+uint32_t Crc32cPortable(uint32_t crc, const void* data, size_t n);
+uint32_t Crc32cSlice8(uint32_t crc, const void* data, size_t n);
+// Only callable when Crc32cHardwareSupported() returns true.
+uint32_t Crc32cHardware(uint32_t crc, const void* data, size_t n);
+bool Crc32cHardwareSupported();
+
+// Name of the kernel Crc32cExtend dispatches to on this host:
+// "sse4.2", "slice8" or "portable".
+const char* Crc32cImplementation();
+
+}  // namespace internal
 
 }  // namespace zerobak
 

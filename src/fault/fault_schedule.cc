@@ -21,6 +21,10 @@ const char* FaultKindName(FaultKind kind) {
       return "array-fail";
     case FaultKind::kArrayRepair:
       return "array-repair";
+    case FaultKind::kCorruptStart:
+      return "corrupt-start";
+    case FaultKind::kCorruptEnd:
+      return "corrupt-end";
   }
   return "unknown";
 }
@@ -41,6 +45,12 @@ void FaultSchedule::AddLink(sim::NetworkLink* link) {
 void FaultSchedule::AddArray(storage::StorageArray* array) {
   ZB_CHECK(!armed_) << "AddArray after Arm()";
   arrays_.push_back(array);
+}
+
+void FaultSchedule::AddCorruptionTarget(
+    std::function<void(double)> set_probability) {
+  ZB_CHECK(!armed_) << "AddCorruptionTarget after Arm()";
+  corruption_targets_.push_back(std::move(set_probability));
 }
 
 void FaultSchedule::GenerateLane(SimTime from, SimTime until,
@@ -88,6 +98,11 @@ void FaultSchedule::Arm() {
                  config_.max_repair, FaultKind::kArrayFail,
                  FaultKind::kArrayRepair, i, 0);
   }
+  for (size_t i = 0; i < corruption_targets_.size(); ++i) {
+    GenerateLane(from, until, config_.mean_corrupt_interval,
+                 config_.min_corrupt, config_.max_corrupt,
+                 FaultKind::kCorruptStart, FaultKind::kCorruptEnd, i, 0);
+  }
 
   std::stable_sort(events_.begin(), events_.end(),
                    [](const FaultEvent& a, const FaultEvent& b) {
@@ -122,6 +137,12 @@ void FaultSchedule::Fire(const FaultEvent& event) {
     case FaultKind::kArrayRepair:
       arrays_[event.target]->SetFailed(false);
       break;
+    case FaultKind::kCorruptStart:
+      corruption_targets_[event.target](config_.corrupt_probability);
+      break;
+    case FaultKind::kCorruptEnd:
+      corruption_targets_[event.target](0.0);
+      break;
   }
 }
 
@@ -135,6 +156,7 @@ void FaultSchedule::Heal() {
     links_[i]->SetConnected(true);
   }
   for (storage::StorageArray* array : arrays_) array->SetFailed(false);
+  for (auto& target : corruption_targets_) target(0.0);
 }
 
 }  // namespace zerobak::fault

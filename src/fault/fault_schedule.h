@@ -2,6 +2,7 @@
 #define ZEROBAK_FAULT_FAULT_SCHEDULE_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/rng.h"
@@ -20,6 +21,8 @@ enum class FaultKind {
   kLatencySpikeEnd,   // Restore the link's configured latency.
   kArrayFail,         // Crash a storage array (site disaster).
   kArrayRepair,       // Repair the array.
+  kCorruptStart,      // Start flipping bits in in-flight wire frames.
+  kCorruptEnd,        // Stop the bit flips.
 };
 
 const char* FaultKindName(FaultKind kind);
@@ -58,6 +61,14 @@ struct FaultScheduleConfig {
   SimDuration mean_crash_interval = 0;
   SimDuration min_repair = Milliseconds(20);
   SimDuration max_repair = Milliseconds(100);
+
+  // Wire-frame corruption episodes: while one is active, every registered
+  // corruption target runs at `corrupt_probability` (bit flips on
+  // in-flight batches, caught by the wire format's CRC).
+  SimDuration mean_corrupt_interval = 0;
+  double corrupt_probability = 0.2;
+  SimDuration min_corrupt = Milliseconds(2);
+  SimDuration max_corrupt = Milliseconds(20);
 };
 
 // A deterministic fault injector: from a seeded RNG it pre-generates a
@@ -81,6 +92,10 @@ class FaultSchedule {
   // Target registration; call before Arm().
   void AddLink(sim::NetworkLink* link);
   void AddArray(storage::StorageArray* array);
+  // Registers a corruption knob: called with `corrupt_probability` when a
+  // corruption episode starts and 0.0 when it ends (and on Heal). The
+  // replication engine's set_wire_corrupt_probability is the usual target.
+  void AddCorruptionTarget(std::function<void(double)> set_probability);
 
   // Generates the timeline starting at env->now() and schedules every
   // event. Call exactly once.
@@ -111,6 +126,7 @@ class FaultSchedule {
   // Configured base latency of each link at Arm() time, for restores.
   std::vector<SimDuration> link_latency_;
   std::vector<storage::StorageArray*> arrays_;
+  std::vector<std::function<void(double)>> corruption_targets_;
   std::vector<FaultEvent> events_;
   std::vector<sim::EventId> pending_;
   bool armed_ = false;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "replication/wire.h"
 
 namespace zerobak::replication {
 
@@ -38,6 +39,8 @@ const char* SuspendReasonName(SuspendReason reason) {
       return "ack-timeout";
     case SuspendReason::kResyncTimeout:
       return "resync-timeout";
+    case SuspendReason::kWireReject:
+      return "wire-reject";
   }
   return "?";
 }
@@ -250,6 +253,14 @@ StatusOr<GroupStats> ReplicationEngine::GetGroupStats(GroupId id) const {
   stats.resync_extents = group->resync_extents;
   stats.resync_blocks = group->resync_blocks;
   stats.transfer_batch_bytes_now = group->batch_bytes_now;
+  stats.wire_bytes_shipped = group->wire_bytes_shipped;
+  stats.logical_bytes_shipped = group->logical_bytes_shipped;
+  stats.compression_ratio =
+      group->wire_bytes_shipped == 0
+          ? 1.0
+          : static_cast<double>(group->logical_bytes_shipped) /
+                static_cast<double>(group->wire_bytes_shipped);
+  stats.checksum_rejects = group->checksum_rejects;
   return stats;
 }
 
@@ -572,10 +583,10 @@ void ReplicationEngine::PumpGroup(Group* group) {
     }
   }
 
-  // The batch must survive primary-journal trims while on the wire, so it
-  // copies the record headers — the payload bytes are shared, not cloned
-  // (and a tombstone carries no payload at all).
-  uint64_t bytes = 0;
+  // Build the batch to serialize: record headers are copied, payload bytes
+  // are shared views (a tombstone carries no payload at all). The encoder
+  // then folds everything into one self-contained wire frame, so the
+  // in-flight data no longer pins the primary journal's buffers.
   std::vector<journal::JournalRecord> batch;
   batch.reserve(views.size());
   std::vector<std::pair<journal::SequenceNumber, uint64_t>> folds;
@@ -588,17 +599,35 @@ void ReplicationEngine::PumpGroup(Group* group) {
       rec.payload = journal::PayloadBuffer();
       rec.folded = true;
     }
-    bytes += rec.EncodedSize();
     batch.push_back(std::move(rec));
   }
+  wire::EncodedBatch enc =
+      wire::EncodeBatch(batch, group->config.compress_transfers);
+  const uint64_t wire_bytes = enc.frame.size();
   const GroupId group_id = group->id;
+  // The link serializes the (smaller) wire frame but accounts the logical
+  // bytes too, so E10-style comparisons keep a pre-compression baseline.
   Status sent = to_secondary_->SendOnChannel(
-      group_id, bytes, [this, group_id, batch = std::move(batch)]() mutable {
+      group_id, wire_bytes, enc.logical_bytes,
+      [this, group_id, frame = std::move(enc.frame)]() mutable {
         Group* g = FindGroup(group_id);
         if (g == nullptr || g->failed_over) return;
         auto* sj = secondary_->GetJournal(g->secondary_journal);
         if (sj == nullptr || secondary_->failed()) return;
-        for (auto& rec : batch) {
+        MaybeCorruptFrame(&frame);
+        auto decoded = wire::DecodeBatch(frame);
+        if (!decoded.ok()) {
+          // Integrity gate: a corrupt batch never touches the journal.
+          // Treat it exactly like a dropped message — nack so the primary
+          // suspends and reships via the resync machinery (the armed ack
+          // deadline is the fallback if the nack itself is lost).
+          ++g->checksum_rejects;
+          ZB_LOG(Warning) << "group " << group_id
+                          << " rejected wire frame: " << decoded.status();
+          SendWireNack(g);
+          return;
+        }
+        for (auto& rec : *decoded) {
           Status as = sj->AppendWithSequence(std::move(rec));
           if (!as.ok()) {
             ZB_LOG(Warning) << "backup journal append failed: " << as;
@@ -621,6 +650,8 @@ void ReplicationEngine::PumpGroup(Group* group) {
     }
     jnl->MarkShipped(last);
     records_shipped_ += views.size();
+    group->wire_bytes_shipped += wire_bytes;
+    group->logical_bytes_shipped += enc.logical_bytes;
     // "Shipped" only means handed to the link; the batch (or its ack) can
     // still be lost to a partition. Arm a deadline so a silent loss
     // surfaces as a suspension instead of a stalled watermark.
@@ -865,6 +896,28 @@ void ReplicationEngine::SendApplyAck(Group* group,
         }
       });
   (void)sent;  // A lost ack only delays trimming.
+}
+
+void ReplicationEngine::SendWireNack(Group* group) {
+  const GroupId group_id = group->id;
+  Status sent = to_primary_->SendOnChannel(
+      group_id, kAckMessageBytes, [this, group_id] {
+        Group* g = FindGroup(group_id);
+        if (g == nullptr || g->failed_over || g->suspended) return;
+        ZB_LOG(Warning) << "group " << group_id
+                        << " nacked a corrupt batch; suspending for resync";
+        SuspendOnFailure(g, SuspendReason::kWireReject);
+      });
+  // If the nack is lost too, the armed ack deadline catches the stall.
+  (void)sent;
+}
+
+void ReplicationEngine::MaybeCorruptFrame(std::string* frame) {
+  if (wire_corrupt_probability_ <= 0.0 || frame->empty()) return;
+  if (!wire_corrupt_rng_.Bernoulli(wire_corrupt_probability_)) return;
+  const size_t byte = wire_corrupt_rng_.Uniform(frame->size());
+  (*frame)[byte] ^= static_cast<char>(1u << wire_corrupt_rng_.Uniform(8));
+  ++wire_frames_corrupted_;
 }
 
 void ReplicationEngine::StartInitialCopy(Pair* pair, Group* group) {

@@ -11,6 +11,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/status.h"
 #include "common/time.h"
 #include "journal/journal.h"
@@ -44,6 +45,7 @@ enum class SuspendReason {
   kJournalOverflow,  // The shared journal filled up (Section III-A-1).
   kAckTimeout,       // A shipped batch missed its apply-ack deadline.
   kResyncTimeout,    // A resync batch was lost in flight.
+  kWireReject,       // The backup site nacked a corrupt wire frame.
 };
 
 const char* PairStateName(PairState state);
@@ -90,6 +92,11 @@ struct ConsistencyGroupConfig {
   bool enable_extent_resync = true;
   // Longest extent (in blocks) a single resync record may carry.
   uint32_t resync_max_extent_blocks = 256;
+  // Compress shipped batches inside the wire frame. The frame (and its
+  // CRC integrity check) is always on; this knob only controls whether
+  // the body is run through the block compressor. Incompressible batches
+  // fall back to the stored escape automatically.
+  bool compress_transfers = true;
 
   // Returns a copy with the batch-sizing knobs forced into a sane shape:
   // min >= one default-sized record, max >= min, batch clamped into
@@ -147,6 +154,16 @@ struct GroupStats {
   uint64_t resync_blocks = 0;
   // Current (possibly adapted) transfer batch size.
   uint64_t transfer_batch_bytes_now = 0;
+  // --- Wire format ---
+  // Framed bytes handed to the link (post-compression) and the journal
+  // bytes they represent (pre-compression).
+  uint64_t wire_bytes_shipped = 0;
+  uint64_t logical_bytes_shipped = 0;
+  // logical / wire (>= 1 when compression wins; 1.0 before any traffic).
+  double compression_ratio = 1.0;
+  // Batches the backup site rejected on checksum mismatch (each one
+  // nacks, suspends the group and reships via auto-resync).
+  uint64_t checksum_rejects = 0;
 };
 
 // Result of a failover (disaster recovery takeover) on a group.
@@ -293,6 +310,18 @@ class ReplicationEngine {
   uint64_t total_records_shipped() const { return records_shipped_; }
   uint64_t total_records_applied() const { return records_applied_; }
 
+  // --- Fault injection ------------------------------------------------------
+  // Probability that a delivered wire frame has one random bit flipped
+  // before the backup site decodes it (an in-flight corruption the CRC
+  // must catch). Driven by the fault framework's corruption lane; draws
+  // from a dedicated seeded Rng so runs stay deterministic.
+  void set_wire_corrupt_probability(double p) {
+    wire_corrupt_probability_ = p;
+  }
+  double wire_corrupt_probability() const { return wire_corrupt_probability_; }
+  // Frames actually corrupted by the injector so far.
+  uint64_t wire_frames_corrupted() const { return wire_frames_corrupted_; }
+
  private:
   friend class internal::AdcInterceptor;
   friend class internal::SyncInterceptor;
@@ -362,6 +391,10 @@ class ReplicationEngine {
     uint64_t folded_bytes_saved = 0;
     uint64_t resync_extents = 0;
     uint64_t resync_blocks = 0;
+    // --- Wire-format accounting ---
+    uint64_t wire_bytes_shipped = 0;
+    uint64_t logical_bytes_shipped = 0;
+    uint64_t checksum_rejects = 0;
   };
 
   // Write-path handlers, called by the interceptors.
@@ -385,6 +418,12 @@ class ReplicationEngine {
   void AdaptBatchSize(Group* group, journal::JournalVolume* jnl);
   // Sends the applied watermark back to trim the primary journal.
   void SendApplyAck(Group* group, journal::SequenceNumber seq);
+  // Backup-side rejection of a corrupt wire frame: tells the primary to
+  // treat the batch as lost (suspend + auto-resync reships the data).
+  void SendWireNack(Group* group);
+  // Fault-injection gate on the delivery path: flips one random bit of
+  // `frame` with wire_corrupt_probability_.
+  void MaybeCorruptFrame(std::string* frame);
 
   void StartInitialCopy(Pair* pair, Group* group);
   void MarkGroupSuspended(Group* group);
@@ -431,6 +470,11 @@ class ReplicationEngine {
 
   uint64_t records_shipped_ = 0;
   uint64_t records_applied_ = 0;
+
+  // Wire-frame corruption injection (see set_wire_corrupt_probability).
+  double wire_corrupt_probability_ = 0.0;
+  uint64_t wire_frames_corrupted_ = 0;
+  Rng wire_corrupt_rng_{0xc0dec0de};
 
   static constexpr uint64_t kAckMessageBytes = 64;
   // Extent cap for standalone sync-pair resyncs (groups use their config).

@@ -1,0 +1,190 @@
+#include "replication/wire.h"
+
+#include <utility>
+
+#include "common/coding.h"
+#include "common/compress.h"
+#include "common/crc32c.h"
+
+namespace zerobak::replication::wire {
+namespace {
+
+constexpr uint32_t kMagic = 0x3157425au;  // "ZBW1", little-endian.
+constexpr uint8_t kFlagCompressed = 0x01;
+constexpr uint8_t kFlagFolded = 0x01;  // Per-record flags, bit0.
+// 5 fixed header bytes before the CRC, 8 after it.
+constexpr size_t kFrameHeaderSize = 4 + 1 + 4 + 4;
+// A frame claiming more records than could fit a real batch is corrupt;
+// reject before reserving memory for it.
+constexpr uint64_t kMaxRecords = 1u << 22;
+
+uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+}  // namespace
+
+EncodedBatch EncodeBatch(const std::vector<journal::JournalRecord>& records,
+                         bool compress) {
+  EncodedBatch out;
+
+  std::string body;
+  PutVarint64(&body, records.size());
+  uint64_t payload_total = 0;
+  journal::SequenceNumber prev_seq = 0;
+  SimTime prev_ack = 0;
+  for (const journal::JournalRecord& rec : records) {
+    out.logical_bytes += rec.EncodedSize();
+    payload_total += rec.payload.size();
+    PutVarint64(&body, rec.sequence - prev_seq);
+    PutVarint64(&body, rec.volume_id);
+    PutVarint64(&body, rec.lba);
+    PutVarint64(&body, rec.block_count);
+    PutVarint64(&body, rec.folded ? kFlagFolded : 0);
+    PutVarint64(&body, rec.payload.size());
+    PutVarint64(&body, ZigZag(rec.ack_time - prev_ack));
+    PutVarint64(&body, ZigZag(static_cast<int64_t>(rec.atomic_through) -
+                              static_cast<int64_t>(rec.sequence)));
+    prev_seq = rec.sequence;
+    prev_ack = rec.ack_time;
+  }
+  body.reserve(body.size() + payload_total);
+  for (const journal::JournalRecord& rec : records) {
+    const std::string_view payload = rec.payload.view();
+    body.append(payload.data(), payload.size());
+  }
+
+  uint8_t flags = 0;
+  if (compress) {
+    std::string packed;
+    packed.reserve(CompressBound(body.size()));
+    Compress(body, &packed);
+    if (packed.size() < body.size()) {
+      body = std::move(packed);
+      flags |= kFlagCompressed;
+      out.compressed = true;
+    }
+  }
+
+  out.frame.reserve(kFrameHeaderSize + body.size());
+  PutFixed32(&out.frame, kMagic);
+  out.frame.push_back(static_cast<char>(flags));
+  PutFixed32(&out.frame, Crc32cMask(Crc32c(body.data(), body.size())));
+  PutFixed32(&out.frame, static_cast<uint32_t>(body.size()));
+  out.frame += body;
+  return out;
+}
+
+StatusOr<std::vector<journal::JournalRecord>> DecodeBatch(
+    std::string_view frame) {
+  std::string_view in = frame;
+  uint32_t magic = 0, masked_crc = 0, body_len = 0;
+  if (!GetFixed32(&in, &magic) || magic != kMagic) {
+    return DataLossError("wire: bad magic");
+  }
+  if (in.empty()) return DataLossError("wire: truncated header");
+  const uint8_t flags = static_cast<uint8_t>(in.front());
+  in.remove_prefix(1);
+  if ((flags & ~kFlagCompressed) != 0) {
+    return DataLossError("wire: unknown flag bits");
+  }
+  if (!GetFixed32(&in, &masked_crc) || !GetFixed32(&in, &body_len)) {
+    return DataLossError("wire: truncated header");
+  }
+  if (in.size() != body_len) {
+    return DataLossError("wire: body length mismatch");
+  }
+  // Integrity gate: the CRC covers the stored body, so corruption is
+  // caught here, before decompression or any journal mutation.
+  if (Crc32cMask(Crc32c(in.data(), in.size())) != masked_crc) {
+    return DataLossError("wire: checksum mismatch");
+  }
+
+  std::string body;
+  if ((flags & kFlagCompressed) != 0) {
+    Status s = Decompress(in, &body);
+    if (!s.ok()) return s;
+  } else {
+    body.assign(in.data(), in.size());
+  }
+
+  std::string_view cursor = body;
+  uint64_t count = 0;
+  // Each header is at least 8 varint bytes, so a count the remaining body
+  // cannot possibly hold is corrupt — rejecting it here also bounds the
+  // reserve below by the actual body size.
+  if (!GetVarint64(&cursor, &count) || count > kMaxRecords ||
+      count > cursor.size() / 8) {
+    return DataLossError("wire: bad record count");
+  }
+
+  struct Header {
+    journal::JournalRecord rec;
+    uint64_t payload_len = 0;
+  };
+  std::vector<Header> headers;
+  headers.reserve(count);
+  uint64_t payload_total = 0;
+  journal::SequenceNumber prev_seq = 0;
+  SimTime prev_ack = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t seq_delta, volume_id, lba, block_count, rec_flags, payload_len,
+        ack_zz, atomic_zz;
+    if (!GetVarint64(&cursor, &seq_delta) ||
+        !GetVarint64(&cursor, &volume_id) || !GetVarint64(&cursor, &lba) ||
+        !GetVarint64(&cursor, &block_count) ||
+        !GetVarint64(&cursor, &rec_flags) ||
+        !GetVarint64(&cursor, &payload_len) ||
+        !GetVarint64(&cursor, &ack_zz) || !GetVarint64(&cursor, &atomic_zz)) {
+      return DataLossError("wire: truncated record header");
+    }
+    if ((rec_flags & ~uint64_t{kFlagFolded}) != 0) {
+      return DataLossError("wire: unknown record flags");
+    }
+    Header h;
+    h.rec.sequence = prev_seq + seq_delta;
+    h.rec.volume_id = volume_id;
+    h.rec.lba = lba;
+    h.rec.block_count = static_cast<uint32_t>(block_count);
+    h.rec.folded = (rec_flags & kFlagFolded) != 0;
+    h.rec.ack_time = prev_ack + UnZigZag(ack_zz);
+    h.rec.atomic_through = static_cast<journal::SequenceNumber>(
+        static_cast<int64_t>(h.rec.sequence) + UnZigZag(atomic_zz));
+    h.payload_len = payload_len;
+    // Checked before the add so a huge length cannot wrap payload_total.
+    if (payload_len > body.size() || payload_total + payload_len > body.size()) {
+      return DataLossError("wire: payloads overrun body");
+    }
+    payload_total += payload_len;
+    prev_seq = h.rec.sequence;
+    prev_ack = h.rec.ack_time;
+    headers.push_back(std::move(h));
+  }
+  if (cursor.size() != payload_total) {
+    return DataLossError("wire: payload section length mismatch");
+  }
+
+  // One backing allocation for the whole batch: wrap the decoded body and
+  // slice each record's payload out of it.
+  const size_t payload_base = body.size() - payload_total;
+  journal::PayloadBuffer backing =
+      journal::PayloadBuffer::Wrap(std::move(body));
+  std::vector<journal::JournalRecord> records;
+  records.reserve(headers.size());
+  size_t offset = payload_base;
+  for (Header& h : headers) {
+    if (h.payload_len > 0) {
+      h.rec.payload = backing.Slice(offset, h.payload_len);
+      offset += h.payload_len;
+    }
+    records.push_back(std::move(h.rec));
+  }
+  return records;
+}
+
+}  // namespace zerobak::replication::wire

@@ -1,0 +1,77 @@
+#ifndef ZEROBAK_REPLICATION_WIRE_H_
+#define ZEROBAK_REPLICATION_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "journal/journal.h"
+
+namespace zerobak::replication::wire {
+
+// Wire format for shipped journal batches: the transfer engine serializes
+// each batch (record headers, folded tombstones and payloads) into ONE
+// framed, optionally compressed, CRC-protected buffer, and the secondary
+// verifies the checksum before anything touches its journal. A mismatch is
+// indistinguishable from a dropped message by design — the caller nacks
+// and the existing backoff/resync machinery reships the data.
+//
+// Frame layout (all multi-byte fields little-endian):
+//
+//   +----------+---------+---------------+-----------+------------------+
+//   | magic u32| flags u8| masked CRC u32| body_len  | body (body_len)  |
+//   | "ZBW1"   | bit0 =  | of the stored | u32       |                  |
+//   |          | LZ body | body bytes    |           |                  |
+//   +----------+---------+---------------+-----------+------------------+
+//
+// The CRC covers the body exactly as stored on the wire (compressed when
+// bit0 is set), so a corrupt frame is rejected before decompression; the
+// decompressor is separately hardened against garbage. The CRC is masked
+// (LevelDB-style) because journal payloads may themselves contain CRCs.
+//
+// Body layout (before compression):
+//
+//   varint record_count
+//   record_count x header:
+//     varint sequence-delta   (from the previous record; first is absolute)
+//     varint volume_id
+//     varint lba
+//     varint block_count
+//     varint flags            (bit0 = folded tombstone)
+//     varint payload_len
+//     varint ack_time-delta   (zigzag, from the previous record)
+//     varint atomic_through-delta (zigzag, from this record's sequence)
+//   concatenation of all payloads, in record order
+//
+// Decoding allocates exactly one PayloadBuffer for the whole batch and
+// hands every record a Slice of it, preserving the journal pipeline's
+// one-allocation-per-batch property on the receive side.
+
+// A serialized batch ready for the link.
+struct EncodedBatch {
+  // The frame to put on the wire.
+  std::string frame;
+  // Journal bytes the frame represents (sum of JournalRecord::
+  // EncodedSize()); feeds logical-byte accounting.
+  uint64_t logical_bytes = 0;
+  // Whether the body was actually compressed (false when the compressor's
+  // stored escape fired or compression was disabled).
+  bool compressed = false;
+};
+
+// Serializes `records` into one frame. When `compress` is set the body is
+// run through the block compressor and kept only if it shrank.
+EncodedBatch EncodeBatch(const std::vector<journal::JournalRecord>& records,
+                         bool compress);
+
+// Verifies and deserializes one frame. Returns DataLoss on a bad magic,
+// checksum mismatch, or any malformed/truncated content — never crashes,
+// never applies a partial batch.
+StatusOr<std::vector<journal::JournalRecord>> DecodeBatch(
+    std::string_view frame);
+
+}  // namespace zerobak::replication::wire
+
+#endif  // ZEROBAK_REPLICATION_WIRE_H_

@@ -13,6 +13,7 @@ NetworkLink::NetworkLink(SimEnvironment* env, NetworkLinkConfig config,
       rng_(config.seed) {}
 
 Status NetworkLink::SendOnChannel(uint64_t channel, uint64_t bytes,
+                                  uint64_t logical_bytes,
                                   EventFn on_delivered) {
   if (!connected_) {
     ++send_failures_;
@@ -43,6 +44,7 @@ Status NetworkLink::SendOnChannel(uint64_t channel, uint64_t bytes,
 
   ++messages_sent_;
   bytes_sent_ += bytes;
+  logical_bytes_sent_ += logical_bytes;
   if (config_.drop_probability > 0 &&
       rng_.Bernoulli(config_.drop_probability)) {
     // Random loss: the message occupied the wire and advanced the channel

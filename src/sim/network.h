@@ -81,7 +81,17 @@ class NetworkLink {
   // message may still be lost to `drop_probability` or to a partition
   // while in flight.
   Status SendOnChannel(uint64_t channel, uint64_t bytes,
-                       EventFn on_delivered);
+                       EventFn on_delivered) {
+    return SendOnChannel(channel, bytes, bytes, std::move(on_delivered));
+  }
+
+  // As above, but with distinct wire and logical sizes for compressed
+  // traffic: `bytes` (the wire size) drives the serialization model and
+  // `bytes_sent`, while `logical_bytes` only feeds the
+  // `logical_bytes_sent` counter so pre- and post-compression accounting
+  // stay separable.
+  Status SendOnChannel(uint64_t channel, uint64_t bytes,
+                       uint64_t logical_bytes, EventFn on_delivered);
 
   // Latest time a message of `bytes` sent now on `channel` could arrive
   // (wire occupancy + serialization + propagation + full jitter, floored
@@ -108,7 +118,11 @@ class NetworkLink {
   void set_drop_probability(double p) { config_.drop_probability = p; }
 
   uint64_t messages_sent() const { return messages_sent_; }
+  // Bytes that actually crossed the wire (post-compression frame sizes).
   uint64_t bytes_sent() const { return bytes_sent_; }
+  // Pre-compression bytes the wire traffic represents. Equal to
+  // bytes_sent() for uncompressed senders.
+  uint64_t logical_bytes_sent() const { return logical_bytes_sent_; }
   uint64_t send_failures() const { return send_failures_; }
   // Messages accepted by a send but never delivered (random loss plus
   // partition-killed in-flight traffic).
@@ -148,6 +162,7 @@ class NetworkLink {
 
   uint64_t messages_sent_ = 0;
   uint64_t bytes_sent_ = 0;
+  uint64_t logical_bytes_sent_ = 0;
   uint64_t send_failures_ = 0;
   uint64_t messages_dropped_ = 0;
 };

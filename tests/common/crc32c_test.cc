@@ -1,8 +1,11 @@
 #include "common/crc32c.h"
 
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
+
+#include "common/rng.h"
 
 namespace zerobak {
 namespace {
@@ -40,6 +43,81 @@ TEST(Crc32cTest, MaskRoundTrips) {
     EXPECT_EQ(Crc32cUnmask(Crc32cMask(crc)), crc);
     EXPECT_NE(Crc32cMask(crc), crc);  // Masking must change the value.
   }
+}
+
+// The dispatched implementation and both software kernels must agree on
+// the RFC 3720 vectors; the hardware kernel joins where the host has it.
+TEST(Crc32cKernelTest, AllKernelsMatchKnownVectors) {
+  struct Vector {
+    std::string data;
+    uint32_t crc;
+  };
+  const std::vector<Vector> vectors = {
+      {"", 0u},
+      {"123456789", 0xe3069283u},
+      {std::string(32, '\0'), 0x8a9136aau},
+      {std::string(32, '\xff'), 0x62a8ab43u},
+  };
+  for (const Vector& v : vectors) {
+    EXPECT_EQ(Crc32c(v.data.data(), v.data.size()), v.crc);
+    EXPECT_EQ(internal::Crc32cPortable(0, v.data.data(), v.data.size()),
+              v.crc);
+    EXPECT_EQ(internal::Crc32cSlice8(0, v.data.data(), v.data.size()), v.crc);
+    if (internal::Crc32cHardwareSupported()) {
+      EXPECT_EQ(internal::Crc32cHardware(0, v.data.data(), v.data.size()),
+                v.crc);
+    }
+  }
+}
+
+// Awkward lengths hit every alignment prologue/epilogue combination of the
+// 8-byte kernels: empty, sub-word, word-straddling, and page-ish ± 1.
+TEST(Crc32cKernelTest, KernelsAgreeOnAwkwardLengthsAndOffsets) {
+  Rng rng(0xc32c);
+  std::string buf(1u << 20, '\0');
+  for (char& c : buf) c = static_cast<char>(rng.Uniform(256));
+  const size_t lengths[] = {0, 1, 7, 8, 9, 4095, 4097};
+  for (size_t len : lengths) {
+    // Offsets 0..8 cover every starting alignment of the data pointer.
+    for (size_t off = 0; off <= 8; ++off) {
+      const char* p = buf.data() + off;
+      const uint32_t want = internal::Crc32cPortable(0, p, len);
+      EXPECT_EQ(internal::Crc32cSlice8(0, p, len), want)
+          << "slice8 len " << len << " off " << off;
+      if (internal::Crc32cHardwareSupported()) {
+        EXPECT_EQ(internal::Crc32cHardware(0, p, len), want)
+            << "sse4.2 len " << len << " off " << off;
+      }
+      EXPECT_EQ(Crc32c(p, len), want) << "dispatch len " << len;
+    }
+  }
+}
+
+// Streaming (Extend) must agree across kernels at arbitrary split points,
+// with a non-zero running crc feeding the prologue paths.
+TEST(Crc32cKernelTest, KernelsAgreeWhenExtending) {
+  Rng rng(0x5eed);
+  std::string data(4097, '\0');
+  for (char& c : data) c = static_cast<char>(rng.Uniform(256));
+  const uint32_t whole = internal::Crc32cPortable(0, data.data(), data.size());
+  for (size_t split : {size_t{1}, size_t{7}, size_t{9}, size_t{4095}}) {
+    uint32_t sliced = internal::Crc32cSlice8(0, data.data(), split);
+    sliced = internal::Crc32cSlice8(sliced, data.data() + split,
+                                    data.size() - split);
+    EXPECT_EQ(sliced, whole) << "slice8 split " << split;
+    if (internal::Crc32cHardwareSupported()) {
+      uint32_t hw = internal::Crc32cHardware(0, data.data(), split);
+      hw = internal::Crc32cHardware(hw, data.data() + split,
+                                    data.size() - split);
+      EXPECT_EQ(hw, whole) << "sse4.2 split " << split;
+    }
+  }
+}
+
+TEST(Crc32cKernelTest, ImplementationNameIsKnown) {
+  const std::string name = internal::Crc32cImplementation();
+  EXPECT_TRUE(name == "sse4.2" || name == "slice8" || name == "portable")
+      << name;
 }
 
 TEST(Crc32cTest, SingleBitFlipDetected) {

@@ -180,5 +180,71 @@ TEST(FaultScheduleTest, ZeroMeansDisablesAFaultClass) {
   }
 }
 
+TEST(FaultScheduleTest, CorruptionLaneDrivesRegisteredTarget) {
+  sim::SimEnvironment env;
+  FaultScheduleConfig cfg;
+  cfg.seed = 11;
+  cfg.horizon = Milliseconds(500);
+  cfg.mean_flap_interval = 0;  // Corruption lane only.
+  cfg.mean_corrupt_interval = Milliseconds(40);
+  cfg.corrupt_probability = 0.25;
+  cfg.min_corrupt = Milliseconds(2);
+  cfg.max_corrupt = Milliseconds(10);
+  FaultSchedule schedule(&env, cfg);
+
+  double probability = 0.0;
+  int starts = 0, ends = 0;
+  schedule.AddCorruptionTarget([&](double p) {
+    probability = p;
+    if (p > 0) {
+      ++starts;
+    } else {
+      ++ends;
+    }
+  });
+  schedule.Arm();
+
+  size_t corrupt_events = 0;
+  for (const FaultEvent& event : schedule.events()) {
+    ASSERT_TRUE(event.kind == FaultKind::kCorruptStart ||
+                event.kind == FaultKind::kCorruptEnd);
+    ++corrupt_events;
+  }
+  ASSERT_GT(corrupt_events, 0u);
+  EXPECT_EQ(corrupt_events % 2, 0u) << "episodes must open and close";
+
+  env.RunFor(cfg.horizon + Milliseconds(50));
+  EXPECT_EQ(starts, ends) << "every episode must end within the horizon";
+  EXPECT_GT(starts, 0);
+  EXPECT_EQ(probability, 0.0) << "probability restored after last episode";
+}
+
+TEST(FaultScheduleTest, HealStopsCorruption) {
+  sim::SimEnvironment env;
+  FaultScheduleConfig cfg;
+  cfg.seed = 3;
+  cfg.horizon = Milliseconds(500);
+  cfg.mean_flap_interval = 0;
+  cfg.mean_corrupt_interval = Milliseconds(20);
+  cfg.corrupt_probability = 1.0;
+  cfg.min_corrupt = Milliseconds(50);
+  cfg.max_corrupt = Milliseconds(100);
+  FaultSchedule schedule(&env, cfg);
+  double probability = 0.0;
+  schedule.AddCorruptionTarget([&](double p) { probability = p; });
+  schedule.Arm();
+
+  // Run into the middle of an episode, then heal: the knob must be reset
+  // even though the episode's end event was cancelled.
+  ASSERT_FALSE(schedule.events().empty());
+  const SimTime first_start = schedule.events().front().at;
+  env.RunFor(first_start + Milliseconds(1));
+  ASSERT_EQ(probability, 1.0);
+  schedule.Heal();
+  EXPECT_EQ(probability, 0.0);
+  env.RunFor(Seconds(1));
+  EXPECT_EQ(probability, 0.0);
+}
+
 }  // namespace
 }  // namespace zerobak::fault

@@ -1,7 +1,8 @@
 // Chaos drill for the paper's "no backup-data collapse" property (E2,
 // hardened): a multi-volume consistency group runs a tagged-block workload
 // while a seeded FaultSchedule flaps the inter-site links, spikes their
-// latency and randomly drops messages. The group must (a) auto-recover to
+// latency, randomly drops messages and flips bits in in-flight wire
+// frames (caught by the batch CRC). The group must (a) auto-recover to
 // kPaired and full convergence once the faults clear — journal overflows
 // included — and (b) after a failover at a random instant mid-chaos, leave
 // backup images that equal the primary write-order history truncated at
@@ -58,8 +59,9 @@ struct WriteEvent {
 class ChaosRun {
  public:
   // `coalesce` toggles the whole transfer-pipeline optimization bundle
-  // (write-folding, sorted apply, extent resync, adaptive batching): the
-  // prefix invariant must hold identically with it on and off.
+  // (write-folding, sorted apply, extent resync, adaptive batching, wire
+  // compression): the prefix invariant must hold identically with it on
+  // and off.
   explicit ChaosRun(uint64_t seed, bool coalesce = true)
       : main_(&env_, ZeroLatency("MAIN")),
         backup_(&env_, ZeroLatency("BKUP")),
@@ -79,6 +81,7 @@ class ChaosRun {
     cfg.enable_sorted_apply = coalesce;
     cfg.enable_extent_resync = coalesce;
     cfg.enable_adaptive_batching = coalesce;
+    cfg.compress_transfers = coalesce;
     auto g = engine_.CreateConsistencyGroup(cfg);
     EXPECT_TRUE(g.ok());
     group_ = *g;
@@ -111,9 +114,17 @@ class ChaosRun {
     fcfg.spike_latency = Milliseconds(4);
     fcfg.min_spike = Milliseconds(2);
     fcfg.max_spike = Milliseconds(10);
+    // Corruption episodes: delivered batches get bit-flipped and must be
+    // caught by the wire CRC and recovered like drops.
+    fcfg.mean_corrupt_interval = Milliseconds(25);
+    fcfg.corrupt_probability = 0.3;
+    fcfg.min_corrupt = Milliseconds(2);
+    fcfg.max_corrupt = Milliseconds(8);
     schedule_ = std::make_unique<fault::FaultSchedule>(&env_, fcfg);
     schedule_->AddLink(&to_backup_);
     schedule_->AddLink(&to_main_);
+    schedule_->AddCorruptionTarget(
+        [this](double p) { engine_.set_wire_corrupt_probability(p); });
     schedule_->Arm();
     to_backup_.set_drop_probability(0.02);
     to_main_.set_drop_probability(0.02);

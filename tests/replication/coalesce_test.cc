@@ -415,6 +415,10 @@ TEST_F(CoalesceTest, AdaptiveBatchShrinksUnderLinkBacklog) {
   ConsistencyGroupConfig cfg;
   cfg.name = "cg";
   cfg.ack_timeout = 0;  // The slow link is not a failure here.
+  // The backlog only builds if the batches actually occupy the wire at
+  // their journal size; compression would shrink these constant-byte
+  // payloads to almost nothing and starve the controller of pressure.
+  cfg.compress_transfers = false;
   GroupId g;
   {
     auto gid = engine.CreateConsistencyGroup(cfg);

@@ -295,5 +295,48 @@ TEST_F(FaultRecoveryTest, DeletingPairsReleasesLinkChannelState) {
       << "reverse-link channel state leaked";
 }
 
+// Wire-integrity regression: a bit-flipped batch must be rejected by the
+// frame CRC, must never reach the backup journal or volumes, and the
+// group must reconverge through the nack -> suspend -> auto-resync path —
+// corruption behaves exactly like a dropped message.
+TEST_F(FaultRecoveryTest, CorruptBatchIsRejectedNeverAppliedAndResent) {
+  auto [p, s] = MakeVolumes("v");
+  GroupId g = MakeGroup();
+  MakeAsyncPair(p, s, g);
+  env_.RunFor(Milliseconds(4));  // Empty initial copy settles.
+
+  // Flip a bit in every delivered frame while the first batch ships.
+  engine_.set_wire_corrupt_probability(1.0);
+  ASSERT_TRUE(main_.WriteSync(p, 0, BlockOf('x')).ok());
+  ASSERT_TRUE(main_.WriteSync(p, 1, BlockOf('y')).ok());
+  // Pump (<= 2 ms) + frame delivery (5 ms) + nack trip (5 ms), but short
+  // of the first auto-resync retry (5 ms backoff after the nack).
+  env_.RunFor(Milliseconds(14));
+
+  auto stats = engine_.GetGroupStats(g);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(engine_.wire_frames_corrupted(), 1u);
+  EXPECT_GE(stats->checksum_rejects, 1u);
+  // The corrupt batch was rejected wholesale: nothing was applied.
+  EXPECT_EQ(stats->applied, 0u);
+  EXPECT_FALSE(Converged(p, s));
+  // The nack suspended the group so the resync machinery reships it.
+  EXPECT_TRUE(stats->suspended);
+  EXPECT_EQ(stats->suspend_reason, SuspendReason::kWireReject);
+
+  // Corruption clears; auto-resync reships the data and reconverges.
+  engine_.set_wire_corrupt_probability(0.0);
+  env_.RunFor(Milliseconds(200));
+  stats = engine_.GetGroupStats(g);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_FALSE(stats->suspended);
+  EXPECT_TRUE(Converged(p, s));
+
+  // Steady state afterwards: new writes flow through verified frames.
+  ASSERT_TRUE(main_.WriteSync(p, 2, BlockOf('z')).ok());
+  env_.RunFor(Milliseconds(50));
+  EXPECT_TRUE(Converged(p, s));
+}
+
 }  // namespace
 }  // namespace zerobak::replication

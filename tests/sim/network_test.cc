@@ -93,6 +93,28 @@ TEST(NetworkLinkTest, StatsAccumulate) {
   ASSERT_TRUE(link.Send(200, [] {}).ok());
   EXPECT_EQ(link.messages_sent(), 2u);
   EXPECT_EQ(link.bytes_sent(), 300u);
+  // Plain sends carry no compression: logical == wire.
+  EXPECT_EQ(link.logical_bytes_sent(), 300u);
+}
+
+TEST(NetworkLinkTest, WireAndLogicalBytesTrackedSeparately) {
+  SimEnvironment env;
+  NetworkLinkConfig cfg;
+  cfg.base_latency = Milliseconds(3);
+  cfg.jitter = 0;
+  cfg.bandwidth_bytes_per_sec = 1e6;
+  NetworkLink link(&env, cfg);
+
+  // A compressed sender ships 400 wire bytes standing in for 1000 logical
+  // bytes: serialization time must be charged for the wire size only.
+  const SimTime estimate = link.EstimateArrival(400);
+  SimTime actual = -1;
+  ASSERT_TRUE(
+      link.SendOnChannel(0, 400, 1000, [&] { actual = env.now(); }).ok());
+  env.RunUntilIdle();
+  EXPECT_EQ(actual, estimate);
+  EXPECT_EQ(link.bytes_sent(), 400u);
+  EXPECT_EQ(link.logical_bytes_sent(), 1000u);
 }
 
 TEST(NetworkLinkTest, EstimateArrivalMatchesActual) {
