@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Regenerates the checked-in benchmark JSON (BENCH_micro.json and
-# BENCH_pipeline.json) from a Release + NDEBUG build, so the recorded perf
-# trajectory is reproducible from one command:
+# Regenerates the checked-in benchmark JSON (BENCH_micro.json,
+# BENCH_pipeline.json and BENCH_observe.json) from a Release + NDEBUG
+# build, so the recorded perf trajectory is reproducible from one command:
 #
 #   scripts/run_benches.sh
 #
@@ -12,11 +12,13 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "${repo_root}"
 
 cmake --preset bench
-cmake --build --preset bench -j "$(nproc)" --target bench_micro bench_pipeline
+cmake --build --preset bench -j "$(nproc)" \
+  --target bench_micro bench_pipeline bench_observe
 
 ./build-bench/bench/bench_micro \
   --benchmark_out="${repo_root}/BENCH_micro.json" \
   --benchmark_out_format=json
 ./build-bench/bench/bench_pipeline --out "${repo_root}/BENCH_pipeline.json"
+./build-bench/bench/bench_observe --out "${repo_root}/BENCH_observe.json"
 
-echo "Wrote BENCH_micro.json and BENCH_pipeline.json"
+echo "Wrote BENCH_micro.json, BENCH_pipeline.json and BENCH_observe.json"

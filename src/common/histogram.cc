@@ -15,24 +15,23 @@ Histogram::Histogram()
       buckets_(kNumBuckets, 0) {}
 
 int Histogram::BucketFor(uint64_t value) {
-  // Buckets: [0], [1], then powers of two split in 4 sub-buckets.
-  if (value == 0) return 0;
-  int log2 = 63 - __builtin_clzll(value);
-  if (log2 == 0) return 1;
-  // Sub-bucket within the power-of-two range (2 bits below the MSB).
-  const int sub =
-      log2 >= 2 ? static_cast<int>((value >> (log2 - 2)) & 0x3) : 0;
-  const int idx = 2 + (log2 - 1) * 2 + sub / 2;
-  return std::min(idx, kNumBuckets - 1);
+  // Buckets: [0] [1] [2] [3] exact, then each power-of-two range
+  // [2^k, 2^(k+1)) for k >= 2 split in 4 equal sub-buckets, selected by
+  // the 2 bits below the MSB.
+  if (value < 4) return static_cast<int>(value);
+  const int log2 = 63 - __builtin_clzll(value);
+  const int sub = static_cast<int>((value >> (log2 - 2)) & 0x3);
+  return 4 + (log2 - 2) * 4 + sub;
 }
 
 uint64_t Histogram::BucketLimit(int b) {
-  if (b == 0) return 0;
-  if (b == 1) return 1;
-  const int log2 = (b - 2) / 2 + 1;
-  const int half = (b - 2) % 2;
+  if (b < 4) return static_cast<uint64_t>(b);
+  const int log2 = (b - 4) / 4 + 2;
+  const int sub = (b - 4) % 4;
   const uint64_t base = 1ULL << log2;
-  return base + (half + 1) * (base / 2) - 1;
+  const uint64_t quarter = base / 4;
+  // The top bucket's limit wraps to exactly UINT64_MAX, which is intended.
+  return base + static_cast<uint64_t>(sub + 1) * quarter - 1;
 }
 
 void Histogram::Add(uint64_t value) {

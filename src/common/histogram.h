@@ -31,14 +31,18 @@ class Histogram {
   // One-line summary: count, mean, p50/p95/p99, max.
   std::string ToString() const;
 
- private:
-  static constexpr int kNumBuckets = 130;
+  // Bucket scheme (public so tests can pin the BucketFor/BucketLimit
+  // agreement): values 0..3 get exact buckets, then every power-of-two
+  // range [2^k, 2^(k+1)) splits into 4 equal sub-buckets, so the relative
+  // quantization error is bounded by 1/4 of the value.
+  static constexpr int kNumBuckets = 252;
 
   // Index of the bucket containing `value`.
   static int BucketFor(uint64_t value);
   // Inclusive upper bound of bucket `b`.
   static uint64_t BucketLimit(int b);
 
+ private:
   uint64_t count_;
   uint64_t min_;
   uint64_t max_;

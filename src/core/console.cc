@@ -30,6 +30,9 @@ constexpr char kHelpText[] =
     "  restore <ns> <group>            rewind backup volumes to a snapshot\n"
     "  check <ns>                      recover backup DBs, check consistency\n"
     "  inspect                         dump the whole system state\n"
+    "  metrics                         metric registry + RPO/RTO tracker\n"
+    "  metrics-json                    same data as one JSON object\n"
+    "  trace [n]                       newest n trace events (default 20)\n"
     "  help\n";
 
 }  // namespace
@@ -83,6 +86,24 @@ Status Console::Execute(const std::string& line) {
   }
   if (cmd == "inspect") {
     *out_ << DescribeSystem(system_);
+    return OkStatus();
+  }
+  if (cmd == "metrics") {
+    *out_ << DescribeObservability(system_);
+    return OkStatus();
+  }
+  if (cmd == "metrics-json") {
+    *out_ << ObservabilityJson(system_) << "\n";
+    return OkStatus();
+  }
+  if (cmd == "trace") {
+    size_t n = 20;
+    if (args.size() > 1) {
+      const long v = std::atol(args[1].c_str());
+      if (v <= 0) return InvalidArgumentError("trace: bad count");
+      n = static_cast<size_t>(v);
+    }
+    *out_ << system_->trace()->ToString(n);
     return OkStatus();
   }
   if (cmd == "deploy") {

@@ -27,6 +27,37 @@ DemoSystem::DemoSystem(sim::SimEnvironment* env, DemoSystemConfig config)
       env_, main_site_->array(), backup_site_->array(), to_backup_.get(),
       to_main_.get());
 
+  // Observability bundle: one registry + trace ring for the whole system,
+  // fed by the engine, every group's journals and both links, plus the
+  // continuous RPO/RTO sampler.
+  metrics_ = std::make_unique<obs::MetricRegistry>();
+  trace_ = std::make_unique<obs::TraceRing>();
+  engine_->AttachObservability(metrics_.get(), trace_.get());
+  auto wire_link = [this](sim::NetworkLink* link, const std::string& prefix,
+                          uint64_t trace_id) {
+    sim::NetworkLink::Instruments ins;
+    ins.messages = metrics_->GetCounter(prefix + ".messages");
+    ins.wire_bytes = metrics_->GetCounter(prefix + ".wire_bytes");
+    ins.dropped = metrics_->GetCounter(prefix + ".dropped");
+    ins.send_failures = metrics_->GetCounter(prefix + ".send_failures");
+    link->AttachObservability(ins, trace_.get(), trace_id);
+  };
+  wire_link(to_backup_.get(), "link.to_backup", kTraceIdLinkToBackup);
+  wire_link(to_main_.get(), "link.to_main", kTraceIdLinkToMain);
+  rpo_tracker_ = std::make_unique<obs::RpoTracker>(
+      env_,
+      [this] {
+        std::vector<obs::RpoTracker::GroupSample> samples;
+        for (replication::GroupId id : engine_->ListGroups()) {
+          auto rpo = engine_->GroupRpo(id);
+          if (rpo.ok()) samples.push_back({id, *rpo});
+        }
+        return samples;
+      },
+      config_.rpo_sample_interval > 0 ? config_.rpo_sample_interval
+                                      : Milliseconds(10));
+  if (config_.rpo_sample_interval > 0) rpo_tracker_->Start();
+
   // Storage classes on both clusters.
   for (Site* site : {main_site_.get(), backup_site_.get()}) {
     Resource sc;
@@ -302,6 +333,11 @@ void DemoSystem::FailMainSite() {
   main_site_->array()->SetFailed(true);
   to_backup_->SetConnected(false);
   to_main_->SetConnected(false);
+  // RTO clock: the disaster starts every group's outage; a later Failover
+  // marks the service restored on the backup site.
+  for (replication::GroupId id : engine_->ListGroups()) {
+    rpo_tracker_->BeginOutage(id);
+  }
 }
 
 StatusOr<replication::FailoverReport> DemoSystem::Failover(
@@ -312,6 +348,7 @@ StatusOr<replication::FailoverReport> DemoSystem::Failover(
   for (replication::GroupId group : groups) {
     ZB_ASSIGN_OR_RETURN(replication::FailoverReport report,
                         engine_->FailoverGroup(group));
+    rpo_tracker_->CompleteRecovery(group);
     if (first) {
       merged = report;
       first = false;

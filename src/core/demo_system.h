@@ -12,6 +12,9 @@
 #include "csi/schedule_controller.h"
 #include "csi/snapshot_controller.h"
 #include "nso/namespace_operator.h"
+#include "obs/metrics.h"
+#include "obs/rpo.h"
+#include "obs/trace.h"
 #include "replication/replication.h"
 #include "sim/network.h"
 
@@ -25,6 +28,9 @@ struct DemoSystemConfig {
   // Controller resync interval (the level-triggered safety net).
   SimDuration resync_interval = Milliseconds(50);
   std::string storage_class = "zerobak-fast";
+  // Continuous RPO sampling cadence; 0 leaves the tracker stopped (the
+  // instruments stay attached either way).
+  SimDuration rpo_sample_interval = Milliseconds(10);
 };
 
 // The complete demonstration system of Section IV: a main site and a
@@ -46,6 +52,16 @@ class DemoSystem {
   sim::NetworkLink* link_to_backup() { return to_backup_.get(); }
   sim::NetworkLink* link_to_main() { return to_main_.get(); }
   nso::NamespaceOperator* namespace_operator() { return nso_; }
+
+  // --- Observability ---------------------------------------------------------
+  // The system-wide metric registry, trace ring and RPO/RTO tracker; the
+  // engine, both journals of every group and both links feed them.
+  obs::MetricRegistry* metrics() { return metrics_.get(); }
+  obs::TraceRing* trace() { return trace_.get(); }
+  obs::RpoTracker* rpo_tracker() { return rpo_tracker_.get(); }
+  // Trace subject ids of the inter-site links (kLinkUp/kLinkDown events).
+  static constexpr uint64_t kTraceIdLinkToBackup = 1;
+  static constexpr uint64_t kTraceIdLinkToMain = 2;
 
   // --- Deploying the business process (Section II) --------------------------
   Status CreateBusinessNamespace(const std::string& ns);
@@ -125,6 +141,9 @@ class DemoSystem {
   std::unique_ptr<sim::NetworkLink> to_backup_;
   std::unique_ptr<sim::NetworkLink> to_main_;
   std::unique_ptr<replication::ReplicationEngine> engine_;
+  std::unique_ptr<obs::MetricRegistry> metrics_;
+  std::unique_ptr<obs::TraceRing> trace_;
+  std::unique_ptr<obs::RpoTracker> rpo_tracker_;
   nso::NamespaceOperator* nso_ = nullptr;  // Owned by the cluster manager.
 };
 

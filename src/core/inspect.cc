@@ -100,10 +100,12 @@ std::string DescribeReplication(replication::ReplicationEngine* engine) {
     if (!stats.ok()) continue;
     AppendLine(&out,
                "  group %-3" PRIu64 " %-24s written=%" PRIu64
-               " shipped=%" PRIu64 " applied=%" PRIu64 " lag=%s",
+               " shipped=%" PRIu64 " applied=%" PRIu64
+               " rpo=%s ratio=%.2f (window %.2f)",
                gid, name.ok() ? name->c_str() : "?", stats->written,
                stats->shipped, stats->applied,
-               FormatDuration(stats->apply_lag).c_str());
+               FormatDuration(stats->apply_lag).c_str(),
+               stats->compression_ratio, stats->compression_ratio_window);
     for (replication::PairId pid : engine->ListGroupPairs(gid)) {
       const replication::Pair* pair = engine->GetPair(pid);
       if (pair == nullptr) continue;
@@ -112,6 +114,58 @@ std::string DescribeReplication(replication::ReplicationEngine* engine) {
                  pair->dirty_blocks());
     }
   }
+  return out;
+}
+
+std::string DescribeObservability(DemoSystem* system, size_t trace_tail) {
+  std::string out;
+  AppendLine(&out, "=== observability @ t=%s ===",
+             FormatDuration(system->env()->now()).c_str());
+  out += system->metrics()->ToTable();
+  out += system->rpo_tracker()->ToString();
+  obs::TraceRing* trace = system->trace();
+  if (trace->size() > 0) {
+    AppendLine(&out, "trace (%zu of %" PRIu64 " events%s):", trace->size(),
+               trace->total_recorded(),
+               trace->dropped() > 0 ? ", older dropped" : "");
+    out += trace->ToString(trace_tail);
+  }
+  return out;
+}
+
+std::string ObservabilityJson(DemoSystem* system) {
+  std::string out = "{";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "\"time\": %" PRId64 ", ",
+                system->env()->now());
+  out += buf;
+  out += "\"metrics\": ";
+  out += system->metrics()->ToJson();
+  out += ", \"rpo\": {";
+  obs::RpoTracker* tracker = system->rpo_tracker();
+  bool first_group = true;
+  for (uint64_t gid : tracker->Groups()) {
+    const obs::GroupRpoSeries* s = tracker->series(gid);
+    if (s == nullptr) continue;
+    if (!first_group) out += ", ";
+    first_group = false;
+    std::snprintf(buf, sizeof(buf),
+                  "\"g%" PRIu64 "\": {\"samples\": %" PRIu64
+                  ", \"zero_samples\": %" PRIu64 ", \"mean\": %.1f"
+                  ", \"p99\": %.1f, \"max\": %" PRId64 ", \"rtos\": [",
+                  gid, s->samples, s->zero_samples, s->histogram.Mean(),
+                  s->histogram.Percentile(99),
+                  static_cast<int64_t>(s->max_rpo));
+    out += buf;
+    const std::vector<SimDuration>& rtos = tracker->rtos(gid);
+    for (size_t i = 0; i < rtos.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%s%" PRId64, i == 0 ? "" : ", ",
+                    rtos[i]);
+      out += buf;
+    }
+    out += "]}";
+  }
+  out += "}}";
   return out;
 }
 

@@ -17,6 +17,15 @@ std::string DescribeSystem(DemoSystem* system);
 std::string DescribeSite(Site* site);
 std::string DescribeReplication(replication::ReplicationEngine* engine);
 
+// Observability: the metric registry as an aligned table, the RPO/RTO
+// tracker summary and the tail of the trace ring — the `metrics` and
+// `trace` console commands.
+std::string DescribeObservability(DemoSystem* system, size_t trace_tail = 20);
+
+// The same data as one JSON object ({"time":..., "metrics":{...},
+// "rpo":{...}}) for scripts/ to parse.
+std::string ObservabilityJson(DemoSystem* system);
+
 }  // namespace zerobak::core
 
 #endif  // ZEROBAK_CORE_INSPECT_H_

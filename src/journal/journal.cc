@@ -35,6 +35,9 @@ StatusOr<SequenceNumber> JournalVolume::Append(JournalRecord record) {
   const uint64_t size = record.EncodedSize();
   if (used_bytes_ + size > capacity_bytes_) {
     ++overflows_;
+    if (instruments_.overflows != nullptr) {
+      instruments_.overflows->Increment();
+    }
     return ResourceExhaustedError("journal overflow: used=" +
                                   std::to_string(used_bytes_) + " need=" +
                                   std::to_string(size) + " capacity=" +
@@ -45,6 +48,10 @@ StatusOr<SequenceNumber> JournalVolume::Append(JournalRecord record) {
   used_bytes_ += size;
   peak_used_bytes_ = std::max(peak_used_bytes_, used_bytes_);
   ++appends_;
+  if (instruments_.appends != nullptr) instruments_.appends->Increment();
+  if (instruments_.used_bytes != nullptr) {
+    instruments_.used_bytes->Set(static_cast<int64_t>(used_bytes_));
+  }
   records_.push_back(std::move(record));
   return written_;
 }
@@ -58,6 +65,9 @@ Status JournalVolume::AppendWithSequence(JournalRecord record) {
   const uint64_t size = record.EncodedSize();
   if (used_bytes_ + size > capacity_bytes_) {
     ++overflows_;
+    if (instruments_.overflows != nullptr) {
+      instruments_.overflows->Increment();
+    }
     return ResourceExhaustedError("journal overflow (receive side)");
   }
   if (records_.empty()) first_seq_ = record.sequence;
@@ -65,6 +75,10 @@ Status JournalVolume::AppendWithSequence(JournalRecord record) {
   used_bytes_ += size;
   peak_used_bytes_ = std::max(peak_used_bytes_, used_bytes_);
   ++appends_;
+  if (instruments_.appends != nullptr) instruments_.appends->Increment();
+  if (instruments_.used_bytes != nullptr) {
+    instruments_.used_bytes->Set(static_cast<int64_t>(used_bytes_));
+  }
   records_.push_back(std::move(record));
   return OkStatus();
 }
@@ -115,6 +129,12 @@ uint64_t JournalVolume::FoldPayload(SequenceNumber seq) {
   used_bytes_ -= freed;
   ++folded_records_;
   folded_bytes_ += freed;
+  if (instruments_.folded_records != nullptr) {
+    instruments_.folded_records->Increment();
+  }
+  if (instruments_.used_bytes != nullptr) {
+    instruments_.used_bytes->Set(static_cast<int64_t>(used_bytes_));
+  }
   return freed;
 }
 
@@ -127,6 +147,9 @@ Status JournalVolume::TrimThrough(SequenceNumber seq) {
     used_bytes_ -= records_.front().EncodedSize();
     records_.pop_front();
     ++first_seq_;
+  }
+  if (instruments_.used_bytes != nullptr) {
+    instruments_.used_bytes->Set(static_cast<int64_t>(used_bytes_));
   }
   return OkStatus();
 }
@@ -147,6 +170,7 @@ void JournalVolume::Reset() {
   written_ = shipped_ = applied_ = kNoSequence;
   first_seq_ = kNoSequence;
   used_bytes_ = 0;
+  if (instruments_.used_bytes != nullptr) instruments_.used_bytes->Set(0);
 }
 
 }  // namespace zerobak::journal

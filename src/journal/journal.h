@@ -10,6 +10,7 @@
 
 #include "common/status.h"
 #include "common/time.h"
+#include "obs/metrics.h"
 
 namespace zerobak::journal {
 
@@ -210,6 +211,14 @@ class JournalVolume {
   // anything in (acked, shipped].
   SequenceNumber acked() const { return applied_; }
 
+  // Ack-time of the oldest live (not yet trimmed) record, or -1 when the
+  // journal holds none. On a main-site journal the primary trims exactly
+  // on apply-acks, so the front record is the oldest *unacked* write —
+  // its age is the group's RPO (see DESIGN.md §5).
+  SimTime oldest_live_ack_time() const {
+    return records_.empty() ? -1 : records_.front().ack_time;
+  }
+
   uint64_t used_bytes() const { return used_bytes_; }
   uint64_t capacity_bytes() const { return capacity_bytes_; }
   double utilization() const {
@@ -234,6 +243,23 @@ class JournalVolume {
   // the journal holds no records and `seq` >= the current written mark.
   Status FastForward(SequenceNumber seq);
 
+  // --- Observability ---------------------------------------------------------
+  // Optional per-journal instruments, updated inline on the hot paths.
+  // Null members are simply skipped; Attach with a default-constructed
+  // struct to detach.
+  struct Instruments {
+    obs::Counter* appends = nullptr;
+    obs::Counter* overflows = nullptr;
+    obs::Counter* folded_records = nullptr;
+    obs::Gauge* used_bytes = nullptr;
+  };
+  void AttachMetrics(const Instruments& instruments) {
+    instruments_ = instruments;
+    if (instruments_.used_bytes != nullptr) {
+      instruments_.used_bytes->Set(static_cast<int64_t>(used_bytes_));
+    }
+  }
+
  private:
   uint64_t capacity_bytes_;
   std::deque<JournalRecord> records_;
@@ -248,6 +274,7 @@ class JournalVolume {
   uint64_t peak_used_bytes_ = 0;
   uint64_t folded_records_ = 0;
   uint64_t folded_bytes_ = 0;
+  Instruments instruments_;
 };
 
 }  // namespace zerobak::journal

@@ -1,0 +1,157 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace zerobak::obs {
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+MetricRegistry::Entry* MetricRegistry::FindOrCreate(const std::string& name,
+                                                    MetricKind kind) {
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    return it->second.kind == kind ? &it->second : nullptr;
+  }
+  Entry& entry = entries_[name];
+  entry.kind = kind;
+  if (kind == MetricKind::kHistogram) {
+    entry.histogram = std::make_unique<Histogram>();
+  }
+  return &entry;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name) {
+  Entry* e = FindOrCreate(name, MetricKind::kCounter);
+  return e == nullptr ? nullptr : &e->counter;
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name) {
+  Entry* e = FindOrCreate(name, MetricKind::kGauge);
+  return e == nullptr ? nullptr : &e->gauge;
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name) {
+  Entry* e = FindOrCreate(name, MetricKind::kHistogram);
+  return e == nullptr ? nullptr : e->histogram.get();
+}
+
+std::vector<MetricSample> MetricRegistry::Snapshot() const {
+  std::vector<MetricSample> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        s.value = static_cast<double>(entry.counter.value());
+        break;
+      case MetricKind::kGauge:
+        s.value = static_cast<double>(entry.gauge.value());
+        break;
+      case MetricKind::kHistogram:
+        s.value = entry.histogram->Mean();
+        s.count = entry.histogram->count();
+        s.p50 = entry.histogram->Percentile(50);
+        s.p99 = entry.histogram->Percentile(99);
+        s.max = entry.histogram->max();
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void MetricRegistry::Reset() {
+  for (auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        entry.counter.Reset();
+        break;
+      case MetricKind::kGauge:
+        entry.gauge.Reset();
+        break;
+      case MetricKind::kHistogram:
+        entry.histogram->Clear();
+        break;
+    }
+  }
+}
+
+std::string MetricRegistry::ToTable() const {
+  size_t width = 0;
+  for (const auto& [name, entry] : entries_) {
+    width = std::max(width, name.size());
+  }
+  std::string out;
+  char buf[512];
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        std::snprintf(buf, sizeof(buf), "%-*s %20" PRIu64 "\n",
+                      static_cast<int>(width), name.c_str(),
+                      entry.counter.value());
+        break;
+      case MetricKind::kGauge:
+        std::snprintf(buf, sizeof(buf), "%-*s %20" PRId64 "\n",
+                      static_cast<int>(width), name.c_str(),
+                      entry.gauge.value());
+        break;
+      case MetricKind::kHistogram:
+        std::snprintf(buf, sizeof(buf), "%-*s %s\n",
+                      static_cast<int>(width), name.c_str(),
+                      entry.histogram->ToString().c_str());
+        break;
+    }
+    out += buf;
+  }
+  return out;
+}
+
+std::string MetricRegistry::ToJson() const {
+  std::string out = "{";
+  char buf[256];
+  bool first = true;
+  auto emit = [&](const std::string& key, const char* fmt, auto value) {
+    std::snprintf(buf, sizeof(buf), fmt, value);
+    if (!first) out += ",";
+    first = false;
+    out += "\n  \"" + key + "\": ";
+    out += buf;
+  };
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        emit(name, "%" PRIu64, entry.counter.value());
+        break;
+      case MetricKind::kGauge:
+        emit(name, "%" PRId64, entry.gauge.value());
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram* h = entry.histogram.get();
+        emit(name + ".count", "%" PRIu64, h->count());
+        emit(name + ".mean", "%.3f", h->Mean());
+        emit(name + ".p50", "%.1f", h->Percentile(50));
+        emit(name + ".p99", "%.1f", h->Percentile(99));
+        emit(name + ".max", "%" PRIu64, h->max());
+        break;
+      }
+    }
+  }
+  out += "\n}";
+  return out;
+}
+
+}  // namespace zerobak::obs

@@ -1,0 +1,111 @@
+#ifndef ZEROBAK_OBS_METRICS_H_
+#define ZEROBAK_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace zerobak::obs {
+
+// Dependency-free metrics layer. A MetricRegistry owns named instruments;
+// instrumented code holds raw Counter/Gauge/Histogram pointers obtained
+// once at attach time, so the hot path is a single inline add — no name
+// lookup, no hashing, no allocation. Names are hierarchical dot-paths
+// ("replication.batches_shipped", "link.main_to_backup.bytes"); see
+// DESIGN.md §5 for the namespace conventions.
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+// Point-in-time level (journal depth, batch size); may go down.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_ = v; }
+  void Add(int64_t delta) { value_ += delta; }
+  int64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+const char* MetricKindName(MetricKind kind);
+
+// One row of a registry snapshot.
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  // Counter/gauge value; for histograms, the mean.
+  double value = 0;
+  // Histogram-only summary (count == 0 for scalar metrics).
+  uint64_t count = 0;
+  double p50 = 0;
+  double p99 = 0;
+  uint64_t max = 0;
+};
+
+// Find-or-create registry of named instruments. Pointers returned by the
+// Get* methods stay valid for the registry's lifetime (node-based map), so
+// callers cache them once and update without any lookup. A name is bound
+// to one kind forever; a kind-mismatched Get* returns nullptr instead of
+// silently aliasing.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  bool Has(const std::string& name) const {
+    return entries_.contains(name);
+  }
+  size_t size() const { return entries_.size(); }
+
+  // All metrics in name order.
+  std::vector<MetricSample> Snapshot() const;
+  // Zeroes every instrument but keeps the registrations (cached pointers
+  // stay valid and live).
+  void Reset();
+
+  // Aligned human-readable table, one metric per line.
+  std::string ToTable() const;
+  // Single JSON object: {"name": value, ...}; histograms expand into
+  // .count/.mean/.p50/.p99/.max sub-keys. Machine-readable counterpart of
+  // ToTable for scripts/.
+  std::string ToJson() const;
+
+ private:
+  struct Entry {
+    MetricKind kind = MetricKind::kCounter;
+    Counter counter;
+    Gauge gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* FindOrCreate(const std::string& name, MetricKind kind);
+
+  // std::map: stable Entry addresses across inserts + sorted iteration
+  // for Snapshot/ToTable.
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace zerobak::obs
+
+#endif  // ZEROBAK_OBS_METRICS_H_

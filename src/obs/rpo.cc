@@ -1,0 +1,92 @@
+#include "obs/rpo.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+namespace zerobak::obs {
+
+RpoTracker::RpoTracker(sim::SimEnvironment* env, Sampler sampler,
+                       SimDuration interval, size_t points_capacity)
+    : env_(env),
+      sampler_(std::move(sampler)),
+      points_capacity_(points_capacity == 0 ? 1 : points_capacity),
+      task_(env, interval, [this] { SampleOnce(); }) {}
+
+void RpoTracker::SampleOnce() {
+  if (!sampler_) return;
+  const SimTime now = env_->now();
+  for (const GroupSample& s : sampler_()) {
+    GroupRpoSeries& series = series_[s.group];
+    series.points.push_back(RpoPoint{now, s.rpo});
+    if (series.points.size() > points_capacity_) series.points.pop_front();
+    series.histogram.Add(static_cast<uint64_t>(s.rpo));
+    series.max_rpo = std::max(series.max_rpo, s.rpo);
+    ++series.samples;
+    if (s.rpo == 0) ++series.zero_samples;
+  }
+}
+
+const GroupRpoSeries* RpoTracker::series(uint64_t group) const {
+  auto it = series_.find(group);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+std::vector<uint64_t> RpoTracker::Groups() const {
+  std::vector<uint64_t> out;
+  for (const auto& [group, s] : series_) out.push_back(group);
+  return out;
+}
+
+void RpoTracker::BeginOutage(uint64_t group) {
+  outage_start_[group] = env_->now();
+}
+
+void RpoTracker::CompleteRecovery(uint64_t group) {
+  auto it = outage_start_.find(group);
+  if (it == outage_start_.end()) return;
+  rtos_[group].push_back(env_->now() - it->second);
+  outage_start_.erase(it);
+}
+
+const std::vector<SimDuration>& RpoTracker::rtos(uint64_t group) const {
+  static const std::vector<SimDuration> kEmpty;
+  auto it = rtos_.find(group);
+  return it == rtos_.end() ? kEmpty : it->second;
+}
+
+std::string RpoTracker::ToString() const {
+  std::string out;
+  char buf[256];
+  for (const auto& [group, s] : series_) {
+    const double zero_frac =
+        s.samples == 0 ? 0.0
+                       : static_cast<double>(s.zero_samples) /
+                             static_cast<double>(s.samples);
+    std::snprintf(buf, sizeof(buf),
+                  "group %-3" PRIu64 " samples=%" PRIu64
+                  " zero=%.1f%% mean=%s p99=%s max=%s",
+                  group, s.samples, zero_frac * 100.0,
+                  FormatDuration(static_cast<SimDuration>(s.histogram.Mean()))
+                      .c_str(),
+                  FormatDuration(
+                      static_cast<SimDuration>(s.histogram.Percentile(99)))
+                      .c_str(),
+                  FormatDuration(s.max_rpo).c_str());
+    out += buf;
+    auto rit = rtos_.find(group);
+    if (rit != rtos_.end() && !rit->second.empty()) {
+      out += " rto=[";
+      for (size_t i = 0; i < rit->second.size(); ++i) {
+        if (i > 0) out += " ";
+        out += FormatDuration(rit->second[i]);
+      }
+      out += "]";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace zerobak::obs

@@ -1,0 +1,100 @@
+#ifndef ZEROBAK_OBS_RPO_H_
+#define ZEROBAK_OBS_RPO_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/time.h"
+#include "sim/environment.h"
+
+namespace zerobak::obs {
+
+// One RPO observation of one group.
+struct RpoPoint {
+  SimTime time = 0;
+  SimDuration rpo = 0;
+};
+
+// Per-group time series + distribution of sampled RPO values.
+struct GroupRpoSeries {
+  // Newest-capacity points (older ones roll off the front).
+  std::deque<RpoPoint> points;
+  // Every sample ever taken feeds the histogram (ns), so percentiles do
+  // not lose the rolled-off history.
+  Histogram histogram;
+  SimDuration max_rpo = 0;
+  uint64_t samples = 0;
+  // Samples where the group was fully caught up (rpo == 0).
+  uint64_t zero_samples = 0;
+};
+
+// Samples each replication group's current RPO on an Environment timer to
+// build a continuous time series, and records RTO across failovers.
+//
+// The RPO definition (DESIGN.md §5): zero when acked == written (nothing
+// the backup has not confirmed), otherwise the age of the oldest unacked
+// write — the data you would lose if the main site died right now.
+// The tracker does not compute this itself; the sampler callback (usually
+// a thin lambda over ReplicationEngine::GroupRpo) returns the per-group
+// values so obs stays independent of the replication layer.
+//
+// RTO: the caller brackets an outage with BeginOutage (disaster instant)
+// and CompleteRecovery (business resumed on the backup site); the elapsed
+// simulated time is the recovery time objective actually achieved.
+class RpoTracker {
+ public:
+  struct GroupSample {
+    uint64_t group = 0;
+    SimDuration rpo = 0;
+  };
+  using Sampler = std::function<std::vector<GroupSample>()>;
+
+  RpoTracker(sim::SimEnvironment* env, Sampler sampler,
+             SimDuration interval = Milliseconds(10),
+             size_t points_capacity = 4096);
+
+  RpoTracker(const RpoTracker&) = delete;
+  RpoTracker& operator=(const RpoTracker&) = delete;
+
+  // Starts/stops the periodic sampling task.
+  void Start() { task_.Start(); }
+  void Stop() { task_.Stop(); }
+  bool running() const { return task_.running(); }
+  SimDuration interval() const { return task_.interval(); }
+
+  // Takes one sample immediately (also called by the timer).
+  void SampleOnce();
+
+  const GroupRpoSeries* series(uint64_t group) const;
+  std::vector<uint64_t> Groups() const;
+
+  // --- RTO bookkeeping ---
+  void BeginOutage(uint64_t group);
+  // Records now - outage_start as an achieved RTO; no-op without a
+  // matching BeginOutage.
+  void CompleteRecovery(uint64_t group);
+  // Achieved recovery times, in completion order.
+  const std::vector<SimDuration>& rtos(uint64_t group) const;
+
+  // Per-group summary table: samples, zero fraction, mean/p99/max RPO,
+  // recorded RTOs.
+  std::string ToString() const;
+
+ private:
+  sim::SimEnvironment* env_;
+  Sampler sampler_;
+  size_t points_capacity_;
+  sim::PeriodicTask task_;
+  std::map<uint64_t, GroupRpoSeries> series_;
+  std::map<uint64_t, SimTime> outage_start_;
+  std::map<uint64_t, std::vector<SimDuration>> rtos_;
+};
+
+}  // namespace zerobak::obs
+
+#endif  // ZEROBAK_OBS_RPO_H_

@@ -1,0 +1,28 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace zerobak::obs {
+
+std::string TraceRing::ToString(size_t last_n) const {
+  std::vector<TraceRecord> events = Events();
+  size_t start = 0;
+  if (last_n > 0 && events.size() > last_n) {
+    start = events.size() - last_n;
+  }
+  std::string out;
+  char buf[160];
+  for (size_t i = start; i < events.size(); ++i) {
+    const TraceRecord& r = events[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%12s  %-16s subject=%" PRIu64 " arg0=%" PRIu64
+                  " arg1=%" PRIu64 "\n",
+                  FormatDuration(r.time).c_str(), TraceEventName(r.event),
+                  r.subject, r.arg0, r.arg1);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace zerobak::obs

@@ -1,0 +1,143 @@
+#ifndef ZEROBAK_OBS_TRACE_H_
+#define ZEROBAK_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace zerobak::obs {
+
+// Replication state-transition events. The trace is the narrative the
+// metrics can't tell: WHEN the group suspended, WHY, and what happened
+// around it. See DESIGN.md §5 for the per-event meaning of arg0/arg1.
+enum class TraceEvent : uint8_t {
+  kBatchShipped,     // arg0 = last sequence, arg1 = wire bytes.
+  kBatchAcked,       // arg0 = acked sequence.
+  kBatchNacked,      // arg0 = cumulative checksum rejects.
+  kSuspend,          // arg0 = SuspendReason.
+  kResyncStart,      // arg0 = extents captured, arg1 = blocks captured.
+  kResyncDone,       // arg0 = resync epoch.
+  kFailover,         // arg0 = recovery point sequence, arg1 = lost records.
+  kFailback,         // arg0 = blocks shipped, arg1 = conflicts overwritten.
+  kJournalOverflow,  // arg0 = journal used bytes at overflow.
+  kLinkDown,         // Subject is the link id passed at attach time.
+  kLinkUp,
+};
+
+inline const char* TraceEventName(TraceEvent event) {
+  switch (event) {
+    case TraceEvent::kBatchShipped:
+      return "batch-shipped";
+    case TraceEvent::kBatchAcked:
+      return "batch-acked";
+    case TraceEvent::kBatchNacked:
+      return "batch-nacked";
+    case TraceEvent::kSuspend:
+      return "suspend";
+    case TraceEvent::kResyncStart:
+      return "resync-start";
+    case TraceEvent::kResyncDone:
+      return "resync-done";
+    case TraceEvent::kFailover:
+      return "failover";
+    case TraceEvent::kFailback:
+      return "failback";
+    case TraceEvent::kJournalOverflow:
+      return "journal-overflow";
+    case TraceEvent::kLinkDown:
+      return "link-down";
+    case TraceEvent::kLinkUp:
+      return "link-up";
+  }
+  return "?";
+}
+
+struct TraceRecord {
+  SimTime time = 0;
+  TraceEvent event = TraceEvent::kBatchShipped;
+  // Group id for replication events; link id for kLinkDown/kLinkUp.
+  uint64_t subject = 0;
+  uint64_t arg0 = 0;
+  uint64_t arg1 = 0;
+};
+
+// Fixed-capacity ring of state-transition events with simulated
+// timestamps. Recording is O(1) and allocation-free after construction;
+// when the ring is full the oldest event is overwritten (and counted in
+// dropped()). Header-only so even leaf libraries (sim, journal) can record
+// without a link-time dependency on zb_obs.
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity = 4096)
+      : ring_(capacity == 0 ? 1 : capacity) {}
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  void Record(SimTime time, TraceEvent event, uint64_t subject,
+              uint64_t arg0 = 0, uint64_t arg1 = 0) {
+    TraceRecord& slot = ring_[head_];
+    slot.time = time;
+    slot.event = event;
+    slot.subject = subject;
+    slot.arg0 = arg0;
+    slot.arg1 = arg1;
+    head_ = (head_ + 1) % ring_.size();
+    if (size_ < ring_.size()) {
+      ++size_;
+    } else {
+      ++dropped_;
+    }
+    ++total_recorded_;
+  }
+
+  size_t capacity() const { return ring_.size(); }
+  size_t size() const { return size_; }
+  // Every Record() call ever made, including overwritten ones.
+  uint64_t total_recorded() const { return total_recorded_; }
+  // Events overwritten because the ring was full.
+  uint64_t dropped() const { return dropped_; }
+
+  // Retained events, oldest first.
+  std::vector<TraceRecord> Events() const {
+    std::vector<TraceRecord> out;
+    out.reserve(size_);
+    const size_t start = (head_ + ring_.size() - size_) % ring_.size();
+    for (size_t i = 0; i < size_; ++i) {
+      out.push_back(ring_[(start + i) % ring_.size()]);
+    }
+    return out;
+  }
+
+  // Retained events for one subject (group/link), oldest first.
+  std::vector<TraceRecord> EventsFor(uint64_t subject) const {
+    std::vector<TraceRecord> out;
+    for (const TraceRecord& r : Events()) {
+      if (r.subject == subject) out.push_back(r);
+    }
+    return out;
+  }
+
+  void Clear() {
+    head_ = 0;
+    size_ = 0;
+    dropped_ = 0;
+    total_recorded_ = 0;
+  }
+
+  // Human-readable dump of the newest `last_n` events (0 = all retained).
+  std::string ToString(size_t last_n = 0) const;
+
+ private:
+  std::vector<TraceRecord> ring_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t total_recorded_ = 0;
+};
+
+}  // namespace zerobak::obs
+
+#endif  // ZEROBAK_OBS_TRACE_H_

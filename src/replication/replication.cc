@@ -197,6 +197,7 @@ StatusOr<GroupId> ReplicationEngine::CreateConsistencyGroup(
       env_, raw->config.transfer_interval, [this, raw] { PumpGroup(raw); });
   group->transfer_task->Start();
   groups_.emplace(id, std::move(group));
+  if (registry_ != nullptr) InstrumentGroupJournals(raw);
   return id;
 }
 
@@ -247,7 +248,7 @@ StatusOr<GroupStats> ReplicationEngine::GetGroupStats(GroupId id) const {
   stats.ack_timeouts = group->ack_timeouts;
   stats.resync_timeouts = group->resync_timeouts;
   stats.auto_resync_attempts = group->auto_resync_attempts;
-  stats.apply_lag = env_->now() - group->last_applied_ack_time;
+  stats.apply_lag = ComputeGroupRpo(group);
   stats.records_folded = group->records_folded;
   stats.folded_bytes_saved = group->folded_bytes_saved;
   stats.resync_extents = group->resync_extents;
@@ -261,7 +262,89 @@ StatusOr<GroupStats> ReplicationEngine::GetGroupStats(GroupId id) const {
           : static_cast<double>(group->logical_bytes_shipped) /
                 static_cast<double>(group->wire_bytes_shipped);
   stats.checksum_rejects = group->checksum_rejects;
+  stats.compression_ratio_window =
+      group->window_wire_bytes == 0
+          ? 1.0
+          : static_cast<double>(group->window_logical_bytes) /
+                static_cast<double>(group->window_wire_bytes);
+  stats.compression_window_batches = group->recent_batches.size();
   return stats;
+}
+
+SimDuration ReplicationEngine::ComputeGroupRpo(const Group* group) const {
+  // Two sources of unsynchronized data, take the older:
+  //  - the primary journal's backlog (its front record is the oldest
+  //    write the backup site has not acknowledged), and
+  //  - dirty-bitmap backlog from suspensions/divergence, whose oldest
+  //    host-ack instant is tracked in oldest_unsynced_time.
+  // Neither present -> everything the host ever wrote is acknowledged by
+  // the backup site and the RPO is exactly zero.
+  SimTime oldest = group->oldest_unsynced_time;
+  auto* pj = primary_->GetJournal(group->primary_journal);
+  if (pj != nullptr && pj->acked() < pj->written()) {
+    const SimTime front = pj->oldest_live_ack_time();
+    if (front >= 0 && (oldest < 0 || front < oldest)) oldest = front;
+  }
+  if (oldest < 0) return 0;
+  return env_->now() - oldest;
+}
+
+StatusOr<SimDuration> ReplicationEngine::GroupRpo(GroupId id) const {
+  const Group* group = FindGroup(id);
+  if (group == nullptr) return NotFoundError("group " + std::to_string(id));
+  return ComputeGroupRpo(group);
+}
+
+Status ReplicationEngine::SetGroupCompression(GroupId id, bool compress) {
+  Group* group = FindGroup(id);
+  if (group == nullptr) return NotFoundError("group " + std::to_string(id));
+  group->config.compress_transfers = compress;
+  return OkStatus();
+}
+
+void ReplicationEngine::AttachObservability(obs::MetricRegistry* registry,
+                                            obs::TraceRing* trace) {
+  registry_ = registry;
+  trace_ = trace;
+  if (registry == nullptr) {
+    ins_ = EngineInstruments{};
+    return;
+  }
+  ins_.batches_shipped = registry->GetCounter("replication.batches_shipped");
+  ins_.records_shipped = registry->GetCounter("replication.records_shipped");
+  ins_.wire_bytes_shipped =
+      registry->GetCounter("replication.wire_bytes_shipped");
+  ins_.logical_bytes_shipped =
+      registry->GetCounter("replication.logical_bytes_shipped");
+  ins_.batches_acked = registry->GetCounter("replication.batches_acked");
+  ins_.batches_nacked = registry->GetCounter("replication.batches_nacked");
+  ins_.apply_batches = registry->GetCounter("replication.apply_batches");
+  ins_.records_applied = registry->GetCounter("replication.records_applied");
+  ins_.suspends = registry->GetCounter("replication.suspends");
+  ins_.resyncs = registry->GetCounter("replication.resyncs");
+  ins_.failovers = registry->GetCounter("replication.failovers");
+  ins_.failbacks = registry->GetCounter("replication.failbacks");
+  ins_.batch_wire_bytes =
+      registry->GetHistogram("replication.batch_wire_bytes");
+  ins_.batch_records = registry->GetHistogram("replication.batch_records");
+  for (auto& [id, group] : groups_) InstrumentGroupJournals(group.get());
+}
+
+void ReplicationEngine::InstrumentGroupJournals(Group* group) {
+  if (registry_ == nullptr) return;
+  const std::string prefix = "journal.g" + std::to_string(group->id);
+  auto wire = [&](journal::JournalVolume* jnl, const std::string& side) {
+    if (jnl == nullptr) return;
+    journal::JournalVolume::Instruments ins;
+    ins.appends = registry_->GetCounter(prefix + "." + side + ".appends");
+    ins.overflows = registry_->GetCounter(prefix + "." + side + ".overflows");
+    ins.folded_records =
+        registry_->GetCounter(prefix + "." + side + ".folded_records");
+    ins.used_bytes = registry_->GetGauge(prefix + "." + side + ".used_bytes");
+    jnl->AttachMetrics(ins);
+  };
+  wire(primary_->GetJournal(group->primary_journal), "main");
+  wire(secondary_->GetJournal(group->secondary_journal), "backup");
 }
 
 StatusOr<std::string> ReplicationEngine::GetGroupName(GroupId id) const {
@@ -430,11 +513,13 @@ void ReplicationEngine::OnAsyncHostWrite(
     // serving the host (main-site survivors see no error). Track the
     // divergence so failback can detect a split brain.
     pair->dirty_.SetRange(lba, count);
+    NoteUnsynced(group, env_->now());
     ack(OkStatus());
     return;
   }
   if (group->suspended) {
     pair->dirty_.SetRange(lba, count);
+    NoteUnsynced(group, env_->now());
     ack(OkStatus());
     return;
   }
@@ -460,8 +545,13 @@ void ReplicationEngine::OnAsyncHostWrite(
     ZB_LOG(Warning) << "group " << group->id
                     << " journal overflow; suspending: "
                     << seq_or.status();
+    if (trace_ != nullptr) {
+      trace_->Record(env_->now(), obs::TraceEvent::kJournalOverflow,
+                     group->id, jnl->used_bytes());
+    }
     SuspendOnFailure(group, SuspendReason::kJournalOverflow);
     pair->dirty_.SetRange(lba, count);
+    NoteUnsynced(group, env_->now());
   }
   // The ADC ack does not wait for anything remote: this is the paper's
   // "no system slowdown" property.
@@ -622,6 +712,13 @@ void ReplicationEngine::PumpGroup(Group* group) {
           // suspends and reships via the resync machinery (the armed ack
           // deadline is the fallback if the nack itself is lost).
           ++g->checksum_rejects;
+          if (ins_.batches_nacked != nullptr) {
+            ins_.batches_nacked->Increment();
+          }
+          if (trace_ != nullptr) {
+            trace_->Record(env_->now(), obs::TraceEvent::kBatchNacked,
+                           group_id, g->checksum_rejects);
+          }
           ZB_LOG(Warning) << "group " << group_id
                           << " rejected wire frame: " << decoded.status();
           SendWireNack(g);
@@ -652,6 +749,32 @@ void ReplicationEngine::PumpGroup(Group* group) {
     records_shipped_ += views.size();
     group->wire_bytes_shipped += wire_bytes;
     group->logical_bytes_shipped += enc.logical_bytes;
+    // Windowed compression accounting: keep the last
+    // kCompressionWindowBatches batches so operators see the ratio the
+    // *current* workload achieves, not a lifetime average diluted by
+    // history.
+    group->recent_batches.emplace_back(wire_bytes, enc.logical_bytes);
+    group->window_wire_bytes += wire_bytes;
+    group->window_logical_bytes += enc.logical_bytes;
+    while (group->recent_batches.size() > kCompressionWindowBatches) {
+      group->window_wire_bytes -= group->recent_batches.front().first;
+      group->window_logical_bytes -= group->recent_batches.front().second;
+      group->recent_batches.pop_front();
+    }
+    // The instruments are attached (or left null) as one block, so a
+    // single null check covers the whole update.
+    if (ins_.batches_shipped != nullptr) {
+      ins_.batches_shipped->Increment();
+      ins_.records_shipped->Increment(views.size());
+      ins_.wire_bytes_shipped->Increment(wire_bytes);
+      ins_.logical_bytes_shipped->Increment(enc.logical_bytes);
+      ins_.batch_wire_bytes->Add(wire_bytes);
+      ins_.batch_records->Add(views.size());
+    }
+    if (trace_ != nullptr) {
+      trace_->Record(env_->now(), obs::TraceEvent::kBatchShipped, group->id,
+                     last, wire_bytes);
+    }
     // "Shipped" only means handed to the link; the batch (or its ack) can
     // still be lost to a partition. Arm a deadline so a silent loss
     // surfaces as a suspension instead of a stalled watermark.
@@ -728,6 +851,11 @@ void ReplicationEngine::ArmResyncDeadline(Group* group, uint64_t resync_id) {
 void ReplicationEngine::SuspendOnFailure(Group* group, SuspendReason reason) {
   MarkGroupSuspended(group);
   group->suspend_reason = reason;
+  if (ins_.suspends != nullptr) ins_.suspends->Increment();
+  if (trace_ != nullptr) {
+    trace_->Record(env_->now(), obs::TraceEvent::kSuspend, group->id,
+                   static_cast<uint64_t>(reason));
+  }
   ScheduleResyncRetry(group, /*reset_backoff=*/true);
 }
 
@@ -817,6 +945,10 @@ void ReplicationEngine::ApplyBatch(Group* group,
                                    journal::SequenceNumber last) {
   auto* sj = secondary_->GetJournal(group->secondary_journal);
   ZB_CHECK(sj != nullptr);
+  if (ins_.apply_batches != nullptr) {
+    ins_.apply_batches->Increment();
+    ins_.records_applied->Increment(last - first + 1);
+  }
   // Bucket the batch per volume. std::map keeps the volume order (and so
   // the whole apply) deterministic across runs and stdlibs.
   std::map<uint64_t, std::vector<const journal::JournalRecord*>> by_volume;
@@ -893,6 +1025,11 @@ void ReplicationEngine::SendApplyAck(Group* group,
         // Records applied remotely are safe to trim from the main journal.
         if (seq <= pj->written()) {
           (void)pj->TrimThrough(seq);
+          if (ins_.batches_acked != nullptr) ins_.batches_acked->Increment();
+          if (trace_ != nullptr) {
+            trace_->Record(env_->now(), obs::TraceEvent::kBatchAcked,
+                           group_id, seq);
+          }
         }
       });
   (void)sent;  // A lost ack only delays trimming.
@@ -971,6 +1108,7 @@ void ReplicationEngine::StartInitialCopy(Pair* pair, Group* group) {
     for (uint64_t lba = 0; lba < pvol->block_count(); ++lba) {
       if (pvol->store().IsAllocated(lba)) pair->dirty_.Set(lba);
     }
+    if (group != nullptr) NoteUnsynced(group, env_->now());
   }
 }
 
@@ -1048,6 +1186,13 @@ void ReplicationEngine::MarkGroupSuspended(Group* group) {
   // shipped one: "shipped" only means handed to the link, and a partition
   // drops in-flight traffic, losing everything in (acked, shipped].
   if (jnl != nullptr) {
+    // The backlog's front record is the oldest write the backup never
+    // acknowledged; its host-ack instant dates the dirty blocks it is
+    // about to become, keeping the RPO honest across the suspension.
+    const SimTime front_time = jnl->oldest_live_ack_time();
+    if (jnl->acked() < jnl->written() && front_time >= 0) {
+      NoteUnsynced(group, front_time);
+    }
     std::vector<const journal::JournalRecord*> rest;
     jnl->PeekViews(jnl->acked(), UINT64_MAX, &rest);
     for (const journal::JournalRecord* rec : rest) {
@@ -1077,6 +1222,18 @@ void ReplicationEngine::MarkGroupSuspended(Group* group) {
     }
     pair->state_ = PairState::kSuspended;
   }
+  if (group->oldest_unsynced_time < 0) {
+    // Dirty blocks of unknown age (restored resync extents, initial-copy
+    // backlog): date them now — an under-estimate, but it keeps the RPO
+    // nonzero while data is provably unsynchronized.
+    for (PairId pid : group->pairs) {
+      Pair* pair = FindPair(pid);
+      if (pair != nullptr && !pair->dirty_.empty()) {
+        NoteUnsynced(group, env_->now());
+        break;
+      }
+    }
+  }
 }
 
 Status ReplicationEngine::SuspendGroup(GroupId id) {
@@ -1094,6 +1251,11 @@ Status ReplicationEngine::SuspendGroup(GroupId id) {
   }
   MarkGroupSuspended(group);
   group->suspend_reason = SuspendReason::kOperator;
+  if (ins_.suspends != nullptr) ins_.suspends->Increment();
+  if (trace_ != nullptr) {
+    trace_->Record(env_->now(), obs::TraceEvent::kSuspend, group->id,
+                   static_cast<uint64_t>(SuspendReason::kOperator));
+  }
   CancelResyncRetry(group);
   return OkStatus();
 }
@@ -1201,6 +1363,23 @@ Status ReplicationEngine::ResyncGroup(GroupId id) {
             pair->state_ = PairState::kPaired;
           }
         }
+        // The bitmap backlog is drained: the primary journal's front
+        // record takes over as the group's oldest-unsynced bound. Any
+        // residual dirty blocks (captured after this batch) keep the old
+        // bound, which can only over-estimate the RPO.
+        bool residue = false;
+        for (PairId pid : g->pairs) {
+          Pair* pair = FindPair(pid);
+          if (pair != nullptr && !pair->dirty_.empty()) {
+            residue = true;
+            break;
+          }
+        }
+        if (!residue) g->oldest_unsynced_time = -1;
+        if (trace_ != nullptr) {
+          trace_->Record(env_->now(), obs::TraceEvent::kResyncDone, group_id,
+                         resync_id);
+        }
         g->suspend_reason = SuspendReason::kNone;
         ApplyPending(g);
       });
@@ -1213,6 +1392,11 @@ Status ReplicationEngine::ResyncGroup(GroupId id) {
   ProtectInflightResync(group);
   group->resync_extents += extents->size();
   group->resync_blocks += total_blocks;
+  if (ins_.resyncs != nullptr) ins_.resyncs->Increment();
+  if (trace_ != nullptr) {
+    trace_->Record(env_->now(), obs::TraceEvent::kResyncStart, id,
+                   extents->size(), total_blocks);
+  }
   // The resync batch itself can be dropped by a partition; watch for it.
   ArmResyncDeadline(group, resync_id);
   return OkStatus();
@@ -1297,6 +1481,13 @@ StatusOr<FailoverReport> ReplicationEngine::FailoverGroup(GroupId id) {
   auto* pj = primary_->GetJournal(group->primary_journal);
   if (pj != nullptr && pj->written() >= report.recovery_point) {
     report.lost_records = pj->written() - report.recovery_point;
+  }
+  // Divergence tracking restarts from the takeover instant.
+  group->oldest_unsynced_time = -1;
+  if (ins_.failovers != nullptr) ins_.failovers->Increment();
+  if (trace_ != nullptr) {
+    trace_->Record(env_->now(), obs::TraceEvent::kFailover, id,
+                   report.recovery_point, report.lost_records);
   }
 
   // Promote the S-VOLs: swap the write guards for dirty trackers so the
@@ -1409,6 +1600,9 @@ StatusOr<FailbackReport> ReplicationEngine::FailbackGroup(GroupId id,
   ++group->ship_epoch;
   group->giveback_in_flight = true;
   group->last_applied_ack_time = env_->now();
+  // Giveback writes are dirty-marked AND journaled forward, so the dirty
+  // bits do not represent unsynced data; the journal bound covers them.
+  group->oldest_unsynced_time = -1;
   group->transfer_task->Start();
 
   const GroupId group_id = id;
@@ -1451,6 +1645,11 @@ StatusOr<FailbackReport> ReplicationEngine::FailbackGroup(GroupId id,
   if (!sent.ok()) {
     group->giveback_in_flight = false;
     return sent;
+  }
+  if (ins_.failbacks != nullptr) ins_.failbacks->Increment();
+  if (trace_ != nullptr) {
+    trace_->Record(env_->now(), obs::TraceEvent::kFailback, id,
+                   report.blocks_shipped, report.conflicts_overwritten);
   }
   return report;
 }

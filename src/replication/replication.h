@@ -9,12 +9,15 @@
 #include <string_view>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/time.h"
 #include "journal/journal.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "replication/dirty_bitmap.h"
 #include "sim/environment.h"
 #include "sim/network.h"
@@ -141,8 +144,12 @@ struct GroupStats {
   uint64_t ack_timeouts = 0;
   uint64_t resync_timeouts = 0;
   uint64_t auto_resync_attempts = 0;
-  // Age of the newest applied record relative to the newest written one
-  // (an RPO estimate while the system is healthy).
+  // The group's RPO: 0 when every write is acknowledged by the backup
+  // site (acked == written and nothing is dirty), otherwise the age of
+  // the oldest unacknowledged write — the data that would be lost if the
+  // main site died right now. An idle, fully-caught-up group reports 0
+  // no matter how long it sits (the old `now - last_applied_ack_time`
+  // formula grew without bound on a quiescent group).
   SimDuration apply_lag = 0;
   // --- Transfer-pipeline health ---
   // Records tombstoned by write-folding and the payload bytes that never
@@ -161,6 +168,13 @@ struct GroupStats {
   uint64_t logical_bytes_shipped = 0;
   // logical / wire (>= 1 when compression wins; 1.0 before any traffic).
   double compression_ratio = 1.0;
+  // Same ratio over only the newest kCompressionWindowBatches shipped
+  // batches, so a config change (toggling compress_transfers) or a shift
+  // in data compressibility shows up immediately instead of being
+  // averaged away by hours of history.
+  double compression_ratio_window = 1.0;
+  // Batches currently inside that window.
+  uint64_t compression_window_batches = 0;
   // Batches the backup site rejected on checksum mismatch (each one
   // nacks, suspends the group and reships via auto-resync).
   uint64_t checksum_rejects = 0;
@@ -304,6 +318,24 @@ class ReplicationEngine {
   // True once every pair of the group has finished its initial copy.
   bool GroupInitialCopyDone(GroupId id) const;
 
+  // Toggles wire-frame body compression for an existing group. Takes
+  // effect on the next shipped batch; the windowed compression ratio in
+  // GroupStats reflects the change within kCompressionWindowBatches.
+  Status SetGroupCompression(GroupId id, bool compress);
+
+  // The group's current RPO (same definition as GroupStats::apply_lag),
+  // cheap enough to poll on a timer — this is what RpoTracker samples.
+  StatusOr<SimDuration> GroupRpo(GroupId id) const;
+
+  // --- Observability --------------------------------------------------------
+  // Attaches (or, with nulls, detaches) a metric registry and a trace
+  // ring. Counters/histograms are resolved once here and updated through
+  // cached pointers; every hot-path hook is a single pointer check when
+  // detached. Journals of existing and future groups are instrumented
+  // under "journal.g<id>.{main,backup}.*".
+  void AttachObservability(obs::MetricRegistry* registry,
+                           obs::TraceRing* trace);
+
   // --- Introspection for tests/benches -------------------------------------
   journal::JournalVolume* primary_journal(GroupId id);
   journal::JournalVolume* secondary_journal(GroupId id);
@@ -360,6 +392,11 @@ class ReplicationEngine {
     bool giveback_in_flight = false;
     // Apply-side: ack_time of the newest applied record.
     SimTime last_applied_ack_time = 0;
+    // Host-ack time of the oldest write living only in dirty bitmaps
+    // (suspension backlog, failed-over divergence); -1 when none. The
+    // group's RPO is the age of the older of this and the primary
+    // journal's front record.
+    SimTime oldest_unsynced_time = -1;
 
     // --- Failure detection / auto-resync state ---
     // Bumped when the journal's sequence space restarts (failback resets
@@ -395,6 +432,11 @@ class ReplicationEngine {
     uint64_t wire_bytes_shipped = 0;
     uint64_t logical_bytes_shipped = 0;
     uint64_t checksum_rejects = 0;
+    // Sliding window of the newest shipped batches' (wire, logical)
+    // sizes, with running sums, for the windowed compression ratio.
+    std::deque<std::pair<uint64_t, uint64_t>> recent_batches;
+    uint64_t window_wire_bytes = 0;
+    uint64_t window_logical_bytes = 0;
   };
 
   // Write-path handlers, called by the interceptors.
@@ -445,6 +487,19 @@ class ReplicationEngine {
   void CancelResyncRetry(Group* group);
   void TryAutoResync(GroupId id);
 
+  // Folds the age of the primary journal's oldest unacked record with the
+  // group's dirty-bitmap backlog into the RPO reported by GroupStats.
+  SimDuration ComputeGroupRpo(const Group* group) const;
+  // Pulls `time` (an unsynced write's host-ack instant) into the group's
+  // oldest-unsynced bound.
+  static void NoteUnsynced(Group* group, SimTime time) {
+    if (group->oldest_unsynced_time < 0 || time < group->oldest_unsynced_time) {
+      group->oldest_unsynced_time = time;
+    }
+  }
+  // Registers the group's two journals with the attached registry.
+  void InstrumentGroupJournals(Group* group);
+
   Group* FindGroup(GroupId id);
   const Group* FindGroup(GroupId id) const;
   Pair* FindPair(PairId id);
@@ -475,6 +530,30 @@ class ReplicationEngine {
   double wire_corrupt_probability_ = 0.0;
   uint64_t wire_frames_corrupted_ = 0;
   Rng wire_corrupt_rng_{0xc0dec0de};
+
+  // --- Observability (null when detached; hooks are pointer checks) ---
+  obs::MetricRegistry* registry_ = nullptr;
+  obs::TraceRing* trace_ = nullptr;
+  struct EngineInstruments {
+    obs::Counter* batches_shipped = nullptr;
+    obs::Counter* records_shipped = nullptr;
+    obs::Counter* wire_bytes_shipped = nullptr;
+    obs::Counter* logical_bytes_shipped = nullptr;
+    obs::Counter* batches_acked = nullptr;
+    obs::Counter* batches_nacked = nullptr;
+    obs::Counter* apply_batches = nullptr;
+    obs::Counter* records_applied = nullptr;
+    obs::Counter* suspends = nullptr;
+    obs::Counter* resyncs = nullptr;
+    obs::Counter* failovers = nullptr;
+    obs::Counter* failbacks = nullptr;
+    Histogram* batch_wire_bytes = nullptr;
+    Histogram* batch_records = nullptr;
+  };
+  EngineInstruments ins_;
+
+  // Shipped batches covered by the windowed compression ratio.
+  static constexpr size_t kCompressionWindowBatches = 64;
 
   static constexpr uint64_t kAckMessageBytes = 64;
   // Extent cap for standalone sync-pair resyncs (groups use their config).

@@ -17,6 +17,9 @@ Status NetworkLink::SendOnChannel(uint64_t channel, uint64_t bytes,
                                   EventFn on_delivered) {
   if (!connected_) {
     ++send_failures_;
+    if (instruments_.send_failures != nullptr) {
+      instruments_.send_failures->Increment();
+    }
     return UnavailableError(name_ + " is disconnected");
   }
   const SimTime now = env_->now();
@@ -45,11 +48,16 @@ Status NetworkLink::SendOnChannel(uint64_t channel, uint64_t bytes,
   ++messages_sent_;
   bytes_sent_ += bytes;
   logical_bytes_sent_ += logical_bytes;
+  if (instruments_.messages != nullptr) instruments_.messages->Increment();
+  if (instruments_.wire_bytes != nullptr) {
+    instruments_.wire_bytes->Increment(bytes);
+  }
   if (config_.drop_probability > 0 &&
       rng_.Bernoulli(config_.drop_probability)) {
     // Random loss: the message occupied the wire and advanced the channel
     // floor, but its delivery never fires.
     ++messages_dropped_;
+    if (instruments_.dropped != nullptr) instruments_.dropped->Increment();
     return OkStatus();
   }
   env_->ScheduleAt(arrival,
@@ -69,6 +77,7 @@ void NetworkLink::Deliver(uint64_t send_epoch, uint64_t channel,
   // The link partitioned while this message was in flight.
   if (config_.partition_policy == PartitionPolicy::kDropInFlight) {
     ++messages_dropped_;
+    if (instruments_.dropped != nullptr) instruments_.dropped->Increment();
     return;
   }
   if (!connected_) {
@@ -103,6 +112,12 @@ void NetworkLink::ScheduleDelivery(SimTime arrival, uint64_t channel,
 void NetworkLink::SetConnected(bool connected) {
   if (connected_ == connected) return;
   connected_ = connected;
+  if (trace_ != nullptr) {
+    trace_->Record(env_->now(),
+                   connected ? obs::TraceEvent::kLinkUp
+                             : obs::TraceEvent::kLinkDown,
+                   trace_id_);
+  }
   if (!connected) {
     // In-flight messages were sent in an older epoch and will be dropped
     // (or held) when their delivery event fires.

@@ -9,6 +9,8 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/time.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/environment.h"
 
 namespace zerobak::sim {
@@ -128,6 +130,24 @@ class NetworkLink {
   // partition-killed in-flight traffic).
   uint64_t messages_dropped() const { return messages_dropped_; }
 
+  // --- Observability ---------------------------------------------------------
+  // Optional instruments mirroring the counters above into a registry,
+  // plus link up/down transitions into a trace ring (subject = trace_id).
+  // All hooks are inline pointer checks — the obs layer costs nothing when
+  // detached, and sim needs no link edge to zb_obs either way.
+  struct Instruments {
+    obs::Counter* messages = nullptr;
+    obs::Counter* wire_bytes = nullptr;
+    obs::Counter* dropped = nullptr;
+    obs::Counter* send_failures = nullptr;
+  };
+  void AttachObservability(const Instruments& instruments,
+                           obs::TraceRing* trace, uint64_t trace_id) {
+    instruments_ = instruments;
+    trace_ = trace;
+    trace_id_ = trace_id;
+  }
+
  private:
   // A message held at a partition under kDelayInFlight.
   struct HeldMessage {
@@ -165,6 +185,10 @@ class NetworkLink {
   uint64_t logical_bytes_sent_ = 0;
   uint64_t send_failures_ = 0;
   uint64_t messages_dropped_ = 0;
+
+  Instruments instruments_;
+  obs::TraceRing* trace_ = nullptr;
+  uint64_t trace_id_ = 0;
 };
 
 }  // namespace zerobak::sim

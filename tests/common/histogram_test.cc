@@ -95,6 +95,66 @@ TEST(HistogramTest, ToStringMentionsCount) {
   EXPECT_NE(h.ToString().find("count=2"), std::string::npos);
 }
 
+TEST(HistogramTest, BucketLimitIsStrictlyMonotonic) {
+  uint64_t prev = Histogram::BucketLimit(0);
+  for (int b = 1; b < Histogram::kNumBuckets; ++b) {
+    const uint64_t limit = Histogram::BucketLimit(b);
+    // The top bucket's limit wraps to UINT64_MAX by design; every other
+    // boundary must strictly increase (the sub / 2 bug collapsed adjacent
+    // sub-buckets onto one limit).
+    ASSERT_GT(limit, prev) << "bucket " << b;
+    prev = limit;
+  }
+  EXPECT_EQ(Histogram::BucketLimit(Histogram::kNumBuckets - 1), UINT64_MAX);
+}
+
+TEST(HistogramTest, BucketForAndBucketLimitRoundTrip) {
+  // Every value must land in the bucket whose [BucketLimit(b-1)+1,
+  // BucketLimit(b)] range contains it. Sweep all four sub-bucket
+  // boundaries of every power of two up to 2^40.
+  auto check = [](uint64_t value) {
+    const int b = Histogram::BucketFor(value);
+    ASSERT_GE(b, 0);
+    ASSERT_LT(b, Histogram::kNumBuckets);
+    ASSERT_LE(value, Histogram::BucketLimit(b)) << "value " << value;
+    if (b > 0) {
+      ASSERT_GT(value, Histogram::BucketLimit(b - 1)) << "value " << value;
+    }
+  };
+  for (uint64_t v = 0; v < 64; ++v) check(v);
+  for (int log2 = 6; log2 <= 40; ++log2) {
+    const uint64_t base = 1ULL << log2;
+    const uint64_t quarter = base / 4;
+    for (int sub = 0; sub < 4; ++sub) {
+      const uint64_t lo = base + static_cast<uint64_t>(sub) * quarter;
+      check(lo);          // First value of the sub-bucket.
+      check(lo + quarter - 1);  // Last value.
+    }
+  }
+}
+
+TEST(HistogramTest, FourWaySubBucketsBoundRelativeError) {
+  // The promise: every power-of-two range splits into four equal
+  // sub-buckets, so a bucket's width is at most 1/4 of its lower bound —
+  // i.e. Percentile() can be off by at most 25%, not the 50% the
+  // collapsed 2-way buckets gave.
+  for (int log2 = 4; log2 <= 40; ++log2) {
+    const uint64_t base = 1ULL << log2;
+    for (uint64_t probe : {base, base + base / 2, 2 * base - 1}) {
+      const int b = Histogram::BucketFor(probe);
+      const uint64_t lo = Histogram::BucketLimit(b - 1) + 1;
+      const uint64_t hi = Histogram::BucketLimit(b);
+      ASSERT_LE(hi - lo + 1, base / 4)
+          << "bucket " << b << " wider than a quarter of 2^" << log2;
+    }
+  }
+  // And distinct quarters of one power-of-two range get distinct buckets.
+  EXPECT_NE(Histogram::BucketFor(1024), Histogram::BucketFor(1280));
+  EXPECT_NE(Histogram::BucketFor(1280), Histogram::BucketFor(1536));
+  EXPECT_NE(Histogram::BucketFor(1536), Histogram::BucketFor(1792));
+  EXPECT_EQ(Histogram::BucketFor(1792), Histogram::BucketFor(2047));
+}
+
 TEST(MeanVarTest, KnownSequence) {
   MeanVar mv;
   for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) mv.Add(x);

@@ -1,0 +1,109 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace zerobak::obs {
+namespace {
+
+TEST(MetricRegistryTest, FindOrCreateReturnsStablePointers) {
+  MetricRegistry registry;
+  Counter* c = registry.GetCounter("a.count");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(registry.GetCounter("a.count"), c);
+  // Creating many more entries must not move the first one (node-based
+  // storage is part of the contract: instrumented code caches the raw
+  // pointer at attach time).
+  for (int i = 0; i < 256; ++i) {
+    registry.GetCounter("fill." + std::to_string(i));
+  }
+  EXPECT_EQ(registry.GetCounter("a.count"), c);
+  c->Increment(3);
+  EXPECT_EQ(c->value(), 3u);
+}
+
+TEST(MetricRegistryTest, KindMismatchReturnsNull) {
+  MetricRegistry registry;
+  ASSERT_NE(registry.GetCounter("x"), nullptr);
+  EXPECT_EQ(registry.GetGauge("x"), nullptr);
+  EXPECT_EQ(registry.GetHistogram("x"), nullptr);
+  // The original binding survives the failed lookups.
+  EXPECT_NE(registry.GetCounter("x"), nullptr);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(MetricRegistryTest, GaugeGoesUpAndDown) {
+  MetricRegistry registry;
+  Gauge* g = registry.GetGauge("journal.used");
+  g->Set(100);
+  g->Add(-40);
+  EXPECT_EQ(g->value(), 60);
+  g->Set(-5);
+  EXPECT_EQ(g->value(), -5);
+}
+
+TEST(MetricRegistryTest, SnapshotIsSortedAndTyped) {
+  MetricRegistry registry;
+  registry.GetCounter("b.counter")->Increment(7);
+  registry.GetGauge("a.gauge")->Set(42);
+  Histogram* h = registry.GetHistogram("c.hist");
+  h->Add(10);
+  h->Add(20);
+
+  auto samples = registry.Snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "a.gauge");
+  EXPECT_EQ(samples[0].kind, MetricKind::kGauge);
+  EXPECT_DOUBLE_EQ(samples[0].value, 42.0);
+  EXPECT_EQ(samples[1].name, "b.counter");
+  EXPECT_EQ(samples[1].kind, MetricKind::kCounter);
+  EXPECT_DOUBLE_EQ(samples[1].value, 7.0);
+  EXPECT_EQ(samples[2].name, "c.hist");
+  EXPECT_EQ(samples[2].kind, MetricKind::kHistogram);
+  EXPECT_EQ(samples[2].count, 2u);
+  EXPECT_DOUBLE_EQ(samples[2].value, 15.0);
+  EXPECT_EQ(samples[2].max, 20u);
+}
+
+TEST(MetricRegistryTest, ResetZeroesButKeepsRegistrations) {
+  MetricRegistry registry;
+  Counter* c = registry.GetCounter("events");
+  Gauge* g = registry.GetGauge("level");
+  Histogram* h = registry.GetHistogram("lat");
+  c->Increment(5);
+  g->Set(9);
+  h->Add(100);
+
+  registry.Reset();
+  EXPECT_EQ(registry.size(), 3u);
+  // The cached pointers stay live and zeroed.
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(g->value(), 0);
+  EXPECT_EQ(h->count(), 0u);
+  c->Increment();
+  EXPECT_EQ(c->value(), 1u);
+}
+
+TEST(MetricRegistryTest, ToTableAndToJsonContainEveryMetric) {
+  MetricRegistry registry;
+  registry.GetCounter("replication.batches_shipped")->Increment(12);
+  registry.GetGauge("journal.g1.main.used_bytes")->Set(4096);
+  registry.GetHistogram("replication.batch_records")->Add(64);
+
+  const std::string table = registry.ToTable();
+  EXPECT_NE(table.find("replication.batches_shipped"), std::string::npos);
+  EXPECT_NE(table.find("journal.g1.main.used_bytes"), std::string::npos);
+  EXPECT_NE(table.find("12"), std::string::npos);
+
+  const std::string json = registry.ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"replication.batches_shipped\": 12"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"journal.g1.main.used_bytes\": 4096"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"replication.batch_records.count\": 1"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace zerobak::obs

@@ -1,0 +1,108 @@
+#include "obs/rpo.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/environment.h"
+
+namespace zerobak::obs {
+namespace {
+
+TEST(RpoTrackerTest, SamplesOnTimerAndBuildsSeries) {
+  sim::SimEnvironment env;
+  SimDuration current_rpo = 0;
+  RpoTracker tracker(
+      &env,
+      [&] {
+        return std::vector<RpoTracker::GroupSample>{{1, current_rpo}};
+      },
+      Milliseconds(10));
+  tracker.Start();
+  env.RunFor(Milliseconds(35));  // Samples at 10, 20, 30.
+  current_rpo = Milliseconds(7);
+  env.RunFor(Milliseconds(20));  // Samples at 40, 50.
+  tracker.Stop();
+
+  const GroupRpoSeries* s = tracker.series(1);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->samples, 5u);
+  EXPECT_EQ(s->zero_samples, 3u);
+  EXPECT_EQ(s->max_rpo, Milliseconds(7));
+  ASSERT_EQ(s->points.size(), 5u);
+  EXPECT_EQ(s->points[0].time, Milliseconds(10));
+  EXPECT_EQ(s->points[0].rpo, 0);
+  EXPECT_EQ(s->points[4].time, Milliseconds(50));
+  EXPECT_EQ(s->points[4].rpo, Milliseconds(7));
+}
+
+TEST(RpoTrackerTest, AllZeroWhileCaughtUp) {
+  sim::SimEnvironment env;
+  RpoTracker tracker(
+      &env,
+      [] { return std::vector<RpoTracker::GroupSample>{{1, 0}}; },
+      Milliseconds(5));
+  tracker.Start();
+  env.RunFor(Seconds(1));
+  const GroupRpoSeries* s = tracker.series(1);
+  ASSERT_NE(s, nullptr);
+  EXPECT_GT(s->samples, 0u);
+  EXPECT_EQ(s->zero_samples, s->samples);
+  EXPECT_EQ(s->max_rpo, 0);
+}
+
+TEST(RpoTrackerTest, PointsCapacityRollsOffOldest) {
+  sim::SimEnvironment env;
+  RpoTracker tracker(
+      &env,
+      [&] {
+        return std::vector<RpoTracker::GroupSample>{
+            {1, static_cast<SimDuration>(env.now())}};
+      },
+      Milliseconds(1), /*points_capacity=*/10);
+  tracker.Start();
+  env.RunFor(Milliseconds(100));
+  const GroupRpoSeries* s = tracker.series(1);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->points.size(), 10u);
+  EXPECT_EQ(s->samples, 100u);
+  // The histogram keeps the rolled-off history.
+  EXPECT_EQ(s->histogram.count(), 100u);
+  // Retained points are the newest ones.
+  EXPECT_EQ(s->points.back().time, Milliseconds(100));
+}
+
+TEST(RpoTrackerTest, RtoBracketsOutage) {
+  sim::SimEnvironment env;
+  RpoTracker tracker(
+      &env, [] { return std::vector<RpoTracker::GroupSample>{}; },
+      Milliseconds(10));
+  env.RunFor(Milliseconds(100));
+  tracker.BeginOutage(1);
+  env.RunFor(Milliseconds(250));
+  tracker.CompleteRecovery(1);
+  ASSERT_EQ(tracker.rtos(1).size(), 1u);
+  EXPECT_EQ(tracker.rtos(1)[0], Milliseconds(250));
+  // Unmatched recovery is a no-op, not a bogus entry.
+  tracker.CompleteRecovery(1);
+  EXPECT_EQ(tracker.rtos(1).size(), 1u);
+  EXPECT_TRUE(tracker.rtos(99).empty());
+}
+
+TEST(RpoTrackerTest, ManualSampleWithoutTimer) {
+  sim::SimEnvironment env;
+  RpoTracker tracker(
+      &env,
+      [] {
+        return std::vector<RpoTracker::GroupSample>{{1, Milliseconds(3)},
+                                                    {2, 0}};
+      },
+      Milliseconds(10));
+  EXPECT_FALSE(tracker.running());
+  tracker.SampleOnce();
+  EXPECT_EQ(tracker.Groups().size(), 2u);
+  EXPECT_EQ(tracker.series(1)->samples, 1u);
+  EXPECT_EQ(tracker.series(2)->zero_samples, 1u);
+  EXPECT_EQ(tracker.series(3), nullptr);
+}
+
+}  // namespace
+}  // namespace zerobak::obs

@@ -1,0 +1,204 @@
+// Trace audit: a full disaster drill (link flaps -> suspension ->
+// auto-resync -> failover -> failback -> reconvergence) must leave a
+// well-formed narrative in the TraceRing for every seed — suspensions
+// before the failover, the failover before the failback, every resync
+// start matched by a completion, and monotonic simulated timestamps
+// across the whole ring.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "replication/replication.h"
+#include "sim/environment.h"
+#include "sim/network.h"
+#include "storage/array.h"
+
+namespace zerobak::replication {
+namespace {
+
+constexpr int kVolumes = 2;
+constexpr uint64_t kBlocks = 64;
+
+storage::ArrayConfig ZeroLatency(const std::string& serial) {
+  storage::ArrayConfig cfg;
+  cfg.serial = serial;
+  cfg.media = block::DeviceLatencyModel{0, 0, 0, 0, 1};
+  return cfg;
+}
+
+sim::NetworkLinkConfig FastLink(uint64_t seed) {
+  sim::NetworkLinkConfig cfg;
+  cfg.base_latency = Milliseconds(1);
+  cfg.bandwidth_bytes_per_sec = 0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+class DrillRig {
+ public:
+  explicit DrillRig(uint64_t seed)
+      : main_(&env_, ZeroLatency("MAIN")),
+        backup_(&env_, ZeroLatency("BKUP")),
+        to_backup_(&env_, FastLink(seed * 31 + 1), "fwd"),
+        to_main_(&env_, FastLink(seed * 31 + 2), "rev"),
+        engine_(&env_, &main_, &backup_, &to_backup_, &to_main_),
+        rng_(seed) {
+    engine_.AttachObservability(&registry_, &trace_);
+    ConsistencyGroupConfig cfg;
+    cfg.name = "drill";
+    cfg.journal_capacity_bytes = 256 << 10;
+    cfg.transfer_interval = Milliseconds(1);
+    cfg.ack_timeout = Milliseconds(10);
+    cfg.resync_backoff_initial = Milliseconds(2);
+    cfg.resync_backoff_max = Milliseconds(20);
+    auto g = engine_.CreateConsistencyGroup(cfg);
+    EXPECT_TRUE(g.ok());
+    group_ = *g;
+    for (int v = 0; v < kVolumes; ++v) {
+      auto p = main_.CreateVolume("vol" + std::to_string(v), kBlocks);
+      auto s = backup_.CreateVolume("r-vol" + std::to_string(v), kBlocks);
+      EXPECT_TRUE(p.ok() && s.ok());
+      pvols_.push_back(*p);
+      PairConfig pc;
+      pc.name = "pair" + std::to_string(v);
+      pc.primary = *p;
+      pc.secondary = *s;
+      pc.mode = ReplicationMode::kAsynchronous;
+      auto pair = engine_.CreateAsyncPair(pc, group_);
+      EXPECT_TRUE(pair.ok());
+      pairs_.push_back(*pair);
+    }
+    env_.RunFor(Milliseconds(5));
+  }
+
+  void RunWrites(int n) {
+    for (int i = 0; i < n; ++i) {
+      const auto vol = static_cast<size_t>(rng_.Uniform(kVolumes));
+      const uint64_t lba = rng_.Uniform(kBlocks);
+      std::string data(block::kDefaultBlockSize, static_cast<char>('a' + i));
+      ASSERT_TRUE(main_.WriteSync(pvols_[vol], lba, data).ok());
+      env_.RunFor(static_cast<SimDuration>(rng_.Uniform(Microseconds(400)) +
+                                           Microseconds(100)));
+    }
+  }
+
+  // A link outage long enough that the armed ack deadline fires and the
+  // group suspends; writes continue throughout.
+  void Outage() {
+    to_backup_.SetConnected(false);
+    RunWrites(20);
+    env_.RunFor(Milliseconds(15));
+    to_backup_.SetConnected(true);
+  }
+
+  ::testing::AssertionResult DrainToConverged() {
+    for (int round = 0; round < 200; ++round) {
+      env_.RunFor(Milliseconds(10));
+      auto stats = engine_.GetGroupStats(group_);
+      if (!stats.ok()) return ::testing::AssertionFailure() << stats.status();
+      if (stats->suspended || stats->applied != stats->written) continue;
+      bool paired = true;
+      for (PairId pid : pairs_) {
+        paired &= engine_.GetPair(pid)->state() == PairState::kPaired;
+      }
+      if (paired) return ::testing::AssertionSuccess();
+    }
+    return ::testing::AssertionFailure() << "never reconverged";
+  }
+
+  sim::SimEnvironment env_;
+  obs::MetricRegistry registry_;
+  obs::TraceRing trace_;
+  storage::StorageArray main_;
+  storage::StorageArray backup_;
+  sim::NetworkLink to_backup_;
+  sim::NetworkLink to_main_;
+  ReplicationEngine engine_;
+  Rng rng_;
+  GroupId group_ = 0;
+  std::vector<storage::VolumeId> pvols_;
+  std::vector<PairId> pairs_;
+};
+
+TEST(TraceAuditTest, DisasterDrillLeavesWellFormedTrace) {
+  for (uint64_t seed : {1, 2, 3, 4, 5}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    DrillRig rig(seed);
+
+    // Suspension via a real outage, then auto-recovery.
+    rig.RunWrites(30);
+    rig.Outage();
+    ASSERT_TRUE(rig.DrainToConverged());
+
+    // Disaster -> takeover -> repair -> giveback -> reconvergence.
+    rig.main_.SetFailed(true);
+    rig.to_backup_.SetConnected(false);
+    rig.to_main_.SetConnected(false);
+    ASSERT_TRUE(rig.engine_.FailoverGroup(rig.group_).ok());
+    rig.env_.RunFor(Milliseconds(20));
+    rig.main_.SetFailed(false);
+    rig.to_backup_.SetConnected(true);
+    rig.to_main_.SetConnected(true);
+    ASSERT_TRUE(rig.engine_.FailbackGroup(rig.group_).ok());
+    rig.RunWrites(10);
+    ASSERT_TRUE(rig.DrainToConverged());
+
+    // Timestamps are monotonic across the whole ring (all subjects).
+    const auto all = rig.trace_.Events();
+    ASSERT_FALSE(all.empty());
+    for (size_t i = 1; i < all.size(); ++i) {
+      ASSERT_LE(all[i - 1].time, all[i].time) << "event " << i;
+    }
+
+    // The group's own narrative is well-formed.
+    const auto events = rig.trace_.EventsFor(rig.group_);
+    auto first_index = [&](obs::TraceEvent kind) -> ptrdiff_t {
+      for (size_t i = 0; i < events.size(); ++i) {
+        if (events[i].event == kind) return static_cast<ptrdiff_t>(i);
+      }
+      return -1;
+    };
+    const ptrdiff_t suspend = first_index(obs::TraceEvent::kSuspend);
+    const ptrdiff_t resync_start =
+        first_index(obs::TraceEvent::kResyncStart);
+    const ptrdiff_t resync_done = first_index(obs::TraceEvent::kResyncDone);
+    const ptrdiff_t failover = first_index(obs::TraceEvent::kFailover);
+    const ptrdiff_t failback = first_index(obs::TraceEvent::kFailback);
+    ASSERT_GE(suspend, 0);
+    ASSERT_GE(resync_start, 0);
+    ASSERT_GE(resync_done, 0);
+    ASSERT_GE(failover, 0);
+    ASSERT_GE(failback, 0);
+    EXPECT_LT(suspend, resync_start);
+    EXPECT_LT(resync_start, resync_done);
+    EXPECT_LT(suspend, failover);
+    EXPECT_LT(failover, failback);
+    // Every resync start is eventually matched by a completion or a new
+    // suspension (a superseded resync never just vanishes).
+    size_t starts = 0;
+    size_t closings = 0;
+    for (const auto& e : events) {
+      if (e.event == obs::TraceEvent::kResyncStart) ++starts;
+      if (e.event == obs::TraceEvent::kResyncDone ||
+          e.event == obs::TraceEvent::kSuspend) {
+        ++closings;
+      }
+    }
+    EXPECT_GE(closings, starts);
+
+    // The metric registry agrees with the trace.
+    EXPECT_GE(rig.registry_.GetCounter("replication.suspends")->value(), 1u);
+    EXPECT_EQ(rig.registry_.GetCounter("replication.failovers")->value(), 1u);
+    EXPECT_EQ(rig.registry_.GetCounter("replication.failbacks")->value(), 1u);
+    EXPECT_GT(rig.registry_.GetCounter("replication.batches_shipped")->value(),
+              0u);
+  }
+}
+
+}  // namespace
+}  // namespace zerobak::replication

@@ -1,0 +1,93 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace zerobak::obs {
+namespace {
+
+TEST(TraceRingTest, RecordsInOrder) {
+  TraceRing ring(8);
+  ring.Record(10, TraceEvent::kBatchShipped, 1, 5, 4096);
+  ring.Record(20, TraceEvent::kBatchAcked, 1, 5);
+  ring.Record(30, TraceEvent::kSuspend, 2, 3);
+
+  auto events = ring.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].time, 10);
+  EXPECT_EQ(events[0].event, TraceEvent::kBatchShipped);
+  EXPECT_EQ(events[0].subject, 1u);
+  EXPECT_EQ(events[0].arg0, 5u);
+  EXPECT_EQ(events[0].arg1, 4096u);
+  EXPECT_EQ(events[2].event, TraceEvent::kSuspend);
+  EXPECT_EQ(ring.total_recorded(), 3u);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(TraceRingTest, OverwritesOldestWhenFull) {
+  TraceRing ring(4);
+  for (uint64_t i = 0; i < 10; ++i) {
+    ring.Record(static_cast<SimTime>(i), TraceEvent::kBatchShipped, i);
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_EQ(ring.total_recorded(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  auto events = ring.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // The newest four survive, oldest first.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].subject, 6 + i);
+  }
+}
+
+TEST(TraceRingTest, EventsForFiltersBySubject) {
+  TraceRing ring(16);
+  ring.Record(1, TraceEvent::kLinkDown, 7);
+  ring.Record(2, TraceEvent::kSuspend, 3, 1);
+  ring.Record(3, TraceEvent::kLinkUp, 7);
+  auto link = ring.EventsFor(7);
+  ASSERT_EQ(link.size(), 2u);
+  EXPECT_EQ(link[0].event, TraceEvent::kLinkDown);
+  EXPECT_EQ(link[1].event, TraceEvent::kLinkUp);
+  EXPECT_TRUE(ring.EventsFor(99).empty());
+}
+
+TEST(TraceRingTest, ClearEmptiesEverything) {
+  TraceRing ring(4);
+  for (int i = 0; i < 6; ++i) {
+    ring.Record(i, TraceEvent::kBatchAcked, 1, i);
+  }
+  ring.Clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_EQ(ring.total_recorded(), 0u);
+  EXPECT_TRUE(ring.Events().empty());
+  ring.Record(100, TraceEvent::kFailover, 1, 42, 0);
+  ASSERT_EQ(ring.Events().size(), 1u);
+  EXPECT_EQ(ring.Events()[0].arg0, 42u);
+}
+
+TEST(TraceRingTest, ToStringNamesEvents) {
+  TraceRing ring(8);
+  ring.Record(Milliseconds(5), TraceEvent::kJournalOverflow, 1, 65536);
+  ring.Record(Milliseconds(6), TraceEvent::kResyncStart, 1, 3, 17);
+  const std::string dump = ring.ToString();
+  EXPECT_NE(dump.find("journal-overflow"), std::string::npos);
+  EXPECT_NE(dump.find("resync-start"), std::string::npos);
+  // last_n limits the dump to the newest events.
+  const std::string tail = ring.ToString(1);
+  EXPECT_EQ(tail.find("journal-overflow"), std::string::npos);
+  EXPECT_NE(tail.find("resync-start"), std::string::npos);
+}
+
+TEST(TraceRingTest, ZeroCapacityClampsToOne) {
+  TraceRing ring(0);
+  EXPECT_EQ(ring.capacity(), 1u);
+  ring.Record(1, TraceEvent::kLinkDown, 1);
+  ring.Record(2, TraceEvent::kLinkUp, 1);
+  ASSERT_EQ(ring.Events().size(), 1u);
+  EXPECT_EQ(ring.Events()[0].event, TraceEvent::kLinkUp);
+}
+
+}  // namespace
+}  // namespace zerobak::obs

@@ -402,6 +402,144 @@ TEST_F(ReplicationTest, GroupStatsReportLag) {
   EXPECT_EQ(after->applied, 1u);
 }
 
+// Regression: an idle, fully caught-up group must report apply_lag == 0
+// no matter how much simulated time passes. The old formula (now -
+// last_applied_ack_time) grew without bound on a quiescent group, so a
+// perfectly healthy system looked like it was losing an hour of data per
+// idle hour.
+TEST_F(ReplicationTest, IdleGroupReportsZeroLag) {
+  auto [p, s] = MakeVolumes("v");
+  GroupId g = MakeGroup();
+  MakeAsyncPair(p, s, g);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(main_.WriteSync(p, i, BlockOf('x')).ok());
+  }
+  env_.RunFor(Milliseconds(100));
+  auto stats = engine_.GetGroupStats(g);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats->acked, stats->written);
+
+  // A whole simulated hour of quiescence.
+  env_.RunFor(Seconds(3600));
+  stats = engine_.GetGroupStats(g);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->apply_lag, 0) << "idle group must not age";
+  auto rpo = engine_.GroupRpo(g);
+  ASSERT_TRUE(rpo.ok());
+  EXPECT_EQ(*rpo, 0);
+}
+
+// While a backlog exists the RPO is the age of the oldest unacked write,
+// not the time since the last apply.
+TEST_F(ReplicationTest, RpoIsAgeOfOldestUnackedWrite) {
+  auto [p, s] = MakeVolumes("v");
+  GroupId g = MakeGroup();
+  MakeAsyncPair(p, s, g);
+  env_.RunFor(Milliseconds(20));
+
+  to_backup_.SetConnected(false);
+  const SimTime first_write = env_.now();
+  ASSERT_TRUE(main_.WriteSync(p, 0, BlockOf('a')).ok());
+  env_.RunFor(Milliseconds(30));
+  ASSERT_TRUE(main_.WriteSync(p, 1, BlockOf('b')).ok());
+  env_.RunFor(Milliseconds(10));
+
+  auto rpo = engine_.GroupRpo(g);
+  ASSERT_TRUE(rpo.ok());
+  // The OLDEST backlogged write dates the RPO, not the newest.
+  EXPECT_EQ(*rpo, env_.now() - first_write);
+
+  // Reconnect; once everything is acked the RPO collapses back to zero.
+  to_backup_.SetConnected(true);
+  env_.RunFor(Milliseconds(200));
+  rpo = engine_.GroupRpo(g);
+  ASSERT_TRUE(rpo.ok());
+  EXPECT_EQ(*rpo, 0);
+}
+
+// A suspension converts the journal backlog into dirty blocks; the RPO
+// must keep aging from the oldest lost write, and only return to zero
+// after the resync delta lands.
+TEST_F(ReplicationTest, RpoSurvivesSuspension) {
+  auto [p, s] = MakeVolumes("v");
+  ConsistencyGroupConfig cfg;
+  cfg.name = "cg";
+  cfg.journal_capacity_bytes = 16 << 20;
+  cfg.transfer_interval = Milliseconds(1);
+  cfg.ack_timeout = Milliseconds(15);
+  cfg.auto_resync = false;  // Manual resync keeps the timeline controlled.
+  auto created = engine_.CreateConsistencyGroup(cfg);
+  ASSERT_TRUE(created.ok());
+  GroupId g = *created;
+  MakeAsyncPair(p, s, g);
+  env_.RunFor(Milliseconds(20));
+
+  // Write while the link is up so the batch ships and arms its ack
+  // deadline, then cut the link while the batch is in flight (5ms base
+  // latency). The deadline fires and suspends the group.
+  const SimTime lost_write = env_.now();
+  ASSERT_TRUE(main_.WriteSync(p, 0, BlockOf('z')).ok());
+  env_.RunFor(Milliseconds(2));
+  to_backup_.SetConnected(false);
+  env_.RunFor(Milliseconds(100));
+  auto stats = engine_.GetGroupStats(g);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE(stats->suspended);
+  EXPECT_EQ(stats->apply_lag, env_.now() - lost_write)
+      << "suspension must not reset the RPO clock";
+
+  to_backup_.SetConnected(true);
+  ASSERT_TRUE(engine_.ResyncGroup(g).ok());
+  env_.RunFor(Milliseconds(100));
+  stats = engine_.GetGroupStats(g);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_FALSE(stats->suspended);
+  EXPECT_EQ(stats->apply_lag, 0);
+}
+
+// The windowed compression ratio reacts to a config change immediately,
+// while the cumulative ratio only drifts.
+TEST_F(ReplicationTest, WindowedCompressionRatioTracksToggle) {
+  auto [p, s] = MakeVolumes("v", 256);
+  ConsistencyGroupConfig cfg;
+  cfg.name = "cg";
+  cfg.journal_capacity_bytes = 16 << 20;
+  cfg.compress_transfers = true;
+  auto created = engine_.CreateConsistencyGroup(cfg);
+  ASSERT_TRUE(created.ok());
+  GroupId g = *created;
+  MakeAsyncPair(p, s, g);
+
+  // Highly compressible traffic: the ratio climbs well above 1.
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(main_.WriteSync(p, i % 200, BlockOf('c')).ok());
+    env_.RunFor(Milliseconds(2));
+  }
+  env_.RunFor(Milliseconds(50));
+  auto stats = engine_.GetGroupStats(g);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_GT(stats->compression_ratio, 1.5);
+  ASSERT_GT(stats->compression_ratio_window, 1.5);
+  ASSERT_GT(stats->compression_window_batches, 0u);
+  const double cumulative_before = stats->compression_ratio;
+
+  // Turn compression off and ship enough batches to fill the window.
+  ASSERT_TRUE(engine_.SetGroupCompression(g, false).ok());
+  for (int i = 0; i < 80; ++i) {
+    ASSERT_TRUE(main_.WriteSync(p, i % 200, BlockOf('c')).ok());
+    env_.RunFor(Milliseconds(2));
+  }
+  env_.RunFor(Milliseconds(50));
+  stats = engine_.GetGroupStats(g);
+  ASSERT_TRUE(stats.ok());
+  // The window sees only uncompressed batches: ratio collapses to 1.
+  EXPECT_NEAR(stats->compression_ratio_window, 1.0, 0.01);
+  // The cumulative ratio still remembers the compressed era.
+  EXPECT_GT(stats->compression_ratio, stats->compression_ratio_window);
+  EXPECT_LT(stats->compression_ratio, cumulative_before);
+  EXPECT_LE(stats->compression_window_batches, 64u);
+}
+
 TEST_F(ReplicationTest, StateNamesAreStable) {
   EXPECT_STREQ(PairStateName(PairState::kCopy), "COPY");
   EXPECT_STREQ(PairStateName(PairState::kPaired), "PAIR");
