@@ -97,7 +97,8 @@ void RunBatchIntervalAblation() {
       pc.primary = *p;
       pc.secondary = *s;
       pc.mode = replication::ReplicationMode::kAsynchronous;
-      ZB_CHECK(rig.engine->CreateAsyncPair(pc, *group).ok());
+      pc.group = *group;
+      ZB_CHECK(rig.engine->CreatePair(pc).ok());
       rig.env->RunFor(Milliseconds(20));
 
       auto stats = DriveFixedRate(&rig, {*p}, *group, 20000.0,
@@ -138,7 +139,8 @@ void RunGroupSizeAblation() {
       pc.primary = *p;
       pc.secondary = *s;
       pc.mode = replication::ReplicationMode::kAsynchronous;
-      ZB_CHECK(rig.engine->CreateAsyncPair(pc, *group).ok());
+      pc.group = *group;
+      ZB_CHECK(rig.engine->CreatePair(pc).ok());
       pvols.push_back(*p);
     }
     rig.env->RunFor(Milliseconds(20));
@@ -181,7 +183,8 @@ void RunBandwidthAblation() {
     pc.primary = *p;
     pc.secondary = *s;
     pc.mode = replication::ReplicationMode::kAsynchronous;
-    ZB_CHECK(rig.engine->CreateAsyncPair(pc, *group).ok());
+    pc.group = *group;
+    ZB_CHECK(rig.engine->CreatePair(pc).ok());
     rig.env->RunFor(Milliseconds(20));
     auto stats = DriveFixedRate(&rig, {*p}, *group, 20000.0,
                                 Milliseconds(500));

@@ -126,7 +126,8 @@ void RunTimed() {
     pc.primary = *p;
     pc.secondary = *s;
     pc.mode = replication::ReplicationMode::kAsynchronous;
-    ZB_CHECK(engine.CreateAsyncPair(pc, *group).ok());
+    pc.group = *group;
+    ZB_CHECK(engine.CreatePair(pc).ok());
     env.RunFor(Milliseconds(20));
 
     // Analytics: 32 concurrent streaming readers on the backup array.

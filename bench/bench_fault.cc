@@ -66,7 +66,8 @@ struct Rig {
       pc.primary = *p;
       pc.secondary = *s;
       pc.mode = replication::ReplicationMode::kAsynchronous;
-      pairs.push_back(std::move(engine.CreateAsyncPair(pc, group)).value());
+      pc.group = group;
+      pairs.push_back(std::move(engine.CreatePair(pc)).value());
     }
     env.RunFor(Milliseconds(5));
   }

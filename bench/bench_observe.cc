@@ -128,7 +128,8 @@ RunResult RunFoldWorkload(SimDuration link_latency, bool observed,
   pc.primary = *p;
   pc.secondary = *s;
   pc.mode = replication::ReplicationMode::kAsynchronous;
-  ZB_CHECK(rig.engine->CreateAsyncPair(pc, *group).ok());
+  pc.group = *group;
+  ZB_CHECK(rig.engine->CreatePair(pc).ok());
   if (observed) {
     rig.tracker = std::make_unique<obs::RpoTracker>(
         rig.env.get(),

@@ -122,7 +122,8 @@ FoldResult RunFoldScenario(bool folding, bool quick) {
   pc.primary = *p;
   pc.secondary = *s;
   pc.mode = replication::ReplicationMode::kAsynchronous;
-  ZB_CHECK(rig.engine->CreateAsyncPair(pc, *group).ok());
+  pc.group = *group;
+  ZB_CHECK(rig.engine->CreatePair(pc).ok());
   rig.env->RunFor(Milliseconds(20));
 
   Rng rng(17);
@@ -226,7 +227,8 @@ ResyncResult RunResyncScenario(bool extents, bool quick) {
   pc.primary = *p;
   pc.secondary = *s;
   pc.mode = replication::ReplicationMode::kAsynchronous;
-  auto pair = rig.engine->CreateAsyncPair(pc, *group);
+  pc.group = *group;
+  auto pair = rig.engine->CreatePair(pc);
   ZB_CHECK(pair.ok());
   rig.env->RunFor(Milliseconds(20));
 
@@ -384,7 +386,8 @@ WireRunResult RunWireScenario(bool ecommerce, bool compress, bool folding,
     pc.primary = pv;
     pc.secondary = sv;
     pc.mode = replication::ReplicationMode::kAsynchronous;
-    ZB_CHECK(rig.engine->CreateAsyncPair(pc, *group).ok());
+    pc.group = *group;
+    ZB_CHECK(rig.engine->CreatePair(pc).ok());
   };
   add_pair("pair1", *p1, *s1);
   add_pair("pair2", *p2, *s2);

@@ -1,0 +1,310 @@
+// E13 — Thousand-group scale: what the event-driven GroupScheduler buys
+// over the legacy per-group transfer timers.
+//
+// The scenario mirrors a consolidation array: up to 1024 consistency
+// groups configured, of which only a handful (8) carry traffic at any
+// moment. The legacy engine polls every group every transfer_interval, so
+// the simulator burns events proportional to *configured* groups; the
+// scheduler arms a group only when its journal has something to ship, so
+// idle groups cost nothing beyond a slow shared heartbeat.
+//
+// Reported per (group count, engine mode) cell, busy load held constant:
+//   - simulator events per simulated second (the scale metric),
+//   - records applied per simulated second on the busy groups (the
+//     equal-work control: both engines must do the same replication),
+//   - max/min wire-bytes ratio across the busy groups sharing the
+//     inter-site link (deficit-round-robin fairness).
+//
+// Acceptance (checked at the 1024-group cell, >= 1016 idle):
+//   - scheduler events/s <= 1/10 of the legacy engine's,
+//   - busy-group applies within 10% of the legacy engine's,
+//   - fairness ratio <= 1.25,
+//   - bit-identical events/applies when a seed is re-run.
+//
+// Writes the results as JSON (default BENCH_scale.json; --out PATH to
+// override). --quick shrinks the sweep durations for the ctest smoke run.
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "replication/replication.h"
+
+namespace zerobak::bench {
+namespace {
+
+constexpr uint64_t kBusyGroups = 8;
+constexpr uint64_t kBlocksPerVolume = 64;
+constexpr double kWritesPerBusyGroup = 250.0;  // Host writes/s per busy group.
+
+struct ScaleCell {
+  uint64_t groups = 0;
+  uint64_t busy = 0;
+  bool event_driven = false;
+  uint64_t seed = 0;
+  uint64_t events = 0;           // Simulator events in the measure window.
+  double sim_seconds = 0;
+  double events_per_sim_sec = 0;
+  uint64_t applied = 0;          // Records applied on busy groups.
+  double applies_per_sim_sec = 0;
+  double fairness_ratio = 0;     // max/min wire bytes across busy groups.
+  uint64_t sched_dispatches = 0;
+  uint64_t sched_heartbeat_rescues = 0;
+};
+
+struct ScaleRig {
+  std::unique_ptr<sim::SimEnvironment> env;
+  std::unique_ptr<storage::StorageArray> main;
+  std::unique_ptr<storage::StorageArray> backup;
+  std::unique_ptr<sim::NetworkLink> fwd;
+  std::unique_ptr<sim::NetworkLink> rev;
+  std::unique_ptr<replication::ReplicationEngine> engine;
+  std::vector<replication::GroupId> groups;
+  std::vector<storage::VolumeId> pvols;
+};
+
+ScaleRig MakeRig(uint64_t n_groups, bool event_driven, uint64_t seed) {
+  ScaleRig rig;
+  rig.env = std::make_unique<sim::SimEnvironment>();
+  storage::ArrayConfig zero;
+  zero.media = block::DeviceLatencyModel{0, 0, 0, 0, 1};
+  storage::ArrayConfig main_cfg = zero;
+  main_cfg.serial = "MAIN";
+  storage::ArrayConfig backup_cfg = zero;
+  backup_cfg.serial = "BKUP";
+  rig.main = std::make_unique<storage::StorageArray>(rig.env.get(), main_cfg);
+  rig.backup =
+      std::make_unique<storage::StorageArray>(rig.env.get(), backup_cfg);
+  sim::NetworkLinkConfig link_cfg;
+  link_cfg.base_latency = Milliseconds(1);
+  link_cfg.jitter = 0;
+  // 25 MB/s: above the steady offered load, so queueing is transient and
+  // every written record applies inside the window in both engine modes.
+  link_cfg.bandwidth_bytes_per_sec = 2.5e7;
+  link_cfg.seed = seed * 31 + 1;
+  rig.fwd = std::make_unique<sim::NetworkLink>(rig.env.get(), link_cfg, "fwd");
+  sim::NetworkLinkConfig rev_cfg = link_cfg;
+  rev_cfg.seed = seed * 31 + 2;
+  rig.rev = std::make_unique<sim::NetworkLink>(rig.env.get(), rev_cfg, "rev");
+  replication::EngineOptions opts;
+  opts.event_driven_scheduler = event_driven;
+  rig.engine = std::make_unique<replication::ReplicationEngine>(
+      rig.env.get(), rig.main.get(), rig.backup.get(), rig.fwd.get(),
+      rig.rev.get(), opts);
+
+  for (uint64_t g = 0; g < n_groups; ++g) {
+    replication::ConsistencyGroupConfig cg;
+    cg.name = "cg" + std::to_string(g);
+    cg.journal_capacity_bytes = 4ull << 20;
+    cg.transfer_interval = Milliseconds(2);
+    // Fixed batches: every busy group carries the same quantum, so the
+    // fairness ratio isolates the dispatcher rather than adaptive sizing.
+    cg.enable_adaptive_batching = false;
+    cg.transfer_batch_bytes = 256ull << 10;
+    auto group = rig.engine->CreateConsistencyGroup(cg);
+    ZB_CHECK(group.ok());
+    auto p = rig.main->CreateVolume("p" + std::to_string(g),
+                                    kBlocksPerVolume);
+    auto s = rig.backup->CreateVolume("s" + std::to_string(g),
+                                      kBlocksPerVolume);
+    ZB_CHECK(p.ok() && s.ok());
+    replication::PairConfig pc;
+    pc.primary = *p;
+    pc.secondary = *s;
+    pc.mode = replication::ReplicationMode::kAsynchronous;
+    pc.group = *group;
+    ZB_CHECK(rig.engine->CreatePair(pc).ok());
+    rig.groups.push_back(*group);
+    rig.pvols.push_back(*p);
+  }
+  rig.env->RunFor(Milliseconds(20));  // Empty initial copies settle.
+  return rig;
+}
+
+ScaleCell RunCell(uint64_t n_groups, bool event_driven, uint64_t seed,
+                  bool quick) {
+  const uint64_t busy = std::min<uint64_t>(kBusyGroups, n_groups);
+  const SimDuration warmup = Milliseconds(50);
+  const SimDuration measure = quick ? Milliseconds(200) : Milliseconds(600);
+
+  ScaleRig rig = MakeRig(n_groups, event_driven, seed);
+  Rng rng(seed);
+  const std::string payload(block::kDefaultBlockSize, 'e');
+  const auto period =
+      static_cast<SimDuration>(kSecond / (kWritesPerBusyGroup * busy));
+  uint64_t turn = 0;
+  auto write_one = [&] {
+    const uint64_t g = turn++ % busy;
+    const uint64_t lba = rng.Uniform(kBlocksPerVolume);
+    ZB_CHECK(rig.main->WriteSync(rig.pvols[g], lba, payload).ok());
+  };
+
+  const SimTime warm_until = rig.env->now() + warmup;
+  while (rig.env->now() < warm_until) {
+    write_one();
+    rig.env->RunFor(period);
+  }
+
+  std::vector<uint64_t> wire_before(busy);
+  std::vector<uint64_t> applied_before(busy);
+  for (uint64_t g = 0; g < busy; ++g) {
+    auto stats = rig.engine->GetGroupStats(rig.groups[g]);
+    ZB_CHECK(stats.ok());
+    wire_before[g] = stats->wire_bytes_shipped;
+    applied_before[g] = stats->applied;
+  }
+  const uint64_t events_before = rig.env->executed_events();
+  const SimTime t0 = rig.env->now();
+
+  const SimTime until = rig.env->now() + measure;
+  while (rig.env->now() < until) {
+    write_one();
+    rig.env->RunFor(period);
+  }
+  rig.env->RunFor(Milliseconds(20));  // Drain in-flight batches and acks.
+
+  ScaleCell cell;
+  cell.groups = n_groups;
+  cell.busy = busy;
+  cell.event_driven = event_driven;
+  cell.seed = seed;
+  cell.events = rig.env->executed_events() - events_before;
+  cell.sim_seconds =
+      static_cast<double>(rig.env->now() - t0) / static_cast<double>(kSecond);
+  cell.events_per_sim_sec = static_cast<double>(cell.events) / cell.sim_seconds;
+  uint64_t wire_min = UINT64_MAX;
+  uint64_t wire_max = 0;
+  for (uint64_t g = 0; g < busy; ++g) {
+    auto stats = rig.engine->GetGroupStats(rig.groups[g]);
+    ZB_CHECK(stats.ok());
+    ZB_CHECK(!stats->suspended);
+    ZB_CHECK(stats->journal_overflows == 0);
+    cell.applied += stats->applied - applied_before[g];
+    const uint64_t wire = stats->wire_bytes_shipped - wire_before[g];
+    wire_min = std::min(wire_min, wire);
+    wire_max = std::max(wire_max, wire);
+  }
+  cell.applies_per_sim_sec =
+      static_cast<double>(cell.applied) / cell.sim_seconds;
+  cell.fairness_ratio =
+      wire_min == 0 ? 0.0
+                    : static_cast<double>(wire_max) /
+                          static_cast<double>(wire_min);
+  const auto sched = rig.engine->scheduler_stats();
+  cell.sched_dispatches = sched.dispatches;
+  cell.sched_heartbeat_rescues = sched.heartbeat_rescues;
+  return cell;
+}
+
+void WriteJson(const std::string& path, bool quick,
+               const std::vector<ScaleCell>& cells, double event_reduction,
+               double apply_parity, bool reproducible) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ZB_CHECK(f != nullptr);
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"bench_scale\",\n");
+  std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(f, "  \"cells\": [\n");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const ScaleCell& c = cells[i];
+    std::fprintf(
+        f,
+        "    {\"groups\": %llu, \"busy\": %llu, \"mode\": \"%s\", "
+        "\"seed\": %llu, \"events\": %llu, \"sim_seconds\": %.4f, "
+        "\"events_per_sim_sec\": %.0f, \"applied\": %llu, "
+        "\"applies_per_sim_sec\": %.0f, \"fairness_ratio\": %.4f, "
+        "\"sched_dispatches\": %llu, \"heartbeat_rescues\": %llu}%s\n",
+        (unsigned long long)c.groups, (unsigned long long)c.busy,
+        c.event_driven ? "scheduler" : "legacy-timers",
+        (unsigned long long)c.seed, (unsigned long long)c.events,
+        c.sim_seconds, c.events_per_sim_sec, (unsigned long long)c.applied,
+        c.applies_per_sim_sec, c.fairness_ratio,
+        (unsigned long long)c.sched_dispatches,
+        (unsigned long long)c.sched_heartbeat_rescues,
+        i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"acceptance\": {\n");
+  std::fprintf(f, "    \"event_reduction_at_1024\": %.2f,\n",
+               event_reduction);
+  std::fprintf(f, "    \"apply_parity_at_1024\": %.4f,\n", apply_parity);
+  std::fprintf(f, "    \"seed_rerun_identical\": %s\n",
+               reproducible ? "true" : "false");
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+int Run(bool quick, const std::string& out_path) {
+  PrintTitle("E13: simulator event rate vs configured group count "
+             "(8 busy groups at 250 writes/s each; the rest idle)");
+  PrintLine("%8s %16s %8s %16s %16s %10s", "groups", "mode", "idle",
+            "events_per_s", "applies_per_s", "fairness");
+  PrintRule();
+
+  const std::vector<uint64_t> sweep = {1, 8, 64, 256, 1024};
+  std::vector<ScaleCell> cells;
+  double event_reduction = 0;
+  double apply_parity = 0;
+  for (uint64_t n : sweep) {
+    ScaleCell legacy = RunCell(n, /*event_driven=*/false, /*seed=*/1, quick);
+    ScaleCell sched = RunCell(n, /*event_driven=*/true, /*seed=*/1, quick);
+    for (const ScaleCell& c : {legacy, sched}) {
+      PrintLine("%8llu %16s %8llu %16.0f %16.0f %10.3f",
+                (unsigned long long)c.groups,
+                c.event_driven ? "scheduler" : "legacy-timers",
+                (unsigned long long)(c.groups - c.busy), c.events_per_sim_sec,
+                c.applies_per_sim_sec, c.fairness_ratio);
+    }
+    cells.push_back(legacy);
+    cells.push_back(sched);
+    if (n == 1024) {
+      event_reduction = legacy.events_per_sim_sec / sched.events_per_sim_sec;
+      apply_parity = sched.applies_per_sim_sec / legacy.applies_per_sim_sec;
+    }
+  }
+  PrintRule();
+
+  // Determinism: the scheduler must not cost the sim its reproducibility.
+  const ScaleCell a = RunCell(1024, /*event_driven=*/true, /*seed=*/2, quick);
+  const ScaleCell b = RunCell(1024, /*event_driven=*/true, /*seed=*/2, quick);
+  const bool reproducible = a.events == b.events && a.applied == b.applied &&
+                            a.fairness_ratio == b.fairness_ratio;
+
+  PrintLine("1024-group event reduction: %.1fx (acceptance: >= 10x)   "
+            "apply parity: %.3f (acceptance: 0.9..1.1)",
+            event_reduction, apply_parity);
+  PrintLine("busy-group fairness: %.3f (acceptance: <= 1.25)   "
+            "seed re-run identical: %s",
+            cells.back().fairness_ratio, reproducible ? "yes" : "NO");
+  ZB_CHECK(event_reduction >= 10.0);
+  ZB_CHECK(apply_parity >= 0.9 && apply_parity <= 1.1);
+  ZB_CHECK(cells.back().fairness_ratio > 0 &&
+           cells.back().fairness_ratio <= 1.25);
+  ZB_CHECK(reproducible);
+
+  WriteJson(out_path, quick, cells, event_reduction, apply_parity,
+            reproducible);
+  PrintLine("wrote %s", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace zerobak::bench
+
+int main(int argc, char** argv) {
+  zerobak::SetLogLevel(zerobak::LogLevel::kError);
+  bool quick = false;
+  std::string out_path = "BENCH_scale.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+  return zerobak::bench::Run(quick, out_path);
+}

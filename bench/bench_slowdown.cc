@@ -79,7 +79,8 @@ CellResult RunCell(Mode mode, SimDuration one_way_delay,
       pc.primary = p;
       pc.secondary = s;
       pc.mode = replication::ReplicationMode::kAsynchronous;
-      ZB_CHECK(engine.CreateAsyncPair(pc, group).ok());
+      pc.group = group;
+      ZB_CHECK(engine.CreatePair(pc).ok());
     }
   } else if (mode == Mode::kSdc) {
     for (auto [p, s] : {std::pair{*stock, *r_stock}, {*sales, *r_sales}}) {
@@ -87,7 +88,7 @@ CellResult RunCell(Mode mode, SimDuration one_way_delay,
       pc.primary = p;
       pc.secondary = s;
       pc.mode = replication::ReplicationMode::kSynchronous;
-      ZB_CHECK(engine.CreateSyncPair(pc).ok());
+      ZB_CHECK(engine.CreatePair(pc).ok());
     }
   }
   env.RunFor(Milliseconds(50));  // Initial copies settle.

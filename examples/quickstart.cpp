@@ -39,12 +39,12 @@ int main() {
   auto group = engine.CreateConsistencyGroup({.name = "quickstart-cg"});
   auto pvol = main_array.CreateVolume("business-data", /*blocks=*/1024);
   auto svol = backup_array.CreateVolume("r-business-data", 1024);
-  auto pair = engine.CreateAsyncPair(
+  auto pair = engine.CreatePair(
       {.name = "pair-1",
        .primary = *pvol,
        .secondary = *svol,
-       .mode = replication::ReplicationMode::kAsynchronous},
-      *group);
+       .mode = replication::ReplicationMode::kAsynchronous,
+       .group = *group});
   std::printf("pair created, state=%s\n",
               PairStateName(engine.GetPair(*pair)->state()));
 

@@ -77,12 +77,12 @@ int main() {
 
   auto cg = engine.CreateConsistencyGroup({.name = "dr-cg"});
   auto r_db = remote.CreateVolume("r-prod-db", 4096);
-  auto pair = engine.CreateAsyncPair(
+  auto pair = engine.CreatePair(
       {.name = "db-pair",
        .primary = *db_vol,
        .secondary = *r_db,
-       .mode = replication::ReplicationMode::kAsynchronous},
-      *cg);
+       .mode = replication::ReplicationMode::kAsynchronous,
+       .group = *cg});
   env.RunFor(Milliseconds(50));  // Initial copy.
   std::printf("pair state after initial copy: %s\n",
               PairStateName(engine.GetPair(*pair)->state()));

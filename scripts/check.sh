@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# The one-command pre-merge gate: configure, build and run the full test
+# suite under both the default (RelWithDebInfo) and the ASan+UBSan
+# sanitize presets, then smoke-run the measurement benches. This is what
+# CI runs; a green check.sh is the bar every change must clear.
+#
+#   scripts/check.sh             # everything
+#   scripts/check.sh --fast      # default preset only (inner-loop use)
+#
+# Run from anywhere.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "${repo_root}"
+
+fast=0
+for arg in "$@"; do
+  case "${arg}" in
+    --fast) fast=1 ;;
+    *) echo "unknown argument: ${arg}" >&2; exit 2 ;;
+  esac
+done
+
+jobs="$(nproc)"
+presets=(default)
+if [[ "${fast}" -eq 0 ]]; then
+  presets+=(sanitize)
+fi
+
+for preset in "${presets[@]}"; do
+  echo "=== preset: ${preset} ==="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "${jobs}"
+  ctest --preset "${preset}" -j "${jobs}"
+done
+
+# The bench smokes already ran once under ctest above (bench_*_smoke
+# carry their own acceptance checks); re-run them standalone here so a
+# bench regression prints its table instead of hiding behind a ctest
+# failure line.
+if [[ "${fast}" -eq 0 ]]; then
+  echo "=== bench smokes ==="
+  ./build/bench/bench_pipeline --quick --out /tmp/zerobak_pipeline_smoke.json
+  ./build/bench/bench_observe --quick --out /tmp/zerobak_observe_smoke.json
+  ./build/bench/bench_scale --quick --out /tmp/zerobak_scale_smoke.json
+fi
+
+echo "check.sh: all green"

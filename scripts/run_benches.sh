@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Regenerates the checked-in benchmark JSON (BENCH_micro.json,
-# BENCH_pipeline.json and BENCH_observe.json) from a Release + NDEBUG
+# BENCH_pipeline.json, BENCH_observe.json and BENCH_scale.json) from a
+# Release + NDEBUG
 # build, so the recorded perf trajectory is reproducible from one command:
 #
 #   scripts/run_benches.sh
@@ -13,12 +14,13 @@ cd "${repo_root}"
 
 cmake --preset bench
 cmake --build --preset bench -j "$(nproc)" \
-  --target bench_micro bench_pipeline bench_observe
+  --target bench_micro bench_pipeline bench_observe bench_scale
 
 ./build-bench/bench/bench_micro \
   --benchmark_out="${repo_root}/BENCH_micro.json" \
   --benchmark_out_format=json
 ./build-bench/bench/bench_pipeline --out "${repo_root}/BENCH_pipeline.json"
 ./build-bench/bench/bench_observe --out "${repo_root}/BENCH_observe.json"
+./build-bench/bench/bench_scale --out "${repo_root}/BENCH_scale.json"
 
-echo "Wrote BENCH_micro.json, BENCH_pipeline.json and BENCH_observe.json"
+echo "Wrote BENCH_micro.json, BENCH_pipeline.json, BENCH_observe.json and BENCH_scale.json"

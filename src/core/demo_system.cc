@@ -25,7 +25,7 @@ DemoSystem::DemoSystem(sim::SimEnvironment* env, DemoSystemConfig config)
 
   engine_ = std::make_unique<replication::ReplicationEngine>(
       env_, main_site_->array(), backup_site_->array(), to_backup_.get(),
-      to_main_.get());
+      to_main_.get(), config_.engine);
 
   // Observability bundle: one registry + trace ring for the whole system,
   // fed by the engine, every group's journals and both links, plus the

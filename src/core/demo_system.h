@@ -31,6 +31,10 @@ struct DemoSystemConfig {
   // Continuous RPO sampling cadence; 0 leaves the tracker stopped (the
   // instruments stay attached either way).
   SimDuration rpo_sample_interval = Milliseconds(10);
+  // Passed through to the replication engine (event-driven scheduler on
+  // by default; flip off only for A/B comparisons against the legacy
+  // per-group timers).
+  replication::EngineOptions engine;
 };
 
 // The complete demonstration system of Section IV: a main site and a

@@ -137,7 +137,8 @@ void ReplicationGroupController::Configure(const Resource& vrg) {
     pc.primary = pvol->id();
     pc.secondary = svol_id;
     pc.mode = replication::ReplicationMode::kAsynchronous;
-    auto pair = engine_->CreateAsyncPair(pc, group);
+    pc.group = group;
+    auto pair = engine_->CreatePair(pc);
     replication::PairId pair_id = 0;
     if (pair.ok()) {
       pair_id = *pair;

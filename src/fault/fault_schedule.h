@@ -94,7 +94,7 @@ class FaultSchedule {
   void AddArray(storage::StorageArray* array);
   // Registers a corruption knob: called with `corrupt_probability` when a
   // corruption episode starts and 0.0 when it ends (and on Heal). The
-  // replication engine's set_wire_corrupt_probability is the usual target.
+  // replication engine's SetFaultOptions is the usual target.
   void AddCorruptionTarget(std::function<void(double)> set_probability);
 
   // Generates the timeline starting at env->now() and schedules every

@@ -53,6 +53,7 @@ StatusOr<SequenceNumber> JournalVolume::Append(JournalRecord record) {
     instruments_.used_bytes->Set(static_cast<int64_t>(used_bytes_));
   }
   records_.push_back(std::move(record));
+  if (append_callback_) append_callback_(written_);
   return written_;
 }
 

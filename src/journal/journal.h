@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -156,6 +157,17 @@ class JournalVolume {
   // returns the assigned sequence.
   StatusOr<SequenceNumber> Append(JournalRecord record);
 
+  // Registers a callback fired after every successful Append (write-path
+  // side only; AppendWithSequence — the receive side — does not notify).
+  // The transfer scheduler uses this edge to arm a group the instant new
+  // work exists instead of polling the journal on a timer. Pass an empty
+  // function to detach. The callback runs inline inside Append, so it must
+  // not mutate the journal.
+  using AppendCallback = std::function<void(SequenceNumber)>;
+  void SetAppendCallback(AppendCallback callback) {
+    append_callback_ = std::move(callback);
+  }
+
   // Appends a record that already carries a sequence number (backup-site
   // journal receiving shipped records). Sequences must arrive densely.
   Status AppendWithSequence(JournalRecord record);
@@ -275,6 +287,7 @@ class JournalVolume {
   uint64_t folded_records_ = 0;
   uint64_t folded_bytes_ = 0;
   Instruments instruments_;
+  AppendCallback append_callback_;
 };
 
 }  // namespace zerobak::journal

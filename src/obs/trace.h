@@ -24,6 +24,9 @@ enum class TraceEvent : uint8_t {
   kJournalOverflow,  // arg0 = journal used bytes at overflow.
   kLinkDown,         // Subject is the link id passed at attach time.
   kLinkUp,
+  kSchedArm,         // Group left the idle set. arg0 = armed groups now.
+  kSchedStarved,     // DRR deferred the group's turn. arg0 = its deficit
+                     // magnitude in bytes.
 };
 
 inline const char* TraceEventName(TraceEvent event) {
@@ -50,6 +53,10 @@ inline const char* TraceEventName(TraceEvent event) {
       return "link-down";
     case TraceEvent::kLinkUp:
       return "link-up";
+    case TraceEvent::kSchedArm:
+      return "sched-arm";
+    case TraceEvent::kSchedStarved:
+      return "sched-starved";
   }
   return "?";
 }

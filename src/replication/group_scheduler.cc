@@ -1,0 +1,207 @@
+#include "replication/group_scheduler.h"
+
+#include <algorithm>
+
+namespace zerobak::replication {
+
+GroupScheduler::GroupScheduler(sim::SimEnvironment* env,
+                               sim::NetworkLink* link,
+                               SimDuration heartbeat_interval, PumpFn pump,
+                               HeartbeatFn heartbeat)
+    : env_(env),
+      link_(link),
+      pump_(std::move(pump)),
+      heartbeat_(std::move(heartbeat)) {
+  heartbeat_task_ = std::make_unique<sim::PeriodicTask>(
+      env_, heartbeat_interval, [this]() {
+        ++stats_.heartbeats;
+        if (instruments_.heartbeats != nullptr) {
+          instruments_.heartbeats->Increment();
+        }
+        if (heartbeat_) stats_.heartbeat_rescues += heartbeat_();
+      });
+}
+
+GroupScheduler::~GroupScheduler() {
+  if (dispatch_pending_) env_->Cancel(dispatch_event_);
+}
+
+void GroupScheduler::Register(GroupSchedulerId id, SimDuration interval,
+                              uint64_t quantum) {
+  GroupState& g = groups_[id];
+  g.interval = std::max<SimDuration>(interval, 1);
+  g.origin = env_->now();
+  g.quantum = std::max<uint64_t>(quantum, 1);
+  stats_.registered_groups = groups_.size();
+  // The heartbeat only runs while there is something to rescue.
+  if (!heartbeat_task_->running()) heartbeat_task_->Start();
+}
+
+void GroupScheduler::Unregister(GroupSchedulerId id) {
+  auto it = groups_.find(id);
+  if (it == groups_.end()) return;
+  Disarm(id);
+  groups_.erase(it);
+  stats_.registered_groups = groups_.size();
+  if (groups_.empty() && heartbeat_task_->running()) {
+    heartbeat_task_->Stop();
+  }
+}
+
+void GroupScheduler::Arm(GroupSchedulerId id) {
+  auto it = groups_.find(id);
+  if (it == groups_.end()) return;
+  GroupState& g = it->second;
+  if (g.armed) return;
+  g.armed = true;
+  // Due at the next interval tick, never immediately: writes landing
+  // within one batching window still coalesce into a single batch.
+  g.due = NextTick(g, env_->now());
+  ++stats_.arms;
+  if (instruments_.arms != nullptr) instruments_.arms->Increment();
+  SetArmedCount(stats_.armed_groups + 1);
+  if (trace_ != nullptr) {
+    trace_->Record(env_->now(), obs::TraceEvent::kSchedArm, id,
+                   stats_.armed_groups);
+  }
+  if (!g.in_queue) {
+    g.in_queue = true;
+    run_queue_.push_back(id);
+  }
+  ScheduleDispatchAt(g.due);
+}
+
+void GroupScheduler::Disarm(GroupSchedulerId id) {
+  auto it = groups_.find(id);
+  if (it == groups_.end()) return;
+  GroupState& g = it->second;
+  if (!g.armed) return;
+  g.armed = false;
+  g.deficit = 0;
+  // The run_queue_ entry (if any) is dropped lazily by RunRound.
+  SetArmedCount(stats_.armed_groups - 1);
+}
+
+bool GroupScheduler::armed(GroupSchedulerId id) const {
+  auto it = groups_.find(id);
+  return it != groups_.end() && it->second.armed;
+}
+
+void GroupScheduler::SetArmedCount(uint64_t count) {
+  stats_.armed_groups = count;
+  if (instruments_.armed_groups != nullptr) {
+    instruments_.armed_groups->Set(static_cast<int64_t>(count));
+  }
+}
+
+void GroupScheduler::ScheduleDispatchAt(SimTime t) {
+  t = std::max(t, env_->now());
+  if (dispatch_pending_) {
+    if (t >= dispatch_at_) return;
+    env_->Cancel(dispatch_event_);
+  }
+  dispatch_pending_ = true;
+  dispatch_at_ = t;
+  dispatch_event_ = env_->ScheduleAt(t, [this]() { RunRound(); });
+}
+
+void GroupScheduler::RunRound() {
+  dispatch_pending_ = false;
+  ++stats_.wakeups;
+  if (instruments_.wakeups != nullptr) instruments_.wakeups->Increment();
+  const SimTime now = env_->now();
+
+  // One round visits each queued group at most once; groups that stay
+  // armed are re-appended and picked up by the next round.
+  size_t budget = run_queue_.size();
+  while (budget-- > 0 && !run_queue_.empty()) {
+    const GroupSchedulerId id = run_queue_.front();
+    run_queue_.pop_front();
+    auto it = groups_.find(id);
+    if (it == groups_.end()) continue;
+    GroupState* g = &it->second;
+    if (!g->armed) {
+      g->in_queue = false;
+      continue;
+    }
+    if (g->due > now) {
+      run_queue_.push_back(id);
+      continue;
+    }
+    // Deficit round-robin: the turn earns a quantum; a group whose last
+    // batch overshot skips turns until its balance recovers, which is
+    // what bounds the share of a link hog. Because the credit is added
+    // before the skip check, every deferred turn strictly increases the
+    // deficit — starvation is always finite.
+    g->deficit += static_cast<int64_t>(g->quantum);
+    if (g->deficit <= 0) {
+      ++stats_.starved_turns;
+      if (instruments_.starved_turns != nullptr) {
+        instruments_.starved_turns->Increment();
+      }
+      if (trace_ != nullptr) {
+        trace_->Record(now, obs::TraceEvent::kSchedStarved, id,
+                       static_cast<uint64_t>(-g->deficit));
+      }
+      g->due = now;
+      run_queue_.push_back(id);
+      continue;
+    }
+    ++stats_.dispatches;
+    if (instruments_.dispatches != nullptr) {
+      instruments_.dispatches->Increment();
+    }
+    const PumpOutcome out =
+        pump_(id, static_cast<uint64_t>(g->deficit));
+    // The pump may have suspended or deleted the group reentrantly.
+    it = groups_.find(id);
+    if (it == groups_.end()) continue;
+    g = &it->second;
+    g->quantum = std::max<uint64_t>(out.quantum, 1);
+    if (out.sent) {
+      g->deficit -= static_cast<int64_t>(out.wire_bytes);
+    } else {
+      g->deficit = 0;
+    }
+    if (!g->armed) {
+      g->in_queue = false;
+      continue;
+    }
+    if (out.sent && out.backlog) {
+      // Drain mode: chase the wire. On an idle link the next pump runs
+      // the moment this batch finishes serializing; on a saturated link
+      // the interval tick comes first and paces us (preserving the
+      // adaptive controller's backlog signal).
+      g->due = std::min(NextTick(*g, now),
+                        std::max(now, link_->wire_busy_until()));
+      run_queue_.push_back(id);
+    } else if (out.keep_alive) {
+      // Nothing to ship but unacked data in flight: tick at the interval
+      // so adaptive resizing keeps observing the link. Idle groups must
+      // not bank credit they did not use.
+      g->deficit = std::min(g->deficit, static_cast<int64_t>(g->quantum));
+      g->due = NextTick(*g, now);
+      run_queue_.push_back(id);
+    } else {
+      g->armed = false;
+      g->deficit = 0;
+      g->in_queue = false;
+      SetArmedCount(stats_.armed_groups - 1);
+    }
+  }
+
+  // Sleep until the earliest armed group is due.
+  bool have_next = false;
+  SimTime next = 0;
+  for (const GroupSchedulerId id : run_queue_) {
+    auto it = groups_.find(id);
+    if (it == groups_.end() || !it->second.armed) continue;
+    if (!have_next || it->second.due < next) {
+      have_next = true;
+      next = it->second.due;
+    }
+  }
+  if (have_next) ScheduleDispatchAt(next);
+}
+
+}  // namespace zerobak::replication

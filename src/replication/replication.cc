@@ -68,6 +68,51 @@ ConsistencyGroupConfig ConsistencyGroupConfig::Normalized() const {
   return out;
 }
 
+Status ConsistencyGroupConfig::Validate() const {
+  if (transfer_interval <= 0) {
+    return InvalidArgumentError("transfer_interval must be positive");
+  }
+  if (journal_capacity_bytes == 0) {
+    return InvalidArgumentError("journal_capacity_bytes must be nonzero");
+  }
+  if (transfer_batch_bytes == 0) {
+    return InvalidArgumentError("transfer_batch_bytes must be nonzero");
+  }
+  if (resync_max_extent_blocks == 0) {
+    return InvalidArgumentError("resync_max_extent_blocks must be nonzero");
+  }
+  if (ack_timeout < 0) {
+    return InvalidArgumentError("ack_timeout must be >= 0 (0 disables)");
+  }
+  if (enable_adaptive_batching) {
+    // The bounds only govern the adaptive controller; a fixed-batch
+    // ablation sweep may pin transfer_batch_bytes anywhere it likes.
+    if (transfer_batch_min_bytes == 0) {
+      return InvalidArgumentError("transfer_batch_min_bytes must be nonzero");
+    }
+    if (transfer_batch_max_bytes < transfer_batch_min_bytes) {
+      return InvalidArgumentError(
+          "transfer_batch_max_bytes < transfer_batch_min_bytes");
+    }
+    if (transfer_batch_bytes < transfer_batch_min_bytes ||
+        transfer_batch_bytes > transfer_batch_max_bytes) {
+      return InvalidArgumentError(
+          "transfer_batch_bytes outside [transfer_batch_min_bytes, "
+          "transfer_batch_max_bytes]");
+    }
+  }
+  if (auto_resync) {
+    if (resync_backoff_initial <= 0) {
+      return InvalidArgumentError("resync_backoff_initial must be positive");
+    }
+    if (resync_backoff_max < resync_backoff_initial) {
+      return InvalidArgumentError(
+          "resync_backoff_max < resync_backoff_initial");
+    }
+  }
+  return OkStatus();
+}
+
 namespace internal {
 
 // Interceptor installed on an async P-VOL: journals the write, acks.
@@ -153,18 +198,39 @@ ReplicationEngine::ReplicationEngine(sim::SimEnvironment* env,
                                      storage::StorageArray* primary,
                                      storage::StorageArray* secondary,
                                      sim::NetworkLink* to_secondary,
-                                     sim::NetworkLink* to_primary)
+                                     sim::NetworkLink* to_primary,
+                                     EngineOptions options)
     : env_(env),
       primary_(primary),
       secondary_(secondary),
       to_secondary_(to_secondary),
-      to_primary_(to_primary) {}
+      to_primary_(to_primary),
+      options_(options) {
+  if (options_.event_driven_scheduler) {
+    scheduler_ = std::make_unique<GroupScheduler>(
+        env_, to_secondary_, options_.scheduler_heartbeat,
+        [this](GroupSchedulerId id, uint64_t max_bytes) {
+          Group* group = FindGroup(static_cast<GroupId>(id));
+          if (group == nullptr) return PumpOutcome{};
+          return PumpGroup(group, max_bytes);
+        },
+        [this] { return HeartbeatScan(); });
+    // Link reconnect is an arm edge: groups with backlog resume without
+    // waiting for the heartbeat.
+    to_secondary_->SetReadyCallback([this] { OnLinkReady(); });
+  }
+}
 
 ReplicationEngine::~ReplicationEngine() {
+  if (scheduler_ != nullptr) to_secondary_->SetReadyCallback({});
   for (auto& [id, group] : groups_) {
     if (group->transfer_task) group->transfer_task->Stop();
     CancelResyncRetry(group.get());
     UnprotectInflightResync(group.get());
+    // The arrays (and their journals) may outlive the engine; detach the
+    // arm hooks pointed at us.
+    auto* pj = primary_->GetJournal(group->primary_journal);
+    if (pj != nullptr) pj->SetAppendCallback({});
   }
   // Unregister interceptors so arrays outliving the engine behave.
   for (auto& [vid, ic] : primary_interceptors_) {
@@ -177,7 +243,7 @@ ReplicationEngine::~ReplicationEngine() {
 
 StatusOr<GroupId> ReplicationEngine::CreateConsistencyGroup(
     ConsistencyGroupConfig config) {
-  config = config.Normalized();
+  ZB_RETURN_IF_ERROR(config.Validate());
   ZB_ASSIGN_OR_RETURN(storage::JournalId pj,
                       primary_->CreateJournal(config.journal_capacity_bytes));
   auto sj_or = secondary_->CreateJournal(config.journal_capacity_bytes);
@@ -193,9 +259,21 @@ StatusOr<GroupId> ReplicationEngine::CreateConsistencyGroup(
   group->secondary_journal = *sj_or;
   group->batch_bytes_now = group->config.transfer_batch_bytes;
   Group* raw = group.get();
-  group->transfer_task = std::make_unique<sim::PeriodicTask>(
-      env_, raw->config.transfer_interval, [this, raw] { PumpGroup(raw); });
-  group->transfer_task->Start();
+  if (scheduler_ != nullptr) {
+    // Event-driven transfer: the group idles until a journal append (the
+    // hook below), an apply-ack, a link reconnect or a resync completion
+    // arms it.
+    scheduler_->Register(id, raw->config.transfer_interval,
+                         raw->batch_bytes_now);
+    auto* pjv = primary_->GetJournal(pj);
+    ZB_CHECK(pjv != nullptr);
+    pjv->SetAppendCallback(
+        [this, id](journal::SequenceNumber) { OnPrimaryJournalAppend(id); });
+  } else {
+    group->transfer_task = std::make_unique<sim::PeriodicTask>(
+        env_, raw->config.transfer_interval, [this, raw] { PumpGroup(raw); });
+    group->transfer_task->Start();
+  }
   groups_.emplace(id, std::move(group));
   if (registry_ != nullptr) InstrumentGroupJournals(raw);
   return id;
@@ -207,7 +285,12 @@ Status ReplicationEngine::DeleteConsistencyGroup(GroupId id) {
   if (!group->pairs.empty()) {
     return FailedPreconditionError("group still has pairs");
   }
-  group->transfer_task->Stop();
+  if (group->transfer_task) group->transfer_task->Stop();
+  if (scheduler_ != nullptr) {
+    scheduler_->Unregister(id);
+    auto* pjv = primary_->GetJournal(group->primary_journal);
+    if (pjv != nullptr) pjv->SetAppendCallback({});
+  }
   CancelResyncRetry(group);
   (void)primary_->DeleteJournal(group->primary_journal);
   (void)secondary_->DeleteJournal(group->secondary_journal);
@@ -308,6 +391,9 @@ void ReplicationEngine::AttachObservability(obs::MetricRegistry* registry,
   trace_ = trace;
   if (registry == nullptr) {
     ins_ = EngineInstruments{};
+    if (scheduler_ != nullptr) {
+      scheduler_->AttachObservability(GroupScheduler::Instruments{}, trace);
+    }
     return;
   }
   ins_.batches_shipped = registry->GetCounter("replication.batches_shipped");
@@ -327,6 +413,16 @@ void ReplicationEngine::AttachObservability(obs::MetricRegistry* registry,
   ins_.batch_wire_bytes =
       registry->GetHistogram("replication.batch_wire_bytes");
   ins_.batch_records = registry->GetHistogram("replication.batch_records");
+  if (scheduler_ != nullptr) {
+    GroupScheduler::Instruments sins;
+    sins.arms = registry->GetCounter("sched.arms");
+    sins.wakeups = registry->GetCounter("sched.wakeups");
+    sins.dispatches = registry->GetCounter("sched.dispatches");
+    sins.heartbeats = registry->GetCounter("sched.heartbeats");
+    sins.starved_turns = registry->GetCounter("sched.starved_turns");
+    sins.armed_groups = registry->GetGauge("sched.armed_groups");
+    scheduler_->AttachObservability(sins, trace);
+  }
   for (auto& [id, group] : groups_) InstrumentGroupJournals(group.get());
 }
 
@@ -353,17 +449,26 @@ StatusOr<std::string> ReplicationEngine::GetGroupName(GroupId id) const {
   return group->config.name;
 }
 
-StatusOr<PairId> ReplicationEngine::CreateAsyncPair(const PairConfig& config,
-                                                    GroupId group_id) {
-  if (config.mode != ReplicationMode::kAsynchronous) {
-    return InvalidArgumentError("CreateAsyncPair requires async mode");
-  }
-  Group* group = FindGroup(group_id);
-  if (group == nullptr) {
-    return NotFoundError("group " + std::to_string(group_id));
-  }
-  if (group->failed_over) {
-    return FailedPreconditionError("group has been failed over");
+StatusOr<PairId> ReplicationEngine::CreatePair(const PairConfig& config) {
+  const bool synchronous = config.mode == ReplicationMode::kSynchronous;
+  Group* group = nullptr;
+  if (synchronous) {
+    if (config.group != 0) {
+      return InvalidArgumentError(
+          "synchronous pairs are standalone; config.group must be 0");
+    }
+  } else {
+    if (config.group == 0) {
+      return InvalidArgumentError(
+          "asynchronous pairs require a consistency group (config.group)");
+    }
+    group = FindGroup(config.group);
+    if (group == nullptr) {
+      return NotFoundError("group " + std::to_string(config.group));
+    }
+    if (group->failed_over) {
+      return FailedPreconditionError("group has been failed over");
+    }
   }
   ZB_ASSIGN_OR_RETURN(storage::Volume * pvol,
                       primary_->FindVolume(config.primary));
@@ -384,13 +489,18 @@ StatusOr<PairId> ReplicationEngine::CreateAsyncPair(const PairConfig& config,
   auto pair = std::make_unique<Pair>();
   pair->id_ = id;
   pair->config_ = config;
-  pair->group_ = group_id;
+  pair->group_ = synchronous ? 0 : config.group;
   pair->state_ = PairState::kCopy;
   pair->dirty_.Reset(pvol->block_count());
   pair->reverse_dirty_.Reset(pvol->block_count());
   Pair* raw = pair.get();
 
-  auto interceptor = std::make_unique<internal::AdcInterceptor>(this, raw);
+  std::unique_ptr<storage::WriteInterceptor> interceptor;
+  if (synchronous) {
+    interceptor = std::make_unique<internal::SyncInterceptor>(this, raw);
+  } else {
+    interceptor = std::make_unique<internal::AdcInterceptor>(this, raw);
+  }
   ZB_RETURN_IF_ERROR(
       primary_->RegisterInterceptor(config.primary, interceptor.get()));
   auto guard = std::make_unique<internal::SecondaryGuard>(raw);
@@ -402,56 +512,13 @@ StatusOr<PairId> ReplicationEngine::CreateAsyncPair(const PairConfig& config,
   primary_interceptors_.emplace(config.primary, std::move(interceptor));
   secondary_guards_.emplace(config.secondary, std::move(guard));
 
-  group->pairs.push_back(id);
-  group->by_primary.emplace(config.primary, id);
+  if (group != nullptr) {
+    group->pairs.push_back(id);
+    group->by_primary.emplace(config.primary, id);
+  }
   pairs_.emplace(id, std::move(pair));
 
   StartInitialCopy(raw, group);
-  return id;
-}
-
-StatusOr<PairId> ReplicationEngine::CreateSyncPair(const PairConfig& config) {
-  if (config.mode != ReplicationMode::kSynchronous) {
-    return InvalidArgumentError("CreateSyncPair requires sync mode");
-  }
-  ZB_ASSIGN_OR_RETURN(storage::Volume * pvol,
-                      primary_->FindVolume(config.primary));
-  ZB_ASSIGN_OR_RETURN(storage::Volume * svol,
-                      secondary_->FindVolume(config.secondary));
-  if (pvol->block_size() != svol->block_size() ||
-      pvol->block_count() != svol->block_count()) {
-    return InvalidArgumentError("pair volume geometry mismatch");
-  }
-  if (primary_->HasInterceptor(config.primary)) {
-    return AlreadyExistsError("P-VOL already replicated");
-  }
-  if (secondary_->HasInterceptor(config.secondary)) {
-    return AlreadyExistsError("S-VOL already in use");
-  }
-
-  const PairId id = next_pair_id_++;
-  auto pair = std::make_unique<Pair>();
-  pair->id_ = id;
-  pair->config_ = config;
-  pair->state_ = PairState::kCopy;
-  pair->dirty_.Reset(pvol->block_count());
-  pair->reverse_dirty_.Reset(pvol->block_count());
-  Pair* raw = pair.get();
-
-  auto interceptor = std::make_unique<internal::SyncInterceptor>(this, raw);
-  ZB_RETURN_IF_ERROR(
-      primary_->RegisterInterceptor(config.primary, interceptor.get()));
-  auto guard = std::make_unique<internal::SecondaryGuard>(raw);
-  Status gs = secondary_->RegisterInterceptor(config.secondary, guard.get());
-  if (!gs.ok()) {
-    primary_->UnregisterInterceptor(config.primary);
-    return gs;
-  }
-  primary_interceptors_.emplace(config.primary, std::move(interceptor));
-  secondary_guards_.emplace(config.secondary, std::move(guard));
-  pairs_.emplace(id, std::move(pair));
-
-  StartInitialCopy(raw, /*group=*/nullptr);
   return id;
 }
 
@@ -628,15 +695,28 @@ void ReplicationEngine::OnSyncHostWrite(
   }
 }
 
-void ReplicationEngine::PumpGroup(Group* group) {
-  if (group->suspended || group->failed_over) return;
-  if (primary_->failed()) return;
+PumpOutcome ReplicationEngine::PumpGroup(Group* group, uint64_t max_bytes) {
+  PumpOutcome out;
+  if (group->suspended || group->failed_over) return out;
+  if (primary_->failed()) return out;
   auto* jnl = primary_->GetJournal(group->primary_journal);
-  if (jnl == nullptr) return;
+  if (jnl == nullptr) return out;
   if (group->config.enable_adaptive_batching) AdaptBatchSize(group, jnl);
+  // The scheduler's DRR quantum tracks the (possibly just adapted) batch
+  // size, so a group's fair share follows its own pacing decisions.
+  out.quantum = group->batch_bytes_now;
+  // An adaptive group keeps its interval tick while shipped data awaits
+  // its ack: that is the only window where link backlog is observable, so
+  // going fully idle would freeze the controller at its last size.
+  auto adaptive_keep_alive = [&] {
+    return group->config.enable_adaptive_batching &&
+           jnl->acked() < jnl->written();
+  };
+  const uint64_t cap = std::min(group->batch_bytes_now, max_bytes);
   std::vector<const journal::JournalRecord*> views;
-  if (jnl->PeekViews(jnl->shipped(), group->batch_bytes_now, &views) == 0) {
-    return;
+  if (jnl->PeekViews(jnl->shipped(), cap, &views) == 0) {
+    out.keep_alive = adaptive_keep_alive();
+    return out;
   }
   const journal::SequenceNumber last = views.back()->sequence;
 
@@ -779,9 +859,61 @@ void ReplicationEngine::PumpGroup(Group* group) {
     // still be lost to a partition. Arm a deadline so a silent loss
     // surfaces as a suspension instead of a stalled watermark.
     ArmAckDeadline(group, last);
+    out.sent = true;
+    out.wire_bytes = wire_bytes;
+    out.backlog = jnl->shipped() < jnl->written();
+    out.keep_alive = adaptive_keep_alive();
   }
-  // On failure (link down) the records stay unshipped; the journal absorbs
-  // the backlog until it overflows and the group suspends.
+  // On failure (link down) the records stay unshipped and the outcome
+  // reports neither progress nor keep-alive, so the scheduler disarms the
+  // group instead of hot-retrying a dead link; the heartbeat or the
+  // link-ready edge re-arms it. The journal absorbs the backlog until it
+  // overflows and the group suspends.
+  return out;
+}
+
+void ReplicationEngine::OnPrimaryJournalAppend(GroupId id) {
+  if (scheduler_ == nullptr) return;
+  Group* group = FindGroup(id);
+  if (group == nullptr || group->suspended || group->failed_over) return;
+  scheduler_->Arm(id);
+}
+
+void ReplicationEngine::OnLinkReady() {
+  if (scheduler_ == nullptr) return;
+  for (const auto& [id, group] : groups_) ArmIfPending(id);
+}
+
+void ReplicationEngine::ArmIfPending(GroupId id) {
+  if (scheduler_ == nullptr) return;
+  Group* group = FindGroup(id);
+  if (group == nullptr || group->suspended || group->failed_over) return;
+  auto* jnl = primary_->GetJournal(group->primary_journal);
+  if (jnl == nullptr) return;
+  if (jnl->shipped() < jnl->written() ||
+      (group->config.enable_adaptive_batching &&
+       jnl->acked() < jnl->written())) {
+    scheduler_->Arm(id);
+  }
+}
+
+uint64_t ReplicationEngine::HeartbeatScan() {
+  // Rescue scan: a group can lose its arm edge without losing its backlog
+  // (the pump failed while the link was down and the reconnect callback
+  // is not attached, or the arming append happened mid-failure). One slow
+  // walk re-arms them; steady state never depends on it.
+  uint64_t rescued = 0;
+  for (const auto& [id, group] : groups_) {
+    if (group->suspended || group->failed_over) continue;
+    if (scheduler_->armed(id)) continue;
+    auto* jnl = primary_->GetJournal(group->primary_journal);
+    if (jnl == nullptr) continue;
+    if (jnl->shipped() < jnl->written()) {
+      scheduler_->Arm(id);
+      ++rescued;
+    }
+  }
+  return rescued;
 }
 
 void ReplicationEngine::AdaptBatchSize(Group* group,
@@ -1031,6 +1163,9 @@ void ReplicationEngine::SendApplyAck(Group* group,
                            group_id, seq);
           }
         }
+        // The trim freed journal capacity; if records queued up behind the
+        // in-flight window, this ack is their arm edge.
+        ArmIfPending(group_id);
       });
   (void)sent;  // A lost ack only delays trimming.
 }
@@ -1050,8 +1185,9 @@ void ReplicationEngine::SendWireNack(Group* group) {
 }
 
 void ReplicationEngine::MaybeCorruptFrame(std::string* frame) {
-  if (wire_corrupt_probability_ <= 0.0 || frame->empty()) return;
-  if (!wire_corrupt_rng_.Bernoulli(wire_corrupt_probability_)) return;
+  const double p = fault_options_.wire_corrupt_probability;
+  if (p <= 0.0 || frame->empty()) return;
+  if (!wire_corrupt_rng_.Bernoulli(p)) return;
   const size_t byte = wire_corrupt_rng_.Uniform(frame->size());
   (*frame)[byte] ^= static_cast<char>(1u << wire_corrupt_rng_.Uniform(8));
   ++wire_frames_corrupted_;
@@ -1167,6 +1303,8 @@ void ReplicationEngine::UnprotectInflightResync(Group* group) {
 
 void ReplicationEngine::MarkGroupSuspended(Group* group) {
   group->suspended = true;
+  // A suspended group ships nothing; it re-arms on resync completion.
+  if (scheduler_ != nullptr) scheduler_->Disarm(group->id);
   // A suspension supersedes any resync in flight: its batch can no longer
   // be trusted to land, so put the captured blocks back into the dirty
   // bitmaps and invalidate its delivery/deadline by bumping the epoch.
@@ -1382,6 +1520,9 @@ Status ReplicationEngine::ResyncGroup(GroupId id) {
         }
         g->suspend_reason = SuspendReason::kNone;
         ApplyPending(g);
+        // Records journaled while the resync batch was in flight are an
+        // existing backlog with no future arm edge; resume shipping now.
+        ArmIfPending(group_id);
       });
   if (!sent.ok()) {
     // Dirty bitmaps are untouched; the group simply stays suspended.
@@ -1460,7 +1601,8 @@ StatusOr<FailoverReport> ReplicationEngine::FailoverGroup(GroupId id) {
     return FailedPreconditionError("group already failed over");
   }
   group->failed_over = true;
-  group->transfer_task->Stop();
+  if (group->transfer_task) group->transfer_task->Stop();
+  if (scheduler_ != nullptr) scheduler_->Disarm(id);
   // Recovery machinery stands down: no auto-resync on a failed-over group,
   // and a resync batch still in flight is moot (its target volumes are
   // about to be promoted).
@@ -1603,7 +1745,10 @@ StatusOr<FailbackReport> ReplicationEngine::FailbackGroup(GroupId id,
   // Giveback writes are dirty-marked AND journaled forward, so the dirty
   // bits do not represent unsynced data; the journal bound covers them.
   group->oldest_unsynced_time = -1;
-  group->transfer_task->Start();
+  // Scheduler mode needs no explicit restart: the journals were Reset in
+  // place, so the append hook survives and the next P-VOL write (or the
+  // giveback's forward-journaled blocks) arms the group.
+  if (group->transfer_task) group->transfer_task->Start();
 
   const GroupId group_id = id;
   Status sent = to_primary_->SendOnChannel(

@@ -19,6 +19,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "replication/dirty_bitmap.h"
+#include "replication/group_scheduler.h"
 #include "sim/environment.h"
 #include "sim/network.h"
 #include "storage/array.h"
@@ -67,10 +68,11 @@ struct ConsistencyGroupConfig {
   SimDuration transfer_interval = Milliseconds(2);
 
   // --- Transfer pipeline (batch sizing + coalescing) ------------------------
-  // Every batch-sizing knob lives here and is normalized by Normalized()
-  // when the group is created, so a sweep value of zero (or inverted
-  // min/max bounds) can never wedge the engine: a batch always has room
-  // for at least one record.
+  // Every batch-sizing knob lives here and is checked by Validate() when
+  // the group is created: a zero batch size or inverted min/max bounds is
+  // rejected up front instead of being silently rewritten. Normalized()
+  // only clamps the values the engine computes itself at runtime
+  // (adaptive resizing), which stay inside the validated bounds.
   //
   // Bytes shipped per wakeup. Under adaptive batching this is only the
   // starting point; the engine moves within [min, max].
@@ -103,8 +105,18 @@ struct ConsistencyGroupConfig {
 
   // Returns a copy with the batch-sizing knobs forced into a sane shape:
   // min >= one default-sized record, max >= min, batch clamped into
-  // [min, max], extent length >= 1.
+  // [min, max], extent length >= 1. The engine uses this only for
+  // RUNTIME adjustments (adaptive resizing never leaves sane bounds);
+  // configs submitted to CreateConsistencyGroup must pass Validate()
+  // as-is — bad knobs are an error, not a silent rewrite.
   ConsistencyGroupConfig Normalized() const;
+
+  // Checks the knobs a user could plausibly get wrong: zero/negative
+  // intervals and capacities, inverted or violated adaptive-batch bounds
+  // (only checked when adaptive batching is on — ablation sweeps pin the
+  // batch size with the bounds left at defaults), nonsensical backoff.
+  // Returns InvalidArgumentError naming the offending field.
+  Status Validate() const;
 
   // --- Failure detection and recovery ---------------------------------------
   // Grace period, measured from a shipped batch's latest possible arrival,
@@ -125,6 +137,32 @@ struct PairConfig {
   storage::VolumeId primary = 0;    // P-VOL on the main array.
   storage::VolumeId secondary = 0;  // S-VOL on the backup array.
   ReplicationMode mode = ReplicationMode::kAsynchronous;
+  // Consistency group for asynchronous pairs; must be 0 (unset) for
+  // synchronous pairs, which are standalone by definition.
+  GroupId group = 0;
+};
+
+// Engine-wide tunables, fixed at construction.
+struct EngineOptions {
+  // Drive journal transfer with the event-driven GroupScheduler (armed by
+  // appends/acks/link edges; idle groups cost zero simulation events).
+  // When false, each group runs the legacy per-group PeriodicTask — kept
+  // as the A/B baseline for the scale benchmark.
+  bool event_driven_scheduler = true;
+  // Housekeeping cadence of the scheduler's single slow heartbeat (the
+  // rescue scan for groups with backlog but no pending edge).
+  SimDuration scheduler_heartbeat = Milliseconds(50);
+};
+
+// Fault-injection knobs, settable at runtime as one struct so new lanes
+// extend the struct instead of growing the engine's method surface.
+struct FaultOptions {
+  // Probability that a delivered wire frame has one random bit flipped
+  // before the backup site decodes it (an in-flight corruption the CRC
+  // must catch). Draws come from a dedicated engine-seeded Rng whose
+  // stream continues across SetFaultOptions calls, so toggling a lane
+  // mid-run keeps the simulation deterministic.
+  double wire_corrupt_probability = 0.0;
 };
 
 // Point-in-time replication health of a consistency group.
@@ -252,7 +290,8 @@ class ReplicationEngine {
   ReplicationEngine(sim::SimEnvironment* env, storage::StorageArray* primary,
                     storage::StorageArray* secondary,
                     sim::NetworkLink* to_secondary,
-                    sim::NetworkLink* to_primary);
+                    sim::NetworkLink* to_primary,
+                    EngineOptions options = {});
   ~ReplicationEngine();
 
   ReplicationEngine(const ReplicationEngine&) = delete;
@@ -267,13 +306,29 @@ class ReplicationEngine {
   StatusOr<std::string> GetGroupName(GroupId id) const;
 
   // --- Pairs ---------------------------------------------------------------
-  // Creates an asynchronous pair inside a consistency group. The initial
-  // copy starts immediately; the pair reaches kPaired once the base image
-  // has been transferred.
-  StatusOr<PairId> CreateAsyncPair(const PairConfig& config, GroupId group);
+  // Creates a replication pair. `config.mode` selects the flavor:
+  //  - kAsynchronous: journal-backed pair inside the consistency group
+  //    named by `config.group` (required). The initial copy starts
+  //    immediately; the pair reaches kPaired once the base image has
+  //    been transferred.
+  //  - kSynchronous: standalone pair (no journal); `config.group` must
+  //    be 0.
+  StatusOr<PairId> CreatePair(const PairConfig& config);
 
-  // Creates a standalone synchronous pair (no journal, no group).
-  StatusOr<PairId> CreateSyncPair(const PairConfig& config);
+  // Deprecated spellings of CreatePair, kept for transition; the mode
+  // and group now travel inside PairConfig.
+  [[deprecated("use CreatePair; PairConfig carries mode and group")]]
+  StatusOr<PairId> CreateAsyncPair(PairConfig config, GroupId group) {
+    config.mode = ReplicationMode::kAsynchronous;
+    config.group = group;
+    return CreatePair(config);
+  }
+  [[deprecated("use CreatePair; PairConfig carries mode and group")]]
+  StatusOr<PairId> CreateSyncPair(PairConfig config) {
+    config.mode = ReplicationMode::kSynchronous;
+    config.group = 0;
+    return CreatePair(config);
+  }
 
   // Dissolves a pair, unregistering all interceptors. The S-VOL keeps its
   // current content.
@@ -343,16 +398,28 @@ class ReplicationEngine {
   uint64_t total_records_applied() const { return records_applied_; }
 
   // --- Fault injection ------------------------------------------------------
-  // Probability that a delivered wire frame has one random bit flipped
-  // before the backup site decodes it (an in-flight corruption the CRC
-  // must catch). Driven by the fault framework's corruption lane; draws
-  // from a dedicated seeded Rng so runs stay deterministic.
-  void set_wire_corrupt_probability(double p) {
-    wire_corrupt_probability_ = p;
+  // Replaces the engine's fault-injection knobs (see FaultOptions).
+  // Driven by the fault framework's corruption lane; RNG streams are
+  // engine-owned and continue across calls, so runs stay deterministic.
+  void SetFaultOptions(const FaultOptions& options) {
+    fault_options_ = options;
   }
-  double wire_corrupt_probability() const { return wire_corrupt_probability_; }
+  const FaultOptions& fault_options() const { return fault_options_; }
+  [[deprecated("use SetFaultOptions(FaultOptions)")]]
+  void set_wire_corrupt_probability(double p) {
+    fault_options_.wire_corrupt_probability = p;
+  }
   // Frames actually corrupted by the injector so far.
   uint64_t wire_frames_corrupted() const { return wire_frames_corrupted_; }
+
+  // --- Scheduler introspection ----------------------------------------------
+  // True when journal transfer runs on the event-driven GroupScheduler
+  // (EngineOptions::event_driven_scheduler).
+  bool event_driven() const { return scheduler_ != nullptr; }
+  // Scheduler counters; zeros in legacy per-group-timer mode.
+  SchedulerStats scheduler_stats() const {
+    return scheduler_ != nullptr ? scheduler_->stats() : SchedulerStats{};
+  }
 
  private:
   friend class internal::AdcInterceptor;
@@ -447,8 +514,18 @@ class ReplicationEngine {
                        uint32_t count, std::string_view data,
                        storage::WriteInterceptor::AckFn ack);
 
-  // Transfer engine: ships one batch from the group's primary journal.
-  void PumpGroup(Group* group);
+  // Transfer engine: ships one batch (capped at `max_bytes`, though the
+  // journal's one-record progress guarantee may overshoot) from the
+  // group's primary journal. The outcome feeds the scheduler's DRR and
+  // re-arm decisions; the legacy timer path ignores it.
+  PumpOutcome PumpGroup(Group* group, uint64_t max_bytes = UINT64_MAX);
+  // Scheduler glue: arm edges and the slow-heartbeat rescue scan.
+  void OnPrimaryJournalAppend(GroupId id);
+  void OnLinkReady();
+  uint64_t HeartbeatScan();
+  // Arms `id` if the group exists, is healthy and has unshipped backlog
+  // (or demands a keep-alive tick). No-op in legacy mode.
+  void ArmIfPending(GroupId id);
   // Applies contiguous received records to the S-VOLs.
   void ApplyPending(Group* group);
   // Applies one atomic batch [first, last] from the secondary journal to
@@ -509,6 +586,9 @@ class ReplicationEngine {
   storage::StorageArray* secondary_;
   sim::NetworkLink* to_secondary_;
   sim::NetworkLink* to_primary_;
+  EngineOptions options_;
+  // Event-driven transfer scheduler; null in legacy per-group-timer mode.
+  std::unique_ptr<GroupScheduler> scheduler_;
 
   std::map<GroupId, std::unique_ptr<Group>> groups_;
   GroupId next_group_id_ = 1;
@@ -526,8 +606,10 @@ class ReplicationEngine {
   uint64_t records_shipped_ = 0;
   uint64_t records_applied_ = 0;
 
-  // Wire-frame corruption injection (see set_wire_corrupt_probability).
-  double wire_corrupt_probability_ = 0.0;
+  // Fault-injection state (see SetFaultOptions). The corruption Rng is
+  // seeded once at construction; its stream continues across option
+  // changes so fault drills replay bit-identically.
+  FaultOptions fault_options_;
   uint64_t wire_frames_corrupted_ = 0;
   Rng wire_corrupt_rng_{0xc0dec0de};
 

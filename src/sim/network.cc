@@ -132,6 +132,12 @@ void NetworkLink::SetConnected(bool connected) {
     ScheduleDelivery(env_->now() + config_.base_latency, msg.channel,
                      std::move(msg.fn));
   }
+  if (ready_callback_) ready_callback_();
+}
+
+void NetworkLink::NotifyWhenDrained(EventFn fn) {
+  const SimTime at = std::max(env_->now(), wire_free_at_);
+  env_->ScheduleAt(at, std::move(fn));
 }
 
 SimTime NetworkLink::EstimateArrival(uint64_t bytes,

@@ -107,6 +107,25 @@ class NetworkLink {
   void SetConnected(bool connected);
   bool connected() const { return connected_; }
 
+  // Registers a callback fired whenever the link transitions to connected.
+  // The transfer scheduler uses this edge to re-arm groups that went quiet
+  // while the link was down. Pass an empty function to detach.
+  void SetReadyCallback(EventFn callback) {
+    ready_callback_ = std::move(callback);
+  }
+
+  // Time at which the wire finishes serializing everything accepted so
+  // far: a message sent now starts serializing at
+  // max(now, wire_busy_until()). The scheduler paces demand-driven pumps
+  // with this instead of blind timers.
+  SimTime wire_busy_until() const { return wire_free_at_; }
+
+  // Schedules `fn` for the instant the wire has drained its current
+  // serialization backlog (immediately if it is idle). Purely a scheduling
+  // convenience — the callback fires even if the link has partitioned in
+  // the meantime, so callers must re-check connected().
+  void NotifyWhenDrained(EventFn fn);
+
   // Forgets the FIFO ordering state of `channel`. Call when the channel's
   // user (e.g. a replication pair) is torn down, otherwise the per-channel
   // state grows for every channel ever used.
@@ -189,6 +208,7 @@ class NetworkLink {
   Instruments instruments_;
   obs::TraceRing* trace_ = nullptr;
   uint64_t trace_id_ = 0;
+  EventFn ready_callback_;
 };
 
 }  // namespace zerobak::sim

@@ -96,7 +96,8 @@ class ChaosRun {
       pc.primary = *p;
       pc.secondary = *s;
       pc.mode = ReplicationMode::kAsynchronous;
-      auto pair = engine_.CreateAsyncPair(pc, group_);
+      pc.group = group_;
+      auto pair = engine_.CreatePair(pc);
       EXPECT_TRUE(pair.ok());
       pairs_.push_back(*pair);
     }
@@ -123,8 +124,9 @@ class ChaosRun {
     schedule_ = std::make_unique<fault::FaultSchedule>(&env_, fcfg);
     schedule_->AddLink(&to_backup_);
     schedule_->AddLink(&to_main_);
-    schedule_->AddCorruptionTarget(
-        [this](double p) { engine_.set_wire_corrupt_probability(p); });
+    schedule_->AddCorruptionTarget([this](double p) {
+      engine_.SetFaultOptions({.wire_corrupt_probability = p});
+    });
     schedule_->Arm();
     to_backup_.set_drop_probability(0.02);
     to_main_.set_drop_probability(0.02);
@@ -420,7 +422,8 @@ TEST(ChaosTest, KvWorkloadSurvivesChaosFailover) {
       pc.primary = pvols[v];
       pc.secondary = svols[v];
       pc.mode = ReplicationMode::kAsynchronous;
-      ASSERT_TRUE(engine.CreateAsyncPair(pc, *g).ok());
+      pc.group = *g;
+      ASSERT_TRUE(engine.CreatePair(pc).ok());
     }
     env.RunFor(Milliseconds(50));
     ASSERT_TRUE(engine.GroupInitialCopyDone(*g));

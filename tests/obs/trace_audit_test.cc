@@ -69,7 +69,8 @@ class DrillRig {
       pc.primary = *p;
       pc.secondary = *s;
       pc.mode = ReplicationMode::kAsynchronous;
-      auto pair = engine_.CreateAsyncPair(pc, group_);
+      pc.group = group_;
+      auto pair = engine_.CreatePair(pc);
       EXPECT_TRUE(pair.ok());
       pairs_.push_back(*pair);
     }

@@ -66,7 +66,8 @@ class CoalesceTest : public ::testing::Test {
     cfg.primary = p;
     cfg.secondary = s;
     cfg.mode = ReplicationMode::kAsynchronous;
-    auto id = engine_.CreateAsyncPair(cfg, group);
+    cfg.group = group;
+    auto id = engine_.CreatePair(cfg);
     EXPECT_TRUE(id.ok()) << id.status();
     return id.ok() ? *id : 0;
   }
@@ -312,7 +313,8 @@ TEST_F(CoalesceTest, ResyncOrderIsStableAcrossRuns) {
     pc.primary = *p;
     pc.secondary = *s;
     pc.mode = ReplicationMode::kAsynchronous;
-    EXPECT_TRUE(engine.CreateAsyncPair(pc, *g).ok());
+    pc.group = *g;
+    EXPECT_TRUE(engine.CreatePair(pc).ok());
     env.RunFor(Milliseconds(20));
     return ApplyOrderOfResync(&engine, &env, &main, &backup, *p, *s, *g);
   };
@@ -430,7 +432,8 @@ TEST_F(CoalesceTest, AdaptiveBatchShrinksUnderLinkBacklog) {
   pc.primary = *p;
   pc.secondary = *s;
   pc.mode = ReplicationMode::kAsynchronous;
-  ASSERT_TRUE(engine.CreateAsyncPair(pc, g).ok());
+  pc.group = g;
+  ASSERT_TRUE(engine.CreatePair(pc).ok());
   env.RunFor(Milliseconds(20));
 
   for (uint64_t lba = 0; lba < 64; ++lba) {
@@ -443,19 +446,30 @@ TEST_F(CoalesceTest, AdaptiveBatchShrinksUnderLinkBacklog) {
             ConsistencyGroupConfig{}.transfer_batch_min_bytes);
 }
 
-TEST_F(CoalesceTest, ZeroBatchBytesIsNormalizedNotWedged) {
-  auto [p, s] = MakeVolumes("v");
+TEST_F(CoalesceTest, ZeroBatchKnobsAreRejectedNotRewritten) {
+  // All-zero batch knobs used to be silently rewritten by Normalized();
+  // the control plane now refuses them outright so a misconfigured sweep
+  // fails loudly at creation instead of running with invented values.
   ConsistencyGroupConfig cfg;
   cfg.transfer_batch_bytes = 0;
   cfg.transfer_batch_min_bytes = 0;
   cfg.transfer_batch_max_bytes = 0;
-  GroupId g = MakeGroup(cfg);
-  MakeAsyncPair(p, s, g);
+  auto gid = engine_.CreateConsistencyGroup(cfg);
+  ASSERT_FALSE(gid.ok());
+  EXPECT_EQ(gid.status().code(), StatusCode::kInvalidArgument);
 
+  // A tiny-but-nonzero fixed batch is legal: the journal's one-record
+  // progress guarantee keeps the group converging anyway.
+  ConsistencyGroupConfig tiny;
+  tiny.enable_adaptive_batching = false;
+  tiny.transfer_batch_bytes = 1;
+  auto tid = engine_.CreateConsistencyGroup(tiny);
+  ASSERT_TRUE(tid.ok());
+  auto [p, s] = MakeVolumes("v");
+  MakeAsyncPair(p, s, *tid);
   ASSERT_TRUE(main_.WriteSync(p, 0, BlockOf('k')).ok());
   env_.RunFor(Milliseconds(40));
   EXPECT_TRUE(Converged(p, s));
-  EXPECT_GT(Stats(g).transfer_batch_bytes_now, 0u);
 }
 
 TEST(ConsistencyGroupConfigTest, NormalizedBoundsTheBatchKnobs) {

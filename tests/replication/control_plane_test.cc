@@ -1,0 +1,237 @@
+// Control-plane error paths: every mistaken or stale operator action —
+// deleting twice, addressing an unknown id, pairing into a deleted group,
+// driving group verbs at a standalone sync pair — must come back with a
+// pinned StatusCode, not a crash, a silent no-op, or a code that shifts
+// between releases. Consoles and the CSI controller branch on these codes.
+#include <gtest/gtest.h>
+
+#include "replication/replication.h"
+#include "storage/array.h"
+
+namespace zerobak::replication {
+namespace {
+
+storage::ArrayConfig ZeroLatency(const std::string& serial) {
+  storage::ArrayConfig cfg;
+  cfg.serial = serial;
+  cfg.media = block::DeviceLatencyModel{0, 0, 0, 0, 1};
+  return cfg;
+}
+
+class ControlPlaneTest : public ::testing::Test {
+ protected:
+  ControlPlaneTest()
+      : main_(&env_, ZeroLatency("MAIN")),
+        backup_(&env_, ZeroLatency("BKUP")),
+        to_backup_(&env_, LinkConfig(1), "fwd"),
+        to_main_(&env_, LinkConfig(2), "rev"),
+        engine_(&env_, &main_, &backup_, &to_backup_, &to_main_) {}
+
+  static sim::NetworkLinkConfig LinkConfig(uint64_t seed) {
+    sim::NetworkLinkConfig cfg;
+    cfg.base_latency = Milliseconds(1);
+    cfg.jitter = 0;
+    cfg.bandwidth_bytes_per_sec = 0;
+    cfg.seed = seed;
+    return cfg;
+  }
+
+  std::pair<storage::VolumeId, storage::VolumeId> MakeVolumes(
+      const std::string& name, uint64_t blocks = 64) {
+    auto p = main_.CreateVolume(name, blocks);
+    auto s = backup_.CreateVolume("r-" + name, blocks);
+    EXPECT_TRUE(p.ok() && s.ok());
+    return {*p, *s};
+  }
+
+  GroupId MakeGroup(const std::string& name = "cg") {
+    auto g = engine_.CreateConsistencyGroup({.name = name});
+    EXPECT_TRUE(g.ok());
+    return *g;
+  }
+
+  PairId MakePair(storage::VolumeId p, storage::VolumeId s, GroupId group) {
+    PairConfig cfg;
+    cfg.primary = p;
+    cfg.secondary = s;
+    cfg.mode = group == 0 ? ReplicationMode::kSynchronous
+                          : ReplicationMode::kAsynchronous;
+    cfg.group = group;
+    auto id = engine_.CreatePair(cfg);
+    EXPECT_TRUE(id.ok()) << id.status();
+    return id.ok() ? *id : 0;
+  }
+
+  sim::SimEnvironment env_;
+  storage::StorageArray main_;
+  storage::StorageArray backup_;
+  sim::NetworkLink to_backup_;
+  sim::NetworkLink to_main_;
+  ReplicationEngine engine_;
+};
+
+constexpr GroupId kNoSuchGroup = 777;
+constexpr PairId kNoSuchPair = 777;
+
+TEST_F(ControlPlaneTest, CreatePairModeGroupRulesArePinned) {
+  auto [p, s] = MakeVolumes("v");
+  GroupId g = MakeGroup();
+
+  // An async pair without a group has no journal to ride on.
+  PairConfig async_no_group;
+  async_no_group.primary = p;
+  async_no_group.secondary = s;
+  async_no_group.mode = ReplicationMode::kAsynchronous;
+  EXPECT_EQ(engine_.CreatePair(async_no_group).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // A sync pair with a group is a contradiction: sync pairs are standalone.
+  PairConfig sync_with_group;
+  sync_with_group.primary = p;
+  sync_with_group.secondary = s;
+  sync_with_group.mode = ReplicationMode::kSynchronous;
+  sync_with_group.group = g;
+  EXPECT_EQ(engine_.CreatePair(sync_with_group).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Neither rejection consumed the volumes.
+  EXPECT_NE(MakePair(p, s, g), 0u);
+}
+
+TEST_F(ControlPlaneTest, UnknownGroupIdIsNotFoundEverywhere) {
+  EXPECT_EQ(engine_.DeleteConsistencyGroup(kNoSuchGroup).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(engine_.GetGroupStats(kNoSuchGroup).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(engine_.SuspendGroup(kNoSuchGroup).code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine_.ResyncGroup(kNoSuchGroup).code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine_.FailoverGroup(kNoSuchGroup).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(engine_.FailbackGroup(kNoSuchGroup).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ControlPlaneTest, UnknownPairIdIsNotFoundEverywhere) {
+  EXPECT_EQ(engine_.DeletePair(kNoSuchPair).code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine_.SuspendSyncPair(kNoSuchPair).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(engine_.ResyncSyncPair(kNoSuchPair).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ControlPlaneTest, DeleteTwiceSecondIsNotFound) {
+  GroupId g = MakeGroup();
+  EXPECT_TRUE(engine_.DeleteConsistencyGroup(g).ok());
+  EXPECT_EQ(engine_.DeleteConsistencyGroup(g).code(), StatusCode::kNotFound);
+
+  auto [p, s] = MakeVolumes("v");
+  PairId pair = MakePair(p, s, /*group=*/0);
+  env_.RunFor(Milliseconds(10));
+  EXPECT_TRUE(engine_.DeletePair(pair).ok());
+  EXPECT_EQ(engine_.DeletePair(pair).code(), StatusCode::kNotFound);
+}
+
+TEST_F(ControlPlaneTest, PairIntoDeletedGroupIsNotFound) {
+  GroupId g = MakeGroup();
+  ASSERT_TRUE(engine_.DeleteConsistencyGroup(g).ok());
+  auto [p, s] = MakeVolumes("v");
+  PairConfig cfg;
+  cfg.primary = p;
+  cfg.secondary = s;
+  cfg.mode = ReplicationMode::kAsynchronous;
+  cfg.group = g;
+  EXPECT_EQ(engine_.CreatePair(cfg).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ControlPlaneTest, GroupWithPairsRefusesDeletion) {
+  auto [p, s] = MakeVolumes("v");
+  GroupId g = MakeGroup();
+  PairId pair = MakePair(p, s, g);
+  env_.RunFor(Milliseconds(10));
+  EXPECT_EQ(engine_.DeleteConsistencyGroup(g).code(),
+            StatusCode::kFailedPrecondition);
+  // Draining the pairs makes the deletion legal again.
+  ASSERT_TRUE(engine_.DeletePair(pair).ok());
+  EXPECT_TRUE(engine_.DeleteConsistencyGroup(g).ok());
+}
+
+TEST_F(ControlPlaneTest, SyncPairVerbsRejectAsyncPairs) {
+  auto [p, s] = MakeVolumes("v");
+  GroupId g = MakeGroup();
+  PairId async_pair = MakePair(p, s, g);
+  env_.RunFor(Milliseconds(10));
+  EXPECT_EQ(engine_.SuspendSyncPair(async_pair).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine_.ResyncSyncPair(async_pair).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ControlPlaneTest, ResyncOfHealthySyncPairIsFailedPrecondition) {
+  auto [p, s] = MakeVolumes("v");
+  PairId pair = MakePair(p, s, /*group=*/0);
+  env_.RunFor(Milliseconds(10));
+  ASSERT_EQ(engine_.GetPair(pair)->state(), PairState::kPaired);
+  EXPECT_EQ(engine_.ResyncSyncPair(pair).code(),
+            StatusCode::kFailedPrecondition);
+  // Suspend -> resync is the legal sequence.
+  ASSERT_TRUE(engine_.SuspendSyncPair(pair).ok());
+  EXPECT_TRUE(engine_.ResyncSyncPair(pair).ok());
+}
+
+TEST_F(ControlPlaneTest, FailedOverGroupRejectsForwardVerbs) {
+  auto [p, s] = MakeVolumes("v");
+  GroupId g = MakeGroup();
+  MakePair(p, s, g);
+  env_.RunFor(Milliseconds(10));
+  ASSERT_TRUE(engine_.FailoverGroup(g).ok());
+
+  EXPECT_EQ(engine_.SuspendGroup(g).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(engine_.ResyncGroup(g).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(engine_.FailoverGroup(g).status().code(),
+            StatusCode::kFailedPrecondition);
+  // New pairs cannot join a failed-over group either.
+  auto [p2, s2] = MakeVolumes("w");
+  PairConfig cfg;
+  cfg.primary = p2;
+  cfg.secondary = s2;
+  cfg.mode = ReplicationMode::kAsynchronous;
+  cfg.group = g;
+  EXPECT_EQ(engine_.CreatePair(cfg).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ControlPlaneTest, FailbackOfForwardGroupIsFailedPrecondition) {
+  auto [p, s] = MakeVolumes("v");
+  GroupId g = MakeGroup();
+  MakePair(p, s, g);
+  env_.RunFor(Milliseconds(10));
+  EXPECT_EQ(engine_.FailbackGroup(g).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ControlPlaneTest, GroupConfigValidationIsPinned) {
+  // Each knob violation maps to kInvalidArgument at creation time; the
+  // runtime clamp (Normalized) no longer masks operator typos.
+  ConsistencyGroupConfig bad;
+  bad.name = "bad";
+  bad.transfer_interval = 0;
+  EXPECT_EQ(engine_.CreateConsistencyGroup(bad).status().code(),
+            StatusCode::kInvalidArgument);
+
+  bad = {};
+  bad.name = "bad";
+  bad.journal_capacity_bytes = 0;
+  EXPECT_EQ(engine_.CreateConsistencyGroup(bad).status().code(),
+            StatusCode::kInvalidArgument);
+
+  bad = {};
+  bad.name = "bad";
+  bad.enable_adaptive_batching = true;
+  bad.transfer_batch_min_bytes = 1 << 20;
+  bad.transfer_batch_max_bytes = 1 << 10;  // max < min
+  EXPECT_EQ(engine_.CreateConsistencyGroup(bad).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace zerobak::replication

@@ -41,7 +41,8 @@ class FailbackTest : public ::testing::Test {
     pc.primary = pvol_;
     pc.secondary = svol_;
     pc.mode = ReplicationMode::kAsynchronous;
-    auto pair = engine_.CreateAsyncPair(pc, group_);
+    pc.group = group_;
+    auto pair = engine_.CreatePair(pc);
     EXPECT_TRUE(pair.ok());
     pair_ = *pair;
   }

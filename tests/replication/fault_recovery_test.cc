@@ -69,7 +69,8 @@ class FaultRecoveryTest : public ::testing::Test {
     cfg.primary = p;
     cfg.secondary = s;
     cfg.mode = ReplicationMode::kAsynchronous;
-    auto id = engine_.CreateAsyncPair(cfg, group);
+    cfg.group = group;
+    auto id = engine_.CreatePair(cfg);
     EXPECT_TRUE(id.ok()) << id.status();
     return id.ok() ? *id : 0;
   }
@@ -267,7 +268,7 @@ TEST_F(FaultRecoveryTest, DeletingPairsReleasesLinkChannelState) {
   sync_cfg.primary = p1;
   sync_cfg.secondary = s1;
   sync_cfg.mode = ReplicationMode::kSynchronous;
-  auto sync_pair = engine_.CreateSyncPair(sync_cfg);
+  auto sync_pair = engine_.CreatePair(sync_cfg);
   ASSERT_TRUE(sync_pair.ok());
   env_.RunFor(Milliseconds(20));
   Status acked = InternalError("no ack");
@@ -306,7 +307,7 @@ TEST_F(FaultRecoveryTest, CorruptBatchIsRejectedNeverAppliedAndResent) {
   env_.RunFor(Milliseconds(4));  // Empty initial copy settles.
 
   // Flip a bit in every delivered frame while the first batch ships.
-  engine_.set_wire_corrupt_probability(1.0);
+  engine_.SetFaultOptions({.wire_corrupt_probability = 1.0});
   ASSERT_TRUE(main_.WriteSync(p, 0, BlockOf('x')).ok());
   ASSERT_TRUE(main_.WriteSync(p, 1, BlockOf('y')).ok());
   // Pump (<= 2 ms) + frame delivery (5 ms) + nack trip (5 ms), but short
@@ -325,7 +326,7 @@ TEST_F(FaultRecoveryTest, CorruptBatchIsRejectedNeverAppliedAndResent) {
   EXPECT_EQ(stats->suspend_reason, SuspendReason::kWireReject);
 
   // Corruption clears; auto-resync reships the data and reconverges.
-  engine_.set_wire_corrupt_probability(0.0);
+  engine_.SetFaultOptions({.wire_corrupt_probability = 0.0});
   env_.RunFor(Milliseconds(200));
   stats = engine_.GetGroupStats(g);
   ASSERT_TRUE(stats.ok());

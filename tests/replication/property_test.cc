@@ -81,7 +81,8 @@ class PropertyRig {
       pc.primary = *p;
       pc.secondary = *s;
       pc.mode = ReplicationMode::kAsynchronous;
-      auto pair = engine_.CreateAsyncPair(pc, group);
+      pc.group = group;
+      auto pair = engine_.CreatePair(pc);
       ASSERT_TRUE(pair.ok());
       pvols_.push_back(*p);
       svols_.push_back(*s);
@@ -241,7 +242,8 @@ TEST(FailureInjectionTest, BackupDiesDuringInitialCopy) {
   pc.primary = *p;
   pc.secondary = *s;
   pc.mode = ReplicationMode::kAsynchronous;
-  auto pair = rig.engine_.CreateAsyncPair(pc, *group);
+  pc.group = *group;
+  auto pair = rig.engine_.CreatePair(pc);
   ASSERT_TRUE(pair.ok());
   ASSERT_EQ(rig.engine_.GetPair(*pair)->state(), PairState::kCopy);
 

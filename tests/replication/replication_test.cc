@@ -61,7 +61,8 @@ class ReplicationTest : public ::testing::Test {
     cfg.primary = p;
     cfg.secondary = s;
     cfg.mode = ReplicationMode::kAsynchronous;
-    auto id = engine_.CreateAsyncPair(cfg, group);
+    cfg.group = group;
+    auto id = engine_.CreatePair(cfg);
     EXPECT_TRUE(id.ok()) << id.status();
     return id.ok() ? *id : 0;
   }
@@ -196,7 +197,8 @@ TEST_F(ReplicationTest, GeometryMismatchRejected) {
   cfg.primary = *p;
   cfg.secondary = *s;
   cfg.mode = ReplicationMode::kAsynchronous;
-  EXPECT_EQ(engine_.CreateAsyncPair(cfg, g).status().code(),
+  cfg.group = g;
+  EXPECT_EQ(engine_.CreatePair(cfg).status().code(),
             StatusCode::kInvalidArgument);
 }
 
@@ -210,7 +212,8 @@ TEST_F(ReplicationTest, DoubleProtectionRejected) {
   cfg.primary = p;
   cfg.secondary = *s2;
   cfg.mode = ReplicationMode::kAsynchronous;
-  EXPECT_EQ(engine_.CreateAsyncPair(cfg, g).status().code(),
+  cfg.group = g;
+  EXPECT_EQ(engine_.CreatePair(cfg).status().code(),
             StatusCode::kAlreadyExists);
 }
 
@@ -223,7 +226,7 @@ TEST_F(ReplicationTest, SyncPairAckWaitsForRoundTrip) {
   cfg.primary = p;
   cfg.secondary = s;
   cfg.mode = ReplicationMode::kSynchronous;
-  auto pair = engine_.CreateSyncPair(cfg);
+  auto pair = engine_.CreatePair(cfg);
   ASSERT_TRUE(pair.ok());
   env_.RunFor(Milliseconds(10));  // Initial copy (empty -> instant-ish).
 
@@ -245,7 +248,7 @@ TEST_F(ReplicationTest, SyncPairSuspendsWhenLinkDies) {
   cfg.primary = p;
   cfg.secondary = s;
   cfg.mode = ReplicationMode::kSynchronous;
-  auto pair = engine_.CreateSyncPair(cfg);
+  auto pair = engine_.CreatePair(cfg);
   ASSERT_TRUE(pair.ok());
   env_.RunFor(Milliseconds(10));
 

@@ -61,7 +61,8 @@ TEST_F(ZeroCopyTest, AdcPathAllocatesPayloadExactlyOncePerWrite) {
   pcfg.primary = *p;
   pcfg.secondary = *s;
   pcfg.mode = ReplicationMode::kAsynchronous;
-  ASSERT_TRUE(engine_.CreateAsyncPair(pcfg, *g).ok());
+  pcfg.group = *g;
+  ASSERT_TRUE(engine_.CreatePair(pcfg).ok());
   env_.RunFor(Milliseconds(20));  // Initial copy (empty) settles.
 
   constexpr int kWrites = 32;
@@ -106,7 +107,8 @@ TEST_F(ZeroCopyTest, ShippedBatchSurvivesPrimaryJournalReset) {
   pcfg.primary = *p;
   pcfg.secondary = *s;
   pcfg.mode = ReplicationMode::kAsynchronous;
-  ASSERT_TRUE(engine_.CreateAsyncPair(pcfg, *g).ok());
+  pcfg.group = *g;
+  ASSERT_TRUE(engine_.CreatePair(pcfg).ok());
   env_.RunFor(Milliseconds(20));
 
   for (int i = 0; i < 8; ++i) {

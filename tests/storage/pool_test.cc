@@ -140,7 +140,8 @@ TEST(PooledReplicationTest, BackupPoolExhaustionStallsApplyNotHost) {
   pc.primary = *p;
   pc.secondary = *s;
   pc.mode = replication::ReplicationMode::kAsynchronous;
-  ASSERT_TRUE(engine.CreateAsyncPair(pc, *group).ok());
+  pc.group = *group;
+  ASSERT_TRUE(engine.CreatePair(pc).ok());
   env.RunFor(Milliseconds(10));
 
   zerobak::SetLogLevel(zerobak::LogLevel::kError);  // The applier warns; keep quiet.

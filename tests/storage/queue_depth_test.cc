@@ -118,7 +118,7 @@ TEST(QueueDepthTest, SdcHoldsSlotsAcrossTheRoundTrip) {
   pc.primary = *p;
   pc.secondary = *s;
   pc.mode = replication::ReplicationMode::kSynchronous;
-  ASSERT_TRUE(engine.CreateSyncPair(pc).ok());
+  ASSERT_TRUE(engine.CreatePair(pc).ok());
   env.RunFor(Milliseconds(20));
 
   workload::DriverConfig cfg;

@@ -101,7 +101,8 @@ TEST(KvWorkloadTest, DrivesReplicationEndToEnd) {
   pc.primary = *p;
   pc.secondary = *s;
   pc.mode = replication::ReplicationMode::kAsynchronous;
-  ASSERT_TRUE(engine.CreateAsyncPair(pc, *group).ok());
+  pc.group = *group;
+  ASSERT_TRUE(engine.CreatePair(pc).ok());
   env.RunFor(Milliseconds(10));
 
   storage::ArrayVolumeDevice device(&main, *p);

@@ -112,7 +112,7 @@ TEST(ClosedLoopDriverTest, SlowdownVisibleUnderSyncReplication) {
   pc.primary = *p;
   pc.secondary = *s;
   pc.mode = replication::ReplicationMode::kSynchronous;
-  ASSERT_TRUE(engine.CreateSyncPair(pc).ok());
+  ASSERT_TRUE(engine.CreatePair(pc).ok());
   env.RunFor(Milliseconds(20));
   {
     ClosedLoopDriver driver(&env, &main, cfg);
