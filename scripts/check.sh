@@ -34,6 +34,23 @@ for preset in "${presets[@]}"; do
   ctest --preset "${preset}" -j "${jobs}"
 done
 
+# TSan pass over the parallel compute layer: only the tests that drive
+# the thread pool and its call sites (wire chunking, parallel apply,
+# resync capture, the lane-count determinism drills) — the rest of the
+# suite is single-threaded simulation and would just burn TSan's ~10x
+# slowdown for nothing.
+if [[ "${fast}" -eq 0 ]]; then
+  echo "=== preset: tsan (parallel subset) ==="
+  cmake --preset tsan
+  cmake --build --preset tsan -j "${jobs}" \
+    --target exec_test common_test replication_test integration_test \
+             bench_parallel
+  ctest --preset tsan -j "${jobs}" \
+    -R 'ThreadPool|Crc32cCombine|WireChunked|WireTest|ParallelSystem|ParallelEngine'
+  ./build-tsan/bench/bench_parallel --quick \
+    --out /tmp/zerobak_parallel_tsan_smoke.json
+fi
+
 # The bench smokes already ran once under ctest above (bench_*_smoke
 # carry their own acceptance checks); re-run them standalone here so a
 # bench regression prints its table instead of hiding behind a ctest
@@ -43,6 +60,7 @@ if [[ "${fast}" -eq 0 ]]; then
   ./build/bench/bench_pipeline --quick --out /tmp/zerobak_pipeline_smoke.json
   ./build/bench/bench_observe --quick --out /tmp/zerobak_observe_smoke.json
   ./build/bench/bench_scale --quick --out /tmp/zerobak_scale_smoke.json
+  ./build/bench/bench_parallel --quick --out /tmp/zerobak_parallel_smoke.json
 fi
 
 echo "check.sh: all green"

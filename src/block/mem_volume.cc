@@ -167,6 +167,70 @@ void MemVolume::WriteUnchecked(Lba lba, uint32_t count,
   }
 }
 
+void MemVolume::ReadInto(Lba lba, uint32_t count, char* dst) const {
+  uint32_t i = 0;
+  while (i < count) {
+    const Lba cur = lba + i;
+    const size_t ci = static_cast<size_t>(cur / kBlocksPerChunk);
+    const uint64_t slot = cur % kBlocksPerChunk;
+    const uint32_t run = static_cast<uint32_t>(
+        std::min<uint64_t>(count - i, ChunkBlocks(ci) - slot));
+    const size_t bytes = static_cast<size_t>(run) * block_size_;
+    if (chunks_[ci].data == nullptr) {
+      std::memset(dst, 0, bytes);
+    } else {
+      std::memcpy(dst, chunks_[ci].data.get() + slot * block_size_, bytes);
+    }
+    dst += bytes;
+    i += run;
+  }
+}
+
+void MemVolume::PrepareWrite(Lba lba, uint32_t count) {
+  uint32_t i = 0;
+  while (i < count) {
+    const Lba cur = lba + i;
+    const size_t ci = static_cast<size_t>(cur / kBlocksPerChunk);
+    const uint64_t slot = cur % kBlocksPerChunk;
+    const uint32_t run = static_cast<uint32_t>(
+        std::min<uint64_t>(count - i, ChunkBlocks(ci) - slot));
+    Chunk& chunk = EnsureChunk(cur);
+    uint64_t b = slot;
+    const uint64_t end = slot + run;
+    while (b < end) {
+      const uint64_t lo = b % 64;
+      const uint64_t span = std::min<uint64_t>(64 - lo, end - b);
+      const uint64_t mask =
+          (span == 64 ? ~0ull : ((1ull << span) - 1)) << lo;
+      uint64_t& word = chunk.bitmap[b / 64];
+      allocated_blocks_ +=
+          static_cast<uint64_t>(__builtin_popcountll(mask & ~word));
+      word |= mask;
+      b += span;
+    }
+    i += run;
+  }
+  ++writes_;
+}
+
+void MemVolume::CommitWrite(Lba lba, uint32_t count, std::string_view data) {
+  const char* src = data.data();
+  uint32_t i = 0;
+  while (i < count) {
+    const Lba cur = lba + i;
+    const size_t ci = static_cast<size_t>(cur / kBlocksPerChunk);
+    const uint64_t slot = cur % kBlocksPerChunk;
+    const uint32_t run = static_cast<uint32_t>(
+        std::min<uint64_t>(count - i, ChunkBlocks(ci) - slot));
+    // PrepareWrite allocated the chunk; nothing here touches metadata, so
+    // disjoint commits can run on pool workers concurrently.
+    std::memcpy(chunks_[ci].data.get() + slot * block_size_, src,
+                static_cast<size_t>(run) * block_size_);
+    src += static_cast<size_t>(run) * block_size_;
+    i += run;
+  }
+}
+
 Status MemVolume::CloneFrom(const MemVolume& src) {
   if (src.block_size_ != block_size_ || src.block_count_ != block_count_) {
     return InvalidArgumentError("clone geometry mismatch");

@@ -62,6 +62,24 @@ class MemVolume : public BlockDevice {
   // Write to the range, or CloneFrom/Reset.
   std::string_view TryReadView(Lba lba, uint32_t count) const;
 
+  // Copies [lba, lba+count) into `dst` (count * block_size() bytes,
+  // holes as zeros) without touching the read counter. Const and free of
+  // any shared-state mutation, so concurrent ReadInto calls are safe and
+  // the parallel resync capture produces bytes identical to the serial
+  // path at any lane count. The caller must have range-checked.
+  void ReadInto(Lba lba, uint32_t count, char* dst) const;
+
+  // Two-phase write for the parallel apply path. PrepareWrite performs
+  // every shared-state mutation of a Write — chunk allocation, bitmap
+  // marking, footprint and write counters — without copying data;
+  // CommitWrite then does the pure memcpy into slabs PrepareWrite
+  // guaranteed exist. CommitWrite calls on disjoint prepared ranges are
+  // safe from concurrent threads; PrepareWrite is caller-thread only.
+  // PrepareWrite-then-CommitWrite over a range is byte- and
+  // counter-identical to one Write. Ranges must be pre-validated.
+  void PrepareWrite(Lba lba, uint32_t count);
+  void CommitWrite(Lba lba, uint32_t count, std::string_view data);
+
   // Copies every allocated block of `src` into this volume (same
   // geometry required). Used by replication initial copy and tests.
   Status CloneFrom(const MemVolume& src);

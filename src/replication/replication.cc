@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "common/crc32c.h"
 #include "common/logging.h"
 #include "replication/wire.h"
 
@@ -206,6 +207,15 @@ ReplicationEngine::ReplicationEngine(sim::SimEnvironment* env,
       to_secondary_(to_secondary),
       to_primary_(to_primary),
       options_(options) {
+  // compute_threads: 0 = auto (one lane per hardware thread), 1 = inline.
+  // A 1-lane pool would behave identically but still construct machinery,
+  // so inline mode simply has no pool and every call site passes nullptr.
+  const unsigned lanes = options_.compute_threads == 0
+                             ? exec::ThreadPool::HardwareLanes()
+                             : options_.compute_threads;
+  if (lanes > 1) {
+    compute_pool_ = std::make_unique<exec::ThreadPool>(lanes);
+  }
   if (options_.event_driven_scheduler) {
     scheduler_ = std::make_unique<GroupScheduler>(
         env_, to_secondary_, options_.scheduler_heartbeat,
@@ -413,6 +423,16 @@ void ReplicationEngine::AttachObservability(obs::MetricRegistry* registry,
   ins_.batch_wire_bytes =
       registry->GetHistogram("replication.batch_wire_bytes");
   ins_.batch_records = registry->GetHistogram("replication.batch_records");
+  if (compute_pool_ != nullptr) {
+    ins_.exec_sections = registry->GetCounter("exec.sections");
+    ins_.exec_inline_sections = registry->GetCounter("exec.inline_sections");
+    ins_.exec_tasks = registry->GetCounter("exec.tasks");
+    ins_.exec_steals = registry->GetCounter("exec.steals");
+    ins_.exec_queue_depth_max = registry->GetGauge("exec.max_queue_depth");
+    // Baseline the delta source so a re-attach does not double-count
+    // sections that ran while detached.
+    exec_synced_ = compute_pool_->stats();
+  }
   if (scheduler_ != nullptr) {
     GroupScheduler::Instruments sins;
     sins.arms = registry->GetCounter("sched.arms");
@@ -424,6 +444,19 @@ void ReplicationEngine::AttachObservability(obs::MetricRegistry* registry,
     scheduler_->AttachObservability(sins, trace);
   }
   for (auto& [id, group] : groups_) InstrumentGroupJournals(group.get());
+}
+
+void ReplicationEngine::SyncExecStats() {
+  if (compute_pool_ == nullptr || ins_.exec_sections == nullptr) return;
+  const exec::ThreadPool::Stats now = compute_pool_->stats();
+  ins_.exec_sections->Increment(now.sections - exec_synced_.sections);
+  ins_.exec_inline_sections->Increment(now.inline_sections -
+                                       exec_synced_.inline_sections);
+  ins_.exec_tasks->Increment(now.tasks - exec_synced_.tasks);
+  ins_.exec_steals->Increment(now.steals - exec_synced_.steals);
+  ins_.exec_queue_depth_max->Set(
+      static_cast<int64_t>(now.max_queue_depth));
+  exec_synced_ = now;
 }
 
 void ReplicationEngine::InstrumentGroupJournals(Group* group) {
@@ -771,8 +804,9 @@ PumpOutcome ReplicationEngine::PumpGroup(Group* group, uint64_t max_bytes) {
     }
     batch.push_back(std::move(rec));
   }
-  wire::EncodedBatch enc =
-      wire::EncodeBatch(batch, group->config.compress_transfers);
+  wire::EncodedBatch enc = wire::EncodeBatch(
+      batch, group->config.compress_transfers, compute_pool_.get());
+  SyncExecStats();
   const uint64_t wire_bytes = enc.frame.size();
   const GroupId group_id = group->id;
   // The link serializes the (smaller) wire frame but accounts the logical
@@ -785,7 +819,8 @@ PumpOutcome ReplicationEngine::PumpGroup(Group* group, uint64_t max_bytes) {
         auto* sj = secondary_->GetJournal(g->secondary_journal);
         if (sj == nullptr || secondary_->failed()) return;
         MaybeCorruptFrame(&frame);
-        auto decoded = wire::DecodeBatch(frame);
+        auto decoded = wire::DecodeBatch(frame, compute_pool_.get());
+        SyncExecStats();
         if (!decoded.ok()) {
           // Integrity gate: a corrupt batch never touches the journal.
           // Treat it exactly like a dropped message — nack so the primary
@@ -1134,7 +1169,26 @@ void ReplicationEngine::ApplyBatch(Group* group,
         runs.push_back(block::BlockRun{rec->lba, rec->block_count,
                                        rec->data()});
       }
-      Status ws = svol->WriteRun(runs.data(), runs.size());
+      Status ws;
+      if (compute_pool_ != nullptr && runs.size() > 1) {
+        // Two-phase parallel apply, valid exactly because sorted_ok means
+        // the runs are non-overlapping: PrepareRun does every shared-state
+        // mutation (pool accounting, COW hooks, store metadata) serially
+        // in run order, then the admitted runs' payload stores are pure
+        // disjoint memcpys fanned out across the pool. Final volume, pool
+        // and hook state match WriteRun byte for byte.
+        size_t admitted = 0;
+        ws = svol->PrepareRun(runs.data(), runs.size(), &admitted);
+        const size_t grain = std::max<size_t>(
+            1, admitted / (size_t{compute_pool_->lanes()} * 4));
+        compute_pool_->ParallelFor(
+            admitted, grain, [&](size_t begin, size_t end) {
+              for (size_t i = begin; i < end; ++i) svol->CommitRun(runs[i]);
+            });
+        SyncExecStats();
+      } else {
+        ws = svol->WriteRun(runs.data(), runs.size());
+      }
       if (!ws.ok()) ZB_LOG(Warning) << "journal apply failed: " << ws;
     } else {
       for (const journal::JournalRecord* rec : recs) {
@@ -1431,6 +1485,9 @@ Status ReplicationEngine::ResyncGroup(GroupId id) {
   // (deterministic across runs) and adjacent dirty blocks merge into one
   // multi-block extent each.
   auto extents = std::make_shared<std::vector<ResyncExtent>>();
+  // Per-extent source store for copy-fallback captures (null = zero-copy
+  // view); indexed alongside *extents, consumed by the parallel fill.
+  std::vector<const block::MemVolume*> read_src;
   uint64_t bytes = 0;
   uint64_t total_blocks = 0;
   const uint64_t max_len = group->config.enable_extent_resync
@@ -1450,16 +1507,46 @@ Status ReplicationEngine::ResyncGroup(GroupId id) {
           // Zero-copy capture: borrow a view of the slab when the run
           // sits inside one chunk; the pre-overwrite hooks registered on
           // send materialize the extent if the host writes into it while
-          // the batch is on the wire. Runs crossing a chunk copy.
+          // the batch is on the wire. Runs crossing a chunk size their
+          // buffer here and fill it in the parallel pass below.
           ext.view = pvol->store().TryReadView(run.lba, ext.count);
+          const block::MemVolume* src = nullptr;
           if (ext.view.data() == nullptr) {
-            ZB_CHECK(pvol->store().Read(run.lba, ext.count, &ext.data).ok());
+            ext.data.resize(static_cast<size_t>(ext.count) *
+                            pvol->store().block_size());
+            src = &pvol->store();
           }
           bytes += ext.payload().size() + journal::JournalRecord::kHeaderSize;
           total_blocks += run.count;
           extents->push_back(std::move(ext));
+          read_src.push_back(src);
         },
         max_len);
+  }
+  // Fill the copy-fallback buffers and compute every extent's capture
+  // checksum off the serial path: each extent is a disjoint output slot
+  // (its own data buffer and crc field), ReadInto is const and
+  // counter-free, so the captured bytes and checksums are identical at
+  // any lane count.
+  if (!extents->empty()) {
+    auto capture = [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        ResyncExtent& ext = (*extents)[i];
+        if (read_src[i] != nullptr) {
+          read_src[i]->ReadInto(ext.lba, ext.count, ext.data.data());
+        }
+        const std::string_view payload = ext.payload();
+        ext.crc = Crc32c(payload.data(), payload.size());
+      }
+    };
+    if (compute_pool_ != nullptr) {
+      const size_t grain = std::max<size_t>(
+          1, extents->size() / (size_t{compute_pool_->lanes()} * 4));
+      compute_pool_->ParallelFor(extents->size(), grain, capture);
+      SyncExecStats();
+    } else {
+      capture(0, extents->size());
+    }
   }
 
   auto* pj = primary_->GetJournal(group->primary_journal);
@@ -1478,9 +1565,37 @@ Status ReplicationEngine::ResyncGroup(GroupId id) {
         if (g->resync_epoch != resync_id) return;
         UnprotectInflightResync(g);
         g->inflight_resync.reset();
-        for (const auto& ext : *extents) {
+        // Re-checksum every payload against its capture CRC before any of
+        // it lands, fanned out across the pool (read-only over disjoint
+        // extents). The writes below stay serial, in canonical extent
+        // order.
+        std::vector<uint8_t> crc_ok(extents->size(), 1);
+        auto verify = [&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            const std::string_view payload = (*extents)[i].payload();
+            crc_ok[i] = Crc32c(payload.data(), payload.size()) ==
+                        (*extents)[i].crc;
+          }
+        };
+        if (compute_pool_ != nullptr && !extents->empty()) {
+          const size_t grain = std::max<size_t>(
+              1, extents->size() / (size_t{compute_pool_->lanes()} * 4));
+          compute_pool_->ParallelFor(extents->size(), grain, verify);
+          SyncExecStats();
+        } else {
+          verify(0, extents->size());
+        }
+        for (size_t i = 0; i < extents->size(); ++i) {
+          const auto& ext = (*extents)[i];
           Pair* pair = FindPair(ext.pair);
           if (pair == nullptr) continue;
+          if (!crc_ok[i]) {
+            // Corrupted between capture and delivery: leave the blocks
+            // dirty so the next resync round reships them.
+            ZB_LOG(Warning) << "resync extent checksum mismatch, lba="
+                            << ext.lba << " count=" << ext.count;
+            continue;
+          }
           // Only the captured extents are cleared; blocks dirtied after
           // the capture stay dirty for the next round.
           pair->dirty_.ClearRange(ext.lba, ext.count);
@@ -1688,6 +1803,7 @@ StatusOr<FailbackReport> ReplicationEngine::FailbackGroup(GroupId id,
   // plus (under force) the main-side diverged blocks, at their current
   // backup-site content, merged into sorted extents.
   auto extents = std::make_shared<std::vector<ResyncExtent>>();
+  std::vector<const block::MemVolume*> read_src;
   uint64_t bytes = 0;
   for (PairId pid : group->pairs) {
     Pair* pair = FindPair(pid);
@@ -1702,12 +1818,33 @@ StatusOr<FailbackReport> ReplicationEngine::FailbackGroup(GroupId id,
           ext.pair = pid;
           ext.lba = run.lba;
           ext.count = static_cast<uint32_t>(run.count);
-          ZB_CHECK(svol->store().Read(run.lba, ext.count, &ext.data).ok());
+          ext.data.resize(static_cast<size_t>(ext.count) *
+                          svol->store().block_size());
           bytes += ext.data.size() + journal::JournalRecord::kHeaderSize;
           report.blocks_shipped += run.count;
           extents->push_back(std::move(ext));
+          read_src.push_back(&svol->store());
         },
         kSyncResyncMaxExtentBlocks);
+  }
+  // Fill the captured buffers in parallel before anything below mutates
+  // the S-VOLs: ReadInto is const and each extent is a disjoint slot, so
+  // the giveback image is identical at any lane count.
+  if (!extents->empty()) {
+    auto fill = [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        ResyncExtent& ext = (*extents)[i];
+        read_src[i]->ReadInto(ext.lba, ext.count, ext.data.data());
+      }
+    };
+    if (compute_pool_ != nullptr) {
+      const size_t grain = std::max<size_t>(
+          1, extents->size() / (size_t{compute_pool_->lanes()} * 4));
+      compute_pool_->ParallelFor(extents->size(), grain, fill);
+      SyncExecStats();
+    } else {
+      fill(0, extents->size());
+    }
   }
 
   // Resume the forward direction immediately: re-protect the S-VOLs,

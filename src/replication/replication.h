@@ -15,6 +15,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/time.h"
+#include "exec/thread_pool.h"
 #include "journal/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -152,6 +153,15 @@ struct EngineOptions {
   // Housekeeping cadence of the scheduler's single slow heartbeat (the
   // rescue scan for groups with backlog but no pending edge).
   SimDuration scheduler_heartbeat = Milliseconds(50);
+  // Compute lanes (including the simulator thread) for the engine's
+  // parallel sections: per-chunk wire compression and CRC, chunked
+  // decode, sorted batch apply and resync capture. 0 = one lane per
+  // hardware thread; 1 = no workers, every stage runs inline (the legacy
+  // serial path). Simulation results are bit-identical at any value —
+  // parallel sections run entirely inside one sim event behind a join
+  // barrier and merge in canonical order — so this knob trades host CPU
+  // for wall-clock only.
+  unsigned compute_threads = 0;
 };
 
 // Fault-injection knobs, settable at runtime as one struct so new lanes
@@ -315,21 +325,6 @@ class ReplicationEngine {
   //    be 0.
   StatusOr<PairId> CreatePair(const PairConfig& config);
 
-  // Deprecated spellings of CreatePair, kept for transition; the mode
-  // and group now travel inside PairConfig.
-  [[deprecated("use CreatePair; PairConfig carries mode and group")]]
-  StatusOr<PairId> CreateAsyncPair(PairConfig config, GroupId group) {
-    config.mode = ReplicationMode::kAsynchronous;
-    config.group = group;
-    return CreatePair(config);
-  }
-  [[deprecated("use CreatePair; PairConfig carries mode and group")]]
-  StatusOr<PairId> CreateSyncPair(PairConfig config) {
-    config.mode = ReplicationMode::kSynchronous;
-    config.group = 0;
-    return CreatePair(config);
-  }
-
   // Dissolves a pair, unregistering all interceptors. The S-VOL keeps its
   // current content.
   Status DeletePair(PairId id);
@@ -421,6 +416,12 @@ class ReplicationEngine {
     return scheduler_ != nullptr ? scheduler_->stats() : SchedulerStats{};
   }
 
+  // --- Compute pool introspection -------------------------------------------
+  // The engine's parallel-section pool; null when compute_threads
+  // resolved to 1 (pure inline mode). Benches and tests use this to
+  // observe lane count and section/steal counters.
+  exec::ThreadPool* compute_pool() { return compute_pool_.get(); }
+
  private:
   friend class internal::AdcInterceptor;
   friend class internal::SyncInterceptor;
@@ -437,6 +438,11 @@ class ReplicationEngine {
     uint32_t count = 0;
     std::string_view view;
     std::string data;
+    // Capture-time CRC32C of the payload, verified again at delivery: a
+    // payload corrupted while the batch sat on the wire is skipped (its
+    // blocks stay dirty for the next resync round) instead of landing on
+    // the S-VOL.
+    uint32_t crc = 0;
     std::string_view payload() const {
       return view.data() != nullptr ? view : std::string_view(data);
     }
@@ -589,6 +595,10 @@ class ReplicationEngine {
   EngineOptions options_;
   // Event-driven transfer scheduler; null in legacy per-group-timer mode.
   std::unique_ptr<GroupScheduler> scheduler_;
+  // Parallel-section pool (see EngineOptions::compute_threads); null when
+  // the resolved lane count is 1, making every call site's pool argument
+  // nullptr and the whole data path provably inline.
+  std::unique_ptr<exec::ThreadPool> compute_pool_;
 
   std::map<GroupId, std::unique_ptr<Group>> groups_;
   GroupId next_group_id_ = 1;
@@ -631,8 +641,25 @@ class ReplicationEngine {
     obs::Counter* failbacks = nullptr;
     Histogram* batch_wire_bytes = nullptr;
     Histogram* batch_records = nullptr;
+    // Compute-pool health ("exec.*"). These describe HOST-side execution
+    // (scheduling, stealing), not simulated behavior: they vary run to
+    // run and with the lane count, so determinism comparisons must
+    // exclude the exec.* prefix. Updated by SyncExecStats on the sim
+    // thread after join barriers — never from workers, because the
+    // registry is not thread-safe.
+    obs::Counter* exec_sections = nullptr;
+    obs::Counter* exec_inline_sections = nullptr;
+    obs::Counter* exec_tasks = nullptr;
+    obs::Counter* exec_steals = nullptr;
+    obs::Gauge* exec_queue_depth_max = nullptr;
   };
   EngineInstruments ins_;
+  // Last pool stats folded into the exec.* counters (delta source).
+  exec::ThreadPool::Stats exec_synced_;
+
+  // Folds the pool's stat deltas into the exec.* instruments; called on
+  // the sim thread after parallel sections. No-op when detached or inline.
+  void SyncExecStats();
 
   // Shipped batches covered by the windowed compression ratio.
   static constexpr size_t kCompressionWindowBatches = 64;

@@ -1,22 +1,31 @@
 #include "replication/wire.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cstring>
 #include <utility>
 
 #include "common/coding.h"
 #include "common/compress.h"
 #include "common/crc32c.h"
+#include "exec/thread_pool.h"
 
 namespace zerobak::replication::wire {
 namespace {
 
 constexpr uint32_t kMagic = 0x3157425au;  // "ZBW1", little-endian.
 constexpr uint8_t kFlagCompressed = 0x01;
+constexpr uint8_t kFlagChunked = 0x02;
+constexpr uint8_t kKnownFlags = kFlagCompressed | kFlagChunked;
 constexpr uint8_t kFlagFolded = 0x01;  // Per-record flags, bit0.
 // 5 fixed header bytes before the CRC, 8 after it.
 constexpr size_t kFrameHeaderSize = 4 + 1 + 4 + 4;
 // A frame claiming more records than could fit a real batch is corrupt;
 // reject before reserving memory for it.
 constexpr uint64_t kMaxRecords = 1u << 22;
+// body_len is a u32, so a valid chunked body can never need more chunks
+// than this; a count above it is corrupt.
+constexpr uint64_t kMaxChunks = (uint64_t{1} << 32) / kChunkBytes + 1;
 
 uint64_t ZigZag(int64_t v) {
   return (static_cast<uint64_t>(v) << 1) ^
@@ -27,10 +36,51 @@ int64_t UnZigZag(uint64_t v) {
   return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
 }
 
+// Runs body(begin, end) over [0, n) — fanned out across `pool` when one
+// is attached, a plain inline loop otherwise. Either way the caller
+// resumes only after every index ran.
+void ForEachChunk(exec::ThreadPool* pool, size_t n,
+                  const std::function<void(size_t, size_t)>& body) {
+  if (pool != nullptr) {
+    pool->ParallelFor(n, 1, body);
+  } else if (n > 0) {
+    body(0, n);
+  }
+}
+
 }  // namespace
 
+uint32_t ParallelCrc32c(std::string_view data, exec::ThreadPool* pool) {
+  const size_t chunks = (data.size() + kChunkBytes - 1) / kChunkBytes;
+  if (pool == nullptr || chunks <= 1) {
+    return Crc32c(data.data(), data.size());
+  }
+  std::vector<uint32_t> partial(chunks, 0);
+  pool->ParallelFor(chunks, 1, [&](size_t begin, size_t end) {
+    for (size_t c = begin; c < end; ++c) {
+      const size_t off = c * kChunkBytes;
+      const size_t len = std::min(kChunkBytes, data.size() - off);
+      partial[c] = Crc32c(data.data() + off, len);
+    }
+  });
+  // Fold in canonical chunk order — bit-identical to one sequential pass
+  // over the whole buffer. Every join but the last advances past exactly
+  // kChunkBytes, so the precompiled operator (built once per process)
+  // makes each of those joins ~32 xors; only a ragged tail pays the
+  // general O(log len2) combine.
+  static const Crc32cCombineOp chunk_op(kChunkBytes);
+  uint32_t crc = partial[0];
+  for (size_t c = 1; c < chunks; ++c) {
+    const size_t off = c * kChunkBytes;
+    const size_t len = std::min(kChunkBytes, data.size() - off);
+    crc = len == kChunkBytes ? chunk_op.Combine(crc, partial[c])
+                             : Crc32cCombine(crc, partial[c], len);
+  }
+  return crc;
+}
+
 EncodedBatch EncodeBatch(const std::vector<journal::JournalRecord>& records,
-                         bool compress) {
+                         bool compress, exec::ThreadPool* pool) {
   EncodedBatch out;
 
   std::string body;
@@ -61,27 +111,132 @@ EncodedBatch EncodeBatch(const std::vector<journal::JournalRecord>& records,
 
   uint8_t flags = 0;
   if (compress) {
-    std::string packed;
-    packed.reserve(CompressBound(body.size()));
-    Compress(body, &packed);
-    if (packed.size() < body.size()) {
-      body = std::move(packed);
-      flags |= kFlagCompressed;
-      out.compressed = true;
+    // The single-chunk/chunked split depends only on the plain body size —
+    // never on the pool — so the shipped frame is byte-identical at any
+    // lane count.
+    if (body.size() <= kChunkBytes) {
+      std::string packed;
+      packed.reserve(CompressBound(body.size()));
+      Compress(body, &packed);
+      if (packed.size() < body.size()) {
+        body = std::move(packed);
+        flags |= kFlagCompressed;
+        out.compressed = true;
+      }
+    } else {
+      const size_t chunks = (body.size() + kChunkBytes - 1) / kChunkBytes;
+      std::vector<std::string> packed(chunks);
+      ForEachChunk(pool, chunks, [&](size_t begin, size_t end) {
+        for (size_t c = begin; c < end; ++c) {
+          const size_t off = c * kChunkBytes;
+          const size_t len = std::min(kChunkBytes, body.size() - off);
+          packed[c].reserve(CompressBound(len));
+          Compress(std::string_view(body).substr(off, len), &packed[c]);
+        }
+      });
+      std::string chunked;
+      PutVarint64(&chunked, chunks);
+      size_t frames_total = 0;
+      for (const std::string& p : packed) {
+        PutVarint64(&chunked, p.size());
+        frames_total += p.size();
+      }
+      chunked.reserve(chunked.size() + frames_total);
+      for (const std::string& p : packed) chunked += p;
+      if (chunked.size() < body.size()) {
+        body = std::move(chunked);
+        flags |= kFlagChunked;
+        out.compressed = true;
+      }
     }
   }
 
   out.frame.reserve(kFrameHeaderSize + body.size());
   PutFixed32(&out.frame, kMagic);
   out.frame.push_back(static_cast<char>(flags));
-  PutFixed32(&out.frame, Crc32cMask(Crc32c(body.data(), body.size())));
+  PutFixed32(&out.frame, Crc32cMask(ParallelCrc32c(body, pool)));
   PutFixed32(&out.frame, static_cast<uint32_t>(body.size()));
   out.frame += body;
   return out;
 }
 
+namespace {
+
+// Parses and decompresses a chunked (bit1) stored body into the plain
+// body. Every length is validated against the chunked container before a
+// byte of it is trusted; the CRC gate already ran, so failures here mean
+// a malformed-but-checksummed frame and return DataLoss like any other
+// corruption.
+Status DecodeChunkedBody(std::string_view in, exec::ThreadPool* pool,
+                         std::string* out) {
+  std::string_view cursor = in;
+  uint64_t chunks = 0;
+  if (!GetVarint64(&cursor, &chunks) || chunks < 2 || chunks > kMaxChunks ||
+      chunks > cursor.size()) {
+    return DataLossError("wire: bad chunk count");
+  }
+  std::vector<size_t> enc_len(chunks, 0);
+  uint64_t enc_total = 0;
+  for (uint64_t c = 0; c < chunks; ++c) {
+    uint64_t len = 0;
+    if (!GetVarint64(&cursor, &len) || len > cursor.size() ||
+        enc_total + len > cursor.size()) {
+      return DataLossError("wire: bad chunk length");
+    }
+    enc_len[c] = static_cast<size_t>(len);
+    enc_total += len;
+  }
+  if (cursor.size() != enc_total) {
+    return DataLossError("wire: chunk section length mismatch");
+  }
+
+  // Raw sizes come from each chunk's own frame header; the encoder fills
+  // every chunk but the last to exactly kChunkBytes, which pins each
+  // chunk's output offset without decompressing anything yet.
+  std::vector<std::string_view> frames(chunks);
+  uint64_t raw_total = 0;
+  size_t off = 0;
+  for (uint64_t c = 0; c < chunks; ++c) {
+    frames[c] = cursor.substr(off, enc_len[c]);
+    off += enc_len[c];
+    StatusOr<size_t> raw = DecompressedSize(frames[c]);
+    if (!raw.ok()) return raw.status();
+    const bool last = (c == chunks - 1);
+    if ((last && (*raw == 0 || *raw > kChunkBytes)) ||
+        (!last && *raw != kChunkBytes)) {
+      return DataLossError("wire: bad chunk raw size");
+    }
+    raw_total += *raw;
+  }
+
+  out->resize(raw_total);
+  std::atomic<bool> ok{true};
+  ForEachChunk(pool, chunks, [&](size_t begin, size_t end) {
+    for (size_t c = begin; c < end; ++c) {
+      const size_t raw_off = c * kChunkBytes;
+      const size_t want =
+          (c == chunks - 1) ? raw_total - raw_off : kChunkBytes;
+      // Decompress appends to a scratch string, then the bytes land in
+      // this chunk's disjoint [raw_off, raw_off + want) slot.
+      std::string scratch;
+      scratch.reserve(want);
+      if (!Decompress(frames[c], &scratch).ok() || scratch.size() != want) {
+        ok.store(false, std::memory_order_relaxed);
+        continue;
+      }
+      std::memcpy(out->data() + raw_off, scratch.data(), want);
+    }
+  });
+  if (!ok.load(std::memory_order_relaxed)) {
+    return DataLossError("wire: chunk decompression failed");
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
 StatusOr<std::vector<journal::JournalRecord>> DecodeBatch(
-    std::string_view frame) {
+    std::string_view frame, exec::ThreadPool* pool) {
   std::string_view in = frame;
   uint32_t magic = 0, masked_crc = 0, body_len = 0;
   if (!GetFixed32(&in, &magic) || magic != kMagic) {
@@ -90,7 +245,8 @@ StatusOr<std::vector<journal::JournalRecord>> DecodeBatch(
   if (in.empty()) return DataLossError("wire: truncated header");
   const uint8_t flags = static_cast<uint8_t>(in.front());
   in.remove_prefix(1);
-  if ((flags & ~kFlagCompressed) != 0) {
+  if ((flags & ~kKnownFlags) != 0 ||
+      (flags & kKnownFlags) == kKnownFlags) {
     return DataLossError("wire: unknown flag bits");
   }
   if (!GetFixed32(&in, &masked_crc) || !GetFixed32(&in, &body_len)) {
@@ -101,12 +257,15 @@ StatusOr<std::vector<journal::JournalRecord>> DecodeBatch(
   }
   // Integrity gate: the CRC covers the stored body, so corruption is
   // caught here, before decompression or any journal mutation.
-  if (Crc32cMask(Crc32c(in.data(), in.size())) != masked_crc) {
+  if (Crc32cMask(ParallelCrc32c(in, pool)) != masked_crc) {
     return DataLossError("wire: checksum mismatch");
   }
 
   std::string body;
-  if ((flags & kFlagCompressed) != 0) {
+  if ((flags & kFlagChunked) != 0) {
+    Status s = DecodeChunkedBody(in, pool, &body);
+    if (!s.ok()) return s;
+  } else if ((flags & kFlagCompressed) != 0) {
     Status s = Decompress(in, &body);
     if (!s.ok()) return s;
   } else {

@@ -9,6 +9,10 @@
 #include "common/status.h"
 #include "journal/journal.h"
 
+namespace zerobak::exec {
+class ThreadPool;
+}  // namespace zerobak::exec
+
 namespace zerobak::replication::wire {
 
 // Wire format for shipped journal batches: the transfer engine serializes
@@ -24,14 +28,17 @@ namespace zerobak::replication::wire {
 //   | magic u32| flags u8| masked CRC u32| body_len  | body (body_len)  |
 //   | "ZBW1"   | bit0 =  | of the stored | u32       |                  |
 //   |          | LZ body | body bytes    |           |                  |
+//   |          | bit1 =  |               |           |                  |
+//   |          | chunked |               |           |                  |
 //   +----------+---------+---------------+-----------+------------------+
 //
 // The CRC covers the body exactly as stored on the wire (compressed when
-// bit0 is set), so a corrupt frame is rejected before decompression; the
-// decompressor is separately hardened against garbage. The CRC is masked
-// (LevelDB-style) because journal payloads may themselves contain CRCs.
+// bit0 or bit1 is set), so a corrupt frame is rejected before
+// decompression; the decompressor is separately hardened against garbage.
+// The CRC is masked (LevelDB-style) because journal payloads may
+// themselves contain CRCs.
 //
-// Body layout (before compression):
+// Body layout (plain, before compression):
 //
 //   varint record_count
 //   record_count x header:
@@ -45,9 +52,34 @@ namespace zerobak::replication::wire {
 //     varint atomic_through-delta (zigzag, from this record's sequence)
 //   concatenation of all payloads, in record order
 //
+// Stored-body variants, selected by the frame flags:
+//
+//   flags=0 (stored):  the plain body verbatim.
+//   bit0 (LZ):         one Compress() frame of the whole plain body; used
+//                      when the plain body fits in a single chunk.
+//   bit1 (chunked):    the plain body split at FIXED kChunkBytes
+//                      boundaries, each chunk compressed independently:
+//                        varint chunk_count (>= 2)
+//                        chunk_count x varint encoded_len
+//                        concatenation of the chunks' Compress() frames
+//
+// Chunk boundaries are a property of the FORMAT (fixed byte offsets into
+// the plain body), never of the encoder's thread count: a frame encoded
+// with 1 lane and with N lanes is byte-identical, which is what lets the
+// compute pool parallelize per-chunk compression, checksumming (merged
+// with Crc32cCombine) and decompression inside one sim event without
+// perturbing the deterministic simulation — wire byte counts drive link
+// serialization timing. Which variant gets shipped depends only on sizes:
+// the compressed body is kept only if it shrank.
+//
 // Decoding allocates exactly one PayloadBuffer for the whole batch and
 // hands every record a Slice of it, preserving the journal pipeline's
 // one-allocation-per-batch property on the receive side.
+
+// Fixed chunking granularity of the bit1 variant. Also the split used for
+// parallel CRC computation; both are format/implementation constants that
+// must not vary with lane count.
+inline constexpr size_t kChunkBytes = 64 * 1024;
 
 // A serialized batch ready for the link.
 struct EncodedBatch {
@@ -62,15 +94,26 @@ struct EncodedBatch {
 };
 
 // Serializes `records` into one frame. When `compress` is set the body is
-// run through the block compressor and kept only if it shrank.
+// run through the block compressor (whole-body for small batches, chunked
+// for bodies over kChunkBytes) and kept only if it shrank. `pool`, when
+// non-null, parallelizes per-chunk compression and the body CRC; the
+// output frame is byte-identical with or without it.
 EncodedBatch EncodeBatch(const std::vector<journal::JournalRecord>& records,
-                         bool compress);
+                         bool compress, exec::ThreadPool* pool = nullptr);
 
 // Verifies and deserializes one frame. Returns DataLoss on a bad magic,
 // checksum mismatch, or any malformed/truncated content — never crashes,
-// never applies a partial batch.
+// never applies a partial batch. `pool`, when non-null, parallelizes the
+// CRC verify and per-chunk decompression; the result is identical.
 StatusOr<std::vector<journal::JournalRecord>> DecodeBatch(
-    std::string_view frame);
+    std::string_view frame, exec::ThreadPool* pool = nullptr);
+
+// Crc32c over `data`, split at kChunkBytes boundaries across `pool` and
+// merged in order with Crc32cCombine — bit-identical to the single-pass
+// checksum. Inline single-pass when `pool` is null or the data is one
+// chunk. Exposed for the resync path, which checksums captured extents
+// with the same discipline.
+uint32_t ParallelCrc32c(std::string_view data, exec::ThreadPool* pool);
 
 }  // namespace zerobak::replication::wire
 

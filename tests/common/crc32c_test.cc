@@ -1,5 +1,6 @@
 #include "common/crc32c.h"
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -118,6 +119,99 @@ TEST(Crc32cKernelTest, ImplementationNameIsKnown) {
   const std::string name = internal::Crc32cImplementation();
   EXPECT_TRUE(name == "sse4.2" || name == "slice8" || name == "portable")
       << name;
+}
+
+// Crc32cCombine folds two independently computed CRCs into the CRC of the
+// concatenation — the primitive behind chunk-parallel frame checksums.
+TEST(Crc32cCombineTest, PinnedVectors) {
+  // Split the RFC 3720 vector "123456789" and recombine: the result must
+  // be the well-known whole-string CRC regardless of the split point.
+  const std::string digits = "123456789";
+  for (size_t split = 0; split <= digits.size(); ++split) {
+    const uint32_t a = Crc32c(digits.data(), split);
+    const uint32_t b = Crc32c(digits.data() + split, digits.size() - split);
+    EXPECT_EQ(Crc32cCombine(a, b, digits.size() - split), 0xe3069283u)
+        << "split " << split;
+  }
+  // 64 zeros = two combined 32-zero halves, against the pinned 32-zero CRC.
+  std::string zeros(64, '\0');
+  EXPECT_EQ(Crc32cCombine(0x8a9136aau, 0x8a9136aau, 32),
+            Crc32c(zeros.data(), zeros.size()));
+}
+
+TEST(Crc32cCombineTest, ZeroLengthSecondPartIsIdentity) {
+  for (uint32_t crc : {0u, 1u, 0xdeadbeefu, 0xffffffffu}) {
+    // Appending nothing changes nothing, whatever crc2 holds.
+    EXPECT_EQ(Crc32cCombine(crc, 0u, 0), crc);
+    EXPECT_EQ(Crc32cCombine(crc, 0x12345678u, 0), crc);
+  }
+}
+
+TEST(Crc32cCombineTest, MatchesExtendAtRandomSplits) {
+  Rng rng(0xc0813);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t len = 1 + rng.Uniform(100000);
+    std::string data(len, '\0');
+    for (char& c : data) c = static_cast<char>(rng.Uniform(256));
+    const uint32_t whole = Crc32c(data.data(), data.size());
+    const size_t split = rng.Uniform(static_cast<uint32_t>(len + 1));
+    const uint32_t a = Crc32c(data.data(), split);
+    const uint32_t b = Crc32c(data.data() + split, len - split);
+    EXPECT_EQ(Crc32cCombine(a, b, len - split), whole)
+        << "len " << len << " split " << split;
+  }
+}
+
+TEST(Crc32cCombineTest, FoldsManyChunksLikeOnePass) {
+  // The wire path's exact usage: CRC fixed-size chunks independently, then
+  // left-fold with Combine. Chunk size chosen to leave a ragged tail.
+  Rng rng(0xfeed);
+  std::string data(300000, '\0');
+  for (char& c : data) c = static_cast<char>(rng.Uniform(256));
+  constexpr size_t kChunk = 65536;
+  uint32_t folded = 0;
+  bool first = true;
+  for (size_t off = 0; off < data.size(); off += kChunk) {
+    const size_t n = std::min(kChunk, data.size() - off);
+    const uint32_t part = Crc32c(data.data() + off, n);
+    folded = first ? part : Crc32cCombine(folded, part, n);
+    first = false;
+  }
+  EXPECT_EQ(folded, Crc32c(data.data(), data.size()));
+}
+
+TEST(Crc32cCombineTest, PrecompiledOpMatchesGeneralCombine) {
+  Rng rng(0x0b5e55);
+  for (size_t len2 : {size_t{0}, size_t{1}, size_t{9}, size_t{4096},
+                      size_t{65536}, size_t{65537}, size_t{300000}}) {
+    const Crc32cCombineOp op(len2);
+    EXPECT_EQ(op.len2(), len2);
+    for (int trial = 0; trial < 10; ++trial) {
+      const uint32_t a = rng.Uniform(0xffffffffu);
+      const uint32_t b = rng.Uniform(0xffffffffu);
+      EXPECT_EQ(op.Combine(a, b), Crc32cCombine(a, b, len2))
+          << "len2 " << len2 << " a " << a << " b " << b;
+    }
+  }
+}
+
+TEST(Crc32cCombineTest, PrecompiledOpFoldsRealData) {
+  // End-to-end: fold real per-chunk CRCs with the op, as the wire path
+  // does, and land on the single-pass CRC.
+  Rng rng(0x0b5e56);
+  std::string data(5 * 65536 + 123, '\0');
+  for (char& c : data) c = static_cast<char>(rng.Uniform(256));
+  const Crc32cCombineOp op(65536);
+  uint32_t folded = Crc32c(data.data(), 65536);
+  size_t off = 65536;
+  while (off < data.size()) {
+    const size_t n = std::min<size_t>(65536, data.size() - off);
+    const uint32_t part = Crc32c(data.data() + off, n);
+    folded = n == 65536 ? op.Combine(folded, part)
+                        : Crc32cCombine(folded, part, n);
+    off += n;
+  }
+  EXPECT_EQ(folded, Crc32c(data.data(), data.size()));
 }
 
 TEST(Crc32cTest, SingleBitFlipDetected) {

@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/crc32c.h"
 #include "common/rng.h"
+#include "exec/thread_pool.h"
 #include "journal/journal.h"
 
 namespace zerobak::replication::wire {
@@ -138,6 +140,129 @@ TEST(WireTest, TruncatedFramesAreRejected) {
   const auto batch = MakeBatch();
   EncodedBatch enc = EncodeBatch(batch, /*compress=*/true);
   for (size_t len : {size_t{0}, size_t{3}, size_t{4}, size_t{12},
+                     enc.frame.size() / 2, enc.frame.size() - 1}) {
+    auto decoded = DecodeBatch(std::string_view(enc.frame).substr(0, len));
+    EXPECT_FALSE(decoded.ok()) << "truncation to " << len << " accepted";
+  }
+}
+
+// ----- Chunked frames (bodies > kChunkBytes) and the compute pool -----
+
+// A batch whose plain body comfortably exceeds kChunkBytes, mixing
+// compressible and incompressible payloads so some chunks shrink a lot
+// and others hit the stored escape.
+std::vector<JournalRecord> MakeLargeBatch(uint64_t seed = 99) {
+  Rng rng(seed);
+  std::vector<JournalRecord> batch;
+  const journal::SequenceNumber last = 240;
+  for (int i = 0; i < 40; ++i) {
+    JournalRecord rec;
+    rec.sequence = 200 + i;
+    rec.volume_id = 1 + (i % 3);
+    rec.lba = i * 16;
+    rec.block_count = 2;
+    rec.ack_time = 5000000 + i * 111;
+    rec.atomic_through = last;
+    std::string payload(8192, '\0');
+    if (i % 2 == 0) {
+      payload.assign(8192, static_cast<char>('a' + i % 26));
+    } else {
+      for (char& c : payload) c = static_cast<char>(rng.Uniform(256));
+    }
+    rec.payload = PayloadBuffer::Copy(payload);
+    batch.push_back(std::move(rec));
+  }
+  return batch;
+}
+
+TEST(WireChunkedTest, LargeBodyRoundTrips) {
+  const auto batch = MakeLargeBatch();
+  EncodedBatch enc = EncodeBatch(batch, /*compress=*/true);
+  EXPECT_TRUE(enc.compressed);
+  EXPECT_GT(enc.logical_bytes, kChunkBytes);  // Chunked path engaged.
+  auto decoded = DecodeBatch(enc.frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ExpectBatchEquals(*decoded, batch);
+}
+
+TEST(WireChunkedTest, FramesIdenticalWithAndWithoutPool) {
+  // The frame is a wire artifact shared between sites: its bytes must not
+  // depend on whether (or how wide) a compute pool encoded it.
+  const auto batch = MakeLargeBatch();
+  const EncodedBatch inline_enc = EncodeBatch(batch, /*compress=*/true);
+  for (unsigned lanes : {2u, 4u, 8u}) {
+    exec::ThreadPool pool(lanes);
+    const EncodedBatch pooled = EncodeBatch(batch, /*compress=*/true, &pool);
+    EXPECT_EQ(pooled.frame, inline_enc.frame) << "lanes=" << lanes;
+    EXPECT_EQ(pooled.logical_bytes, inline_enc.logical_bytes);
+    EXPECT_EQ(pooled.compressed, inline_enc.compressed);
+  }
+  // Small batches must also be invariant (they take the legacy path).
+  const auto small = MakeBatch();
+  exec::ThreadPool pool(4);
+  EXPECT_EQ(EncodeBatch(small, true, &pool).frame,
+            EncodeBatch(small, true).frame);
+}
+
+TEST(WireChunkedTest, PooledDecodeMatchesInlineDecode) {
+  const auto batch = MakeLargeBatch();
+  EncodedBatch enc = EncodeBatch(batch, /*compress=*/true);
+  exec::ThreadPool pool(4);
+  auto pooled = DecodeBatch(enc.frame, &pool);
+  ASSERT_TRUE(pooled.ok()) << pooled.status();
+  ExpectBatchEquals(*pooled, batch);
+}
+
+TEST(WireChunkedTest, DecodeAllocatesOnePayloadBufferPerBatch) {
+  // The zero-copy property must survive chunking: every payload is still
+  // a slice of a single decoded-body buffer.
+  const auto batch = MakeLargeBatch();
+  EncodedBatch enc = EncodeBatch(batch, /*compress=*/true);
+  exec::ThreadPool pool(4);
+  for (exec::ThreadPool* p : {static_cast<exec::ThreadPool*>(nullptr),
+                              &pool}) {
+    const uint64_t before = PayloadBuffer::TotalAllocations();
+    auto decoded = DecodeBatch(enc.frame, p);
+    const uint64_t after = PayloadBuffer::TotalAllocations();
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(after - before, 1u);
+  }
+}
+
+TEST(WireChunkedTest, ParallelCrc32cMatchesSinglePass) {
+  Rng rng(31337);
+  exec::ThreadPool pool(4);
+  for (size_t len : {size_t{0}, size_t{1}, kChunkBytes - 1, kChunkBytes,
+                     kChunkBytes + 1, 5 * kChunkBytes + 1234}) {
+    std::string data(len, '\0');
+    for (char& c : data) c = static_cast<char>(rng.Uniform(256));
+    const uint32_t want = Crc32c(data.data(), data.size());
+    EXPECT_EQ(ParallelCrc32c(data, nullptr), want) << "inline len " << len;
+    EXPECT_EQ(ParallelCrc32c(data, &pool), want) << "pooled len " << len;
+  }
+}
+
+TEST(WireChunkedTest, BitFlipsInChunkedFrameAreRejected) {
+  const auto batch = MakeLargeBatch();
+  EncodedBatch enc = EncodeBatch(batch, /*compress=*/true);
+  exec::ThreadPool pool(4);
+  // Sparser stride than the small-frame test (the frame is ~200 KiB), but
+  // still covering header, chunk table and chunk data.
+  for (size_t pos = 0; pos < enc.frame.size();
+       pos += 1 + enc.frame.size() / 61) {
+    std::string corrupt = enc.frame;
+    corrupt[pos] ^= 0x10;
+    EXPECT_FALSE(DecodeBatch(corrupt).ok())
+        << "inline decode accepted flip at " << pos;
+    EXPECT_FALSE(DecodeBatch(corrupt, &pool).ok())
+        << "pooled decode accepted flip at " << pos;
+  }
+}
+
+TEST(WireChunkedTest, TruncatedChunkedFramesAreRejected) {
+  const auto batch = MakeLargeBatch();
+  EncodedBatch enc = EncodeBatch(batch, /*compress=*/true);
+  for (size_t len : {size_t{12}, size_t{13}, size_t{64},
                      enc.frame.size() / 2, enc.frame.size() - 1}) {
     auto decoded = DecodeBatch(std::string_view(enc.frame).substr(0, len));
     EXPECT_FALSE(decoded.ok()) << "truncation to " << len << " accepted";
