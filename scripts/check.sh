@@ -61,6 +61,7 @@ if [[ "${fast}" -eq 0 ]]; then
   ./build/bench/bench_observe --quick --out /tmp/zerobak_observe_smoke.json
   ./build/bench/bench_scale --quick --out /tmp/zerobak_scale_smoke.json
   ./build/bench/bench_parallel --quick --out /tmp/zerobak_parallel_smoke.json
+  ./build/bench/bench_scrub --quick --out /tmp/zerobak_scrub_smoke.json
 fi
 
 echo "check.sh: all green"

@@ -14,6 +14,14 @@ namespace {
 std::string Errno(const std::string& op, const std::string& path) {
   return op + " " + path + ": " + std::strerror(errno);
 }
+
+// splitmix64 finalizer (same gate as MemVolume's media lane).
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
 }  // namespace
 
 FileVolume::FileVolume(std::string path, int fd, uint64_t block_count,
@@ -39,6 +47,12 @@ StatusOr<std::unique_ptr<FileVolume>> FileVolume::Create(
   if (::ftruncate(fd, size) != 0) {
     ::close(fd);
     return InternalError(Errno("ftruncate", path));
+  }
+  // Persist the initial sizing: without this a crash right after Create
+  // can leave a short (or empty) file that Open then rejects.
+  if (::fdatasync(fd) != 0) {
+    ::close(fd);
+    return InternalError(Errno("fdatasync", path));
   }
   return std::unique_ptr<FileVolume>(
       new FileVolume(path, fd, block_count, block_size));
@@ -67,6 +81,9 @@ StatusOr<std::unique_ptr<FileVolume>> FileVolume::Open(
 
 Status FileVolume::Read(Lba lba, uint32_t count, std::string* out) {
   ZB_RETURN_IF_ERROR(CheckRange(lba, count));
+  if (media_threshold_ != 0) {
+    ZB_RETURN_IF_ERROR(MediaCheck(lba, count, "read"));
+  }
   const size_t bytes = static_cast<size_t>(count) * block_size_;
   out->resize(bytes);
   size_t done = 0;
@@ -89,6 +106,9 @@ Status FileVolume::Write(Lba lba, uint32_t count, std::string_view data) {
   if (data.size() != static_cast<size_t>(count) * block_size_) {
     return InvalidArgumentError("write payload size mismatch");
   }
+  if (media_threshold_ != 0) {
+    ZB_RETURN_IF_ERROR(MediaCheck(lba, count, "write"));
+  }
   size_t done = 0;
   while (done < data.size()) {
     const ssize_t n = ::pwrite(
@@ -108,6 +128,54 @@ Status FileVolume::Sync() {
     return InternalError(Errno("fdatasync", path_));
   }
   return OkStatus();
+}
+
+void FileVolume::SetMediaError(double probability, uint64_t seed) {
+  if (probability <= 0.0) {
+    media_threshold_ = 0;
+    return;
+  }
+  media_seed_ = seed;
+  media_threshold_ =
+      probability >= 1.0
+          ? ~0ull
+          : static_cast<uint64_t>(probability * 18446744073709551616.0);
+  if (media_threshold_ == 0) media_threshold_ = 1;
+}
+
+bool FileVolume::MediaBad(Lba lba) const {
+  return Mix64(media_seed_ ^ (lba * 0x100000001b3ull)) < media_threshold_;
+}
+
+Status FileVolume::MediaCheck(Lba lba, uint32_t count, const char* op) {
+  for (uint32_t i = 0; i < count; ++i) {
+    if (MediaBad(lba + i)) {
+      ++media_errors_;
+      return DataLossError(std::string("media ") + op + " error at lba " +
+                           std::to_string(lba + i));
+    }
+  }
+  return OkStatus();
+}
+
+bool FileVolume::FlipBit(Lba lba, uint32_t bit) {
+  if (lba >= block_count_) return false;
+  const uint32_t byte = (bit / 8) % block_size_;
+  const off_t off =
+      static_cast<off_t>(lba) * block_size_ + static_cast<off_t>(byte);
+  char c;
+  ssize_t n;
+  do {
+    n = ::pread(fd_, &c, 1, off);
+  } while (n < 0 && errno == EINTR);
+  if (n != 1) return false;
+  c ^= static_cast<char>(1u << (bit % 8));
+  do {
+    n = ::pwrite(fd_, &c, 1, off);
+  } while (n < 0 && errno == EINTR);
+  if (n != 1) return false;
+  ++bit_flips_;
+  return true;
 }
 
 }  // namespace zerobak::block

@@ -43,14 +43,34 @@ class FileVolume : public BlockDevice {
   // Flushes written data to stable storage (fdatasync).
   Status Sync();
 
+  // Deterministic media-fault injection, mirroring MemVolume: each LBA is
+  // independently bad with the given probability (stateless seeded hash);
+  // reads and writes that touch a bad LBA fail with kDataLoss.
+  // probability <= 0 heals the media.
+  void SetMediaError(double probability, uint64_t seed);
+  bool media_error_armed() const { return media_threshold_ != 0; }
+  uint64_t media_errors() const { return media_errors_; }
+
+  // Flips one bit of the stored block in place — silent bit rot on the
+  // backing file. Returns false when the IO fails or lba is out of range.
+  bool FlipBit(Lba lba, uint32_t bit);
+  uint64_t bit_flips() const { return bit_flips_; }
+
  private:
   FileVolume(std::string path, int fd, uint64_t block_count,
              uint32_t block_size);
+
+  bool MediaBad(Lba lba) const;
+  Status MediaCheck(Lba lba, uint32_t count, const char* op);
 
   std::string path_;
   int fd_;
   uint64_t block_count_;
   uint32_t block_size_;
+  uint64_t media_threshold_ = 0;
+  uint64_t media_seed_ = 0;
+  uint64_t media_errors_ = 0;
+  uint64_t bit_flips_ = 0;
 };
 
 }  // namespace zerobak::block

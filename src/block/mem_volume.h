@@ -98,6 +98,57 @@ class MemVolume : public BlockDevice {
   uint64_t writes() const { return writes_; }
   uint64_t reads() const { return reads_; }
 
+  // --- At-rest integrity ---------------------------------------------------
+
+  // Enables the per-block CRC32C sidecar: every write updates the stored
+  // block's checksum and every Read verifies what it copies out, so silent
+  // corruption (FlipBit, a stray poke at the slab) surfaces as a typed
+  // kDataLoss status instead of bad data. Off by default — journal staging
+  // buffers and raw benches pay nothing — and enabled by storage::Volume
+  // for every array LDEV. Zero-copy views (ReadBlockView/TryReadView) and
+  // ReadInto stay unverified by design; the scrubber covers those paths.
+  void EnableChecksums();
+  bool checksums_enabled() const { return checksums_enabled_; }
+
+  // Arms deterministic media errors: each LBA is independently "bad" with
+  // probability `probability`, decided by a stateless seeded hash, so one
+  // (seed, probability) episode always hits the same sectors — the
+  // in-memory model of a latent sector error burst. Reads and writes that
+  // touch a bad LBA fail with kDataLoss. probability <= 0 heals the
+  // media. The two-phase PrepareWrite/CommitWrite path bypasses the gate
+  // (the parallel applier pre-validates its batches).
+  void SetMediaError(double probability, uint64_t seed);
+  bool media_error_armed() const { return media_threshold_ != 0; }
+
+  // Flips one bit of a stored block in place *without* updating its
+  // checksum sidecar — silent bit rot. Returns false when the block was
+  // never written (a hole has no media to rot).
+  bool FlipBit(Lba lba, uint32_t bit);
+
+  // Scrub-side health check of [lba, lba+count): the media-error gate
+  // first, then the checksum of every resident block. Does not touch the
+  // read counter, but media errors / checksum mismatches it finds are
+  // counted. `bad_lba` (optional) receives the first failing block.
+  enum class ExtentHealth { kClean, kMediaError, kChecksumMismatch };
+  ExtentHealth VerifyExtent(Lba lba, uint32_t count, Lba* bad_lba = nullptr);
+
+  // True when any block of [lba, lba+count) has ever been written.
+  bool AnyAllocated(Lba lba, uint32_t count) const;
+
+  // Combined fingerprint of [lba, lba+count) built from the per-block
+  // CRC sidecar (holes contribute the zero-block CRC). Two volumes whose
+  // extents verify clean and fingerprint equal hold identical bytes
+  // (modulo CRC32C collision). O(count) words of sidecar traffic instead
+  // of O(count * block_size) data bytes — this is what lets the scrubber
+  // compare sites without copying megabytes. Requires checksums_enabled.
+  uint64_t ExtentFingerprint(Lba lba, uint32_t count) const;
+
+  uint64_t media_errors() const { return media_errors_; }
+  uint64_t checksum_failures() const { return checksum_failures_; }
+  uint64_t bit_flips() const { return bit_flips_; }
+  // Blocks examined by VerifyExtent over the volume's lifetime.
+  uint64_t blocks_verified() const { return blocks_verified_; }
+
  private:
   struct FreeDeleter {
     void operator()(char* p) const { std::free(p); }
@@ -111,6 +162,8 @@ class MemVolume : public BlockDevice {
     std::unique_ptr<char[], FreeDeleter> data;
     // One bit per block: set once the block has been written.
     std::vector<uint64_t> bitmap;
+    // Per-block CRC32C sidecar; empty unless checksums are enabled.
+    std::vector<uint32_t> crcs;
   };
 
   size_t ChunkCount() const {
@@ -126,6 +179,11 @@ class MemVolume : public BlockDevice {
   Chunk& EnsureChunk(Lba lba);
   // The copy loop of Write, after range/size validation.
   void WriteUnchecked(Lba lba, uint32_t count, std::string_view data);
+  // Stateless per-LBA media gate (only meaningful while armed).
+  bool MediaBad(Lba lba) const;
+  // Scans [lba, lba+count) through the media gate; kDataLoss on the
+  // first bad sector. `op` names the IO direction for the message.
+  Status MediaCheck(Lba lba, uint32_t count, const char* op);
 
   uint64_t block_count_;
   uint32_t block_size_;
@@ -134,6 +192,17 @@ class MemVolume : public BlockDevice {
   uint64_t allocated_blocks_ = 0;
   uint64_t writes_ = 0;
   uint64_t reads_ = 0;
+
+  bool checksums_enabled_ = false;
+  uint32_t zero_crc_ = 0;
+  // Media-error gate: 0 = healthy; otherwise the per-LBA hash threshold
+  // (probability scaled to the full 64-bit range).
+  uint64_t media_threshold_ = 0;
+  uint64_t media_seed_ = 0;
+  uint64_t media_errors_ = 0;
+  uint64_t checksum_failures_ = 0;
+  uint64_t bit_flips_ = 0;
+  uint64_t blocks_verified_ = 0;
 };
 
 }  // namespace zerobak::block

@@ -92,12 +92,75 @@ uint32_t Crc32cSlice8(uint32_t crc, const void* data, size_t n) {
 
 bool Crc32cHardwareSupported() { return __builtin_cpu_supports("sse4.2"); }
 
+#if defined(__x86_64__)
+namespace {
+
+// Lane width for the 3-way interleaved kernel below. 3 * 1360 = 4080
+// covers a default 4 KiB block in one pass with a 16-byte serial tail.
+constexpr size_t kCrcLane = 1360;
+
+// The advance-past-kCrcLane-zero-bytes operator of Crc32cCombine, baked
+// into four byte-indexed tables so each per-chunk combine is 4 lookups
+// instead of a 32-step GF(2) matrix-vector walk. Built once on first use.
+struct CrcLaneShift {
+  uint32_t t[4][256];
+  CrcLaneShift() {
+    const Crc32cCombineOp op(kCrcLane);
+    for (int b = 0; b < 4; ++b) {
+      for (uint32_t v = 0; v < 256; ++v) {
+        // Combine is linear in crc1 (mat * crc1 ^ crc2), so tabulating
+        // Combine(byte << 8b, 0) decomposes the matrix product.
+        t[b][v] = op.Combine(v << (8 * b), 0);
+      }
+    }
+  }
+  uint32_t Shift(uint32_t crc) const {
+    return t[0][crc & 0xffu] ^ t[1][(crc >> 8) & 0xffu] ^
+           t[2][(crc >> 16) & 0xffu] ^ t[3][crc >> 24];
+  }
+};
+
+}  // namespace
+#endif  // __x86_64__
+
 // Compiled for SSE4.2 regardless of the global -m flags; only ever called
 // after the runtime check above.
 __attribute__((target("sse4.2"))) uint32_t Crc32cHardware(uint32_t crc,
                                                           const void* data,
                                                           size_t n) {
   const auto* p = static_cast<const uint8_t*>(data);
+#if defined(__x86_64__)
+  // _mm_crc32_u64 has ~3-cycle latency, so one chain retires ~2.7 B/cycle.
+  // Large buffers are split into three independent lanes whose chains
+  // interleave in the pipeline (~3x the throughput), then stitched with
+  // the precomputed zero-advance operator:
+  //   crc(X||A||B||C) = Shift(Shift(crc(X||A)) ^ crc(B)) ^ crc(C).
+  if (n >= 3 * kCrcLane) {
+    static const CrcLaneShift kShift;
+    do {
+      uint64_t s0 = crc ^ 0xffffffffu;
+      uint64_t s1 = 0xffffffffu;
+      uint64_t s2 = 0xffffffffu;
+      const uint8_t* p1 = p + kCrcLane;
+      const uint8_t* p2 = p + 2 * kCrcLane;
+      for (size_t i = 0; i < kCrcLane; i += 8) {
+        uint64_t w0, w1, w2;
+        std::memcpy(&w0, p + i, 8);
+        std::memcpy(&w1, p1 + i, 8);
+        std::memcpy(&w2, p2 + i, 8);
+        s0 = _mm_crc32_u64(s0, w0);
+        s1 = _mm_crc32_u64(s1, w1);
+        s2 = _mm_crc32_u64(s2, w2);
+      }
+      const uint32_t a = static_cast<uint32_t>(s0) ^ 0xffffffffu;
+      const uint32_t b = static_cast<uint32_t>(s1) ^ 0xffffffffu;
+      const uint32_t c = static_cast<uint32_t>(s2) ^ 0xffffffffu;
+      crc = kShift.Shift(kShift.Shift(a) ^ b) ^ c;
+      p += 3 * kCrcLane;
+      n -= 3 * kCrcLane;
+    } while (n >= 3 * kCrcLane);
+  }
+#endif
   crc = ~crc;
   while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7u) != 0) {
     crc = _mm_crc32_u8(crc, *p++);

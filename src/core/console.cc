@@ -32,6 +32,7 @@ constexpr char kHelpText[] =
     "  inspect                         dump the whole system state\n"
     "  metrics                         metric registry + RPO/RTO tracker\n"
     "  metrics-json                    same data as one JSON object\n"
+    "  scrub                           at-rest integrity scrub status\n"
     "  trace [n]                       newest n trace events (default 20)\n"
     "  help\n";
 
@@ -94,6 +95,30 @@ Status Console::Execute(const std::string& line) {
   }
   if (cmd == "metrics-json") {
     *out_ << ObservabilityJson(system_) << "\n";
+    return OkStatus();
+  }
+  if (cmd == "scrub") {
+    const replication::Scrubber* scrub = system_->replication()->scrubber();
+    if (scrub == nullptr) {
+      *out_ << "scrubbing disabled\n";
+      return OkStatus();
+    }
+    const replication::ScrubConfig& cfg = scrub->config();
+    const replication::ScrubStats& st = scrub->stats();
+    *out_ << "scrub: " << (scrub->cycle_active() ? "scanning" : "idle")
+          << " extent=" << cfg.extent_blocks << " blocks, "
+          << cfg.max_extents_per_step << " extents/step, repair="
+          << (cfg.repair ? "on" : "off") << "\n"
+          << "  cycles=" << st.cycles_completed
+          << " extents=" << st.extents_scanned
+          << " blocks=" << st.blocks_scanned << "\n"
+          << "  checksum_mismatches=" << st.checksum_mismatches
+          << " media_errors=" << st.media_errors
+          << " divergent=" << st.divergent_extents << "\n"
+          << "  repairs_scheduled=" << st.repairs_scheduled
+          << " primary_restores=" << st.primary_restores
+          << " deferred=" << st.deferred_repairs
+          << " unrecoverable=" << st.unrecoverable_extents << "\n";
     return OkStatus();
   }
   if (cmd == "trace") {

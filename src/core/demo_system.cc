@@ -33,6 +33,9 @@ DemoSystem::DemoSystem(sim::SimEnvironment* env, DemoSystemConfig config)
   metrics_ = std::make_unique<obs::MetricRegistry>();
   trace_ = std::make_unique<obs::TraceRing>();
   engine_->AttachObservability(metrics_.get(), trace_.get());
+  if (config_.enable_scrub) {
+    ZB_CHECK(engine_->EnableScrubbing(config_.scrub).ok());
+  }
   auto wire_link = [this](sim::NetworkLink* link, const std::string& prefix,
                           uint64_t trace_id) {
     sim::NetworkLink::Instruments ins;

@@ -16,6 +16,7 @@
 #include "obs/rpo.h"
 #include "obs/trace.h"
 #include "replication/replication.h"
+#include "replication/scrubber.h"
 #include "sim/network.h"
 
 namespace zerobak::core {
@@ -35,6 +36,11 @@ struct DemoSystemConfig {
   // by default; flip off only for A/B comparisons against the legacy
   // per-group timers).
   replication::EngineOptions engine;
+  // Background at-rest integrity scrubbing (DESIGN.md §4c). Off by
+  // default: scrub is a robustness feature the demos opt into, and
+  // leaving it off keeps scenarios that predate it bit-identical.
+  bool enable_scrub = false;
+  replication::ScrubConfig scrub;
 };
 
 // The complete demonstration system of Section IV: a main site and a

@@ -55,6 +55,15 @@ std::string DescribeSite(Site* site) {
                id, vol->name().c_str(), vol->block_count(),
                vol->store().allocated_blocks(),
                array->HasInterceptor(id) ? " [replicated]" : "");
+    const block::MemVolume& store = vol->store();
+    if (store.blocks_verified() > 0 || store.media_errors() > 0 ||
+        store.checksum_failures() > 0 || store.bit_flips() > 0) {
+      AppendLine(&out,
+                 "        integrity: scrubbed=%" PRIu64 " media_err=%" PRIu64
+                 " crc_fail=%" PRIu64 " bit_flips=%" PRIu64,
+                 store.blocks_verified(), store.media_errors(),
+                 store.checksum_failures(), store.bit_flips());
+    }
   }
   for (storage::PoolId pid : array->ListPools()) {
     const storage::StoragePool* pool = array->GetPool(pid);
@@ -133,6 +142,21 @@ std::string DescribeObservability(DemoSystem* system, size_t trace_tail) {
              FormatDuration(system->env()->now()).c_str());
   out += system->metrics()->ToTable();
   out += system->rpo_tracker()->ToString();
+  const replication::Scrubber* scrub = system->replication()->scrubber();
+  if (scrub != nullptr) {
+    const replication::ScrubStats& st = scrub->stats();
+    AppendLine(&out,
+               "scrub: cycles=%" PRIu64 " extents=%" PRIu64
+               " blocks=%" PRIu64 " crc_fail=%" PRIu64 " media_err=%" PRIu64
+               " divergent=%" PRIu64 " repairs=%" PRIu64
+               " restores=%" PRIu64 " deferred=%" PRIu64
+               " unrecoverable=%" PRIu64,
+               st.cycles_completed, st.extents_scanned, st.blocks_scanned,
+               st.checksum_mismatches, st.media_errors,
+               st.divergent_extents, st.repairs_scheduled,
+               st.primary_restores, st.deferred_repairs,
+               st.unrecoverable_extents);
+  }
   obs::TraceRing* trace = system->trace();
   if (trace->size() > 0) {
     AppendLine(&out, "trace (%zu of %" PRIu64 " events%s):", trace->size(),
@@ -175,7 +199,26 @@ std::string ObservabilityJson(DemoSystem* system) {
     }
     out += "]}";
   }
-  out += "}}";
+  out += "}";
+  const replication::Scrubber* scrub = system->replication()->scrubber();
+  if (scrub != nullptr) {
+    const replication::ScrubStats& st = scrub->stats();
+    std::snprintf(buf, sizeof(buf),
+                  ", \"scrub\": {\"cycles\": %" PRIu64
+                  ", \"extents\": %" PRIu64 ", \"blocks\": %" PRIu64
+                  ", \"checksum_mismatches\": %" PRIu64
+                  ", \"media_errors\": %" PRIu64 ", \"divergent\": %" PRIu64
+                  ", \"repairs\": %" PRIu64 ", \"restores\": %" PRIu64
+                  ", \"deferred\": %" PRIu64 ", \"unrecoverable\": %" PRIu64
+                  "}",
+                  st.cycles_completed, st.extents_scanned,
+                  st.blocks_scanned, st.checksum_mismatches,
+                  st.media_errors, st.divergent_extents,
+                  st.repairs_scheduled, st.primary_restores,
+                  st.deferred_repairs, st.unrecoverable_extents);
+    out += buf;
+  }
+  out += "}";
   return out;
 }
 

@@ -25,6 +25,12 @@ const char* FaultKindName(FaultKind kind) {
       return "corrupt-start";
     case FaultKind::kCorruptEnd:
       return "corrupt-end";
+    case FaultKind::kMediaErrorStart:
+      return "media-error-start";
+    case FaultKind::kMediaErrorEnd:
+      return "media-error-end";
+    case FaultKind::kBitRot:
+      return "bit-rot";
   }
   return "unknown";
 }
@@ -53,6 +59,43 @@ void FaultSchedule::AddCorruptionTarget(
   corruption_targets_.push_back(std::move(set_probability));
 }
 
+void FaultSchedule::AddMediaTarget(block::MemVolume* volume) {
+  ZB_CHECK(!armed_) << "AddMediaTarget after Arm()";
+  MediaTarget target;
+  target.set_error = [volume](double p, uint64_t seed) {
+    volume->SetMediaError(p, seed);
+  };
+  target.flip = [volume](uint64_t lba, uint32_t bit) {
+    return volume->FlipBit(lba, bit);
+  };
+  target.block_count = volume->block_count();
+  target.block_bits = volume->block_size() * 8;
+  media_targets_.push_back(std::move(target));
+}
+
+void FaultSchedule::AddMediaTarget(block::FileVolume* volume) {
+  ZB_CHECK(!armed_) << "AddMediaTarget after Arm()";
+  MediaTarget target;
+  target.set_error = [volume](double p, uint64_t seed) {
+    volume->SetMediaError(p, seed);
+  };
+  target.flip = [volume](uint64_t lba, uint32_t bit) {
+    return volume->FlipBit(lba, bit);
+  };
+  target.block_count = volume->block_count();
+  target.block_bits = volume->block_size() * 8;
+  media_targets_.push_back(std::move(target));
+}
+
+void FaultSchedule::AddMediaTarget(journal::JournalVolume* journal) {
+  ZB_CHECK(!armed_) << "AddMediaTarget after Arm()";
+  MediaTarget target;
+  target.set_error = [journal](double p, uint64_t /*seed*/) {
+    journal->SetMediaError(p > 0.0);
+  };
+  media_targets_.push_back(std::move(target));
+}
+
 void FaultSchedule::GenerateLane(SimTime from, SimTime until,
                                  SimDuration mean_gap, SimDuration min_len,
                                  SimDuration max_len, FaultKind begin,
@@ -71,6 +114,44 @@ void FaultSchedule::GenerateLane(SimTime from, SimTime until,
     events_.push_back(FaultEvent{t + len, end, target, 0});
     // The next gap starts when this fault ends: no overlap within a lane.
     t += len;
+  }
+}
+
+void FaultSchedule::GenerateMediaLane(SimTime from, SimTime until,
+                                      size_t target) {
+  if (config_.mean_media_interval == 0) return;
+  SimTime t = from;
+  while (true) {
+    t += static_cast<SimDuration>(rng_.Exponential(
+        static_cast<double>(config_.mean_media_interval)));
+    if (t >= until) return;
+    const SimDuration len = static_cast<SimDuration>(
+        rng_.UniformInt(static_cast<int64_t>(config_.min_media),
+                        static_cast<int64_t>(config_.max_media)));
+    FaultEvent begin{t, FaultKind::kMediaErrorStart, target, 0};
+    // A fresh seed per episode: the same schedule replays on the same bad
+    // sectors, but distinct episodes degrade distinct sectors.
+    begin.seed = rng_.Next();
+    events_.push_back(begin);
+    events_.push_back(FaultEvent{t + len, FaultKind::kMediaErrorEnd, target, 0});
+    t += len;
+  }
+}
+
+void FaultSchedule::GenerateRotLane(SimTime from, SimTime until,
+                                    size_t target) {
+  if (config_.mean_rot_interval == 0) return;
+  const MediaTarget& media = media_targets_[target];
+  if (!media.flip || media.block_count == 0) return;
+  SimTime t = from;
+  while (true) {
+    t += static_cast<SimDuration>(
+        rng_.Exponential(static_cast<double>(config_.mean_rot_interval)));
+    if (t >= until) return;
+    FaultEvent rot{t, FaultKind::kBitRot, target, 0};
+    rot.lba = rng_.Uniform(media.block_count);
+    rot.bit = static_cast<uint32_t>(rng_.Uniform(media.block_bits));
+    events_.push_back(rot);
   }
 }
 
@@ -102,6 +183,10 @@ void FaultSchedule::Arm() {
     GenerateLane(from, until, config_.mean_corrupt_interval,
                  config_.min_corrupt, config_.max_corrupt,
                  FaultKind::kCorruptStart, FaultKind::kCorruptEnd, i, 0);
+  }
+  for (size_t i = 0; i < media_targets_.size(); ++i) {
+    GenerateMediaLane(from, until, i);
+    GenerateRotLane(from, until, i);
   }
 
   std::stable_sort(events_.begin(), events_.end(),
@@ -143,6 +228,16 @@ void FaultSchedule::Fire(const FaultEvent& event) {
     case FaultKind::kCorruptEnd:
       corruption_targets_[event.target](0.0);
       break;
+    case FaultKind::kMediaErrorStart:
+      media_targets_[event.target].set_error(
+          config_.media_error_probability, event.seed);
+      break;
+    case FaultKind::kMediaErrorEnd:
+      media_targets_[event.target].set_error(0.0, 0);
+      break;
+    case FaultKind::kBitRot:
+      media_targets_[event.target].flip(event.lba, event.bit);
+      break;
   }
 }
 
@@ -157,6 +252,9 @@ void FaultSchedule::Heal() {
   }
   for (storage::StorageArray* array : arrays_) array->SetFailed(false);
   for (auto& target : corruption_targets_) target(0.0);
+  // Media-error episodes end; bit rot already written stays — Heal()
+  // repairs the injectors, not the damage (that's the scrubber's job).
+  for (MediaTarget& target : media_targets_) target.set_error(0.0, 0);
 }
 
 }  // namespace zerobak::fault

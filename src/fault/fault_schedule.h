@@ -5,8 +5,11 @@
 #include <functional>
 #include <vector>
 
+#include "block/file_volume.h"
+#include "block/mem_volume.h"
 #include "common/rng.h"
 #include "common/time.h"
+#include "journal/journal.h"
 #include "sim/environment.h"
 #include "sim/network.h"
 #include "storage/array.h"
@@ -23,6 +26,9 @@ enum class FaultKind {
   kArrayRepair,       // Repair the array.
   kCorruptStart,      // Start flipping bits in in-flight wire frames.
   kCorruptEnd,        // Stop the bit flips.
+  kMediaErrorStart,   // Begin a latent-sector-error episode on a volume.
+  kMediaErrorEnd,     // Heal the volume's media.
+  kBitRot,            // Silently flip one bit of one stored block.
 };
 
 const char* FaultKindName(FaultKind kind);
@@ -30,10 +36,17 @@ const char* FaultKindName(FaultKind kind);
 struct FaultEvent {
   SimTime at = 0;
   FaultKind kind = FaultKind::kLinkDown;
-  // Index into the schedule's links()/arrays() registration order.
+  // Index into the schedule's links()/arrays()/media-target registration
+  // order (per fault class).
   size_t target = 0;
   // For kLatencySpikeStart: the spiked base latency.
   SimDuration latency = 0;
+  // For kMediaErrorStart: the episode's per-LBA hash seed (drawn at
+  // generation time so episodes replay on the same sectors).
+  uint64_t seed = 0;
+  // For kBitRot: the block and bit to flip.
+  uint64_t lba = 0;
+  uint32_t bit = 0;
 };
 
 // Tuning knobs for the generated fault mix. Every fault class draws its
@@ -69,6 +82,22 @@ struct FaultScheduleConfig {
   double corrupt_probability = 0.2;
   SimDuration min_corrupt = Milliseconds(2);
   SimDuration max_corrupt = Milliseconds(20);
+
+  // At-rest media-error episodes: while one is active, the affected
+  // volume fails reads/writes per-LBA with `media_error_probability`
+  // (journal targets fail every append instead — a journal LDEV error is
+  // all-or-nothing for the write path). Each episode draws a fresh seed,
+  // so distinct episodes hit distinct — but replayable — bad sectors.
+  SimDuration mean_media_interval = 0;
+  double media_error_probability = 0.01;
+  SimDuration min_media = Milliseconds(2);
+  SimDuration max_media = Milliseconds(20);
+
+  // Silent bit rot: point events, each flipping one uniformly chosen bit
+  // of one uniformly chosen block of a registered volume. Rot is never
+  // auto-healed — Heal() ends error episodes but flipped bits stay until
+  // the scrubber repairs them.
+  SimDuration mean_rot_interval = 0;
 };
 
 // A deterministic fault injector: from a seeded RNG it pre-generates a
@@ -97,6 +126,16 @@ class FaultSchedule {
   // replication engine's SetFaultOptions is the usual target.
   void AddCorruptionTarget(std::function<void(double)> set_probability);
 
+  // Registers a volume on the at-rest media lane: it receives seeded
+  // media-error episodes (kMediaErrorStart/End) and, when
+  // mean_rot_interval is set, silent bit flips (kBitRot).
+  void AddMediaTarget(block::MemVolume* volume);
+  void AddMediaTarget(block::FileVolume* volume);
+  // Journal flavor: episodes toggle JournalVolume::SetMediaError, making
+  // appends fail with kDataLoss for the duration. No bit rot (journal
+  // payloads are CRC-protected end to end by the wire format).
+  void AddMediaTarget(journal::JournalVolume* journal);
+
   // Generates the timeline starting at env->now() and schedules every
   // event. Call exactly once.
   void Arm();
@@ -112,12 +151,25 @@ class FaultSchedule {
   uint64_t faults_fired() const { return fired_; }
 
  private:
+  // One registered media target, type-erased over MemVolume / FileVolume /
+  // JournalVolume. `flip` is null for journals (no bit rot lane).
+  struct MediaTarget {
+    std::function<void(double, uint64_t)> set_error;
+    std::function<bool(uint64_t, uint32_t)> flip;
+    uint64_t block_count = 0;
+    uint32_t block_bits = 0;
+  };
+
   void Fire(const FaultEvent& event);
   // Appends an alternating begin/end event lane for one fault class.
   void GenerateLane(SimTime from, SimTime until, SimDuration mean_gap,
                     SimDuration min_len, SimDuration max_len,
                     FaultKind begin, FaultKind end, size_t target,
                     SimDuration latency);
+  // Media-error episodes (per-episode seed) for media target `target`.
+  void GenerateMediaLane(SimTime from, SimTime until, size_t target);
+  // Bit-rot point events for media target `target`.
+  void GenerateRotLane(SimTime from, SimTime until, size_t target);
 
   sim::SimEnvironment* env_;
   FaultScheduleConfig config_;
@@ -127,6 +179,7 @@ class FaultSchedule {
   std::vector<SimDuration> link_latency_;
   std::vector<storage::StorageArray*> arrays_;
   std::vector<std::function<void(double)>> corruption_targets_;
+  std::vector<MediaTarget> media_targets_;
   std::vector<FaultEvent> events_;
   std::vector<sim::EventId> pending_;
   bool armed_ = false;

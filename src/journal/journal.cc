@@ -32,6 +32,10 @@ JournalVolume::JournalVolume(uint64_t capacity_bytes)
     : capacity_bytes_(capacity_bytes) {}
 
 StatusOr<SequenceNumber> JournalVolume::Append(JournalRecord record) {
+  if (media_failed_) {
+    ++media_errors_;
+    return DataLossError("journal media write error");
+  }
   const uint64_t size = record.EncodedSize();
   if (used_bytes_ + size > capacity_bytes_) {
     ++overflows_;

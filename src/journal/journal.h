@@ -255,6 +255,15 @@ class JournalVolume {
   // the journal holds no records and `seq` >= the current written mark.
   Status FastForward(SequenceNumber seq);
 
+  // Fault injection: while set, Append fails with kDataLoss (a latent
+  // sector error on the journal LDEV). The replication engine maps this
+  // to SuspendReason::kMediaError, dirty-marks from the acked watermark
+  // and retries resync until the media heals — the journal-volume leg of
+  // the at-rest fault lane. Already-stored records stay readable.
+  void SetMediaError(bool failed) { media_failed_ = failed; }
+  bool media_failed() const { return media_failed_; }
+  uint64_t media_errors() const { return media_errors_; }
+
   // --- Observability ---------------------------------------------------------
   // Optional per-journal instruments, updated inline on the hot paths.
   // Null members are simply skipped; Attach with a default-constructed
@@ -286,6 +295,8 @@ class JournalVolume {
   uint64_t peak_used_bytes_ = 0;
   uint64_t folded_records_ = 0;
   uint64_t folded_bytes_ = 0;
+  bool media_failed_ = false;
+  uint64_t media_errors_ = 0;
   Instruments instruments_;
   AppendCallback append_callback_;
 };

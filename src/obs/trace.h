@@ -27,6 +27,11 @@ enum class TraceEvent : uint8_t {
   kSchedArm,         // Group left the idle set. arg0 = armed groups now.
   kSchedStarved,     // DRR deferred the group's turn. arg0 = its deficit
                      // magnitude in bytes.
+  kScrubStart,       // Scrub cycle started. arg0 = cycle number.
+  kScrubRepair,      // Divergent/corrupt extent queued for repair.
+                     // arg0 = volume id, arg1 = extent start lba.
+  kScrubDone,        // Scrub cycle finished. arg0 = extents scanned,
+                     // arg1 = repairs scheduled this cycle.
 };
 
 inline const char* TraceEventName(TraceEvent event) {
@@ -57,6 +62,12 @@ inline const char* TraceEventName(TraceEvent event) {
       return "sched-arm";
     case TraceEvent::kSchedStarved:
       return "sched-starved";
+    case TraceEvent::kScrubStart:
+      return "scrub-start";
+    case TraceEvent::kScrubRepair:
+      return "scrub-repair";
+    case TraceEvent::kScrubDone:
+      return "scrub-done";
   }
   return "?";
 }

@@ -6,6 +6,7 @@
 
 #include "common/crc32c.h"
 #include "common/logging.h"
+#include "replication/scrubber.h"
 #include "replication/wire.h"
 
 namespace zerobak::replication {
@@ -42,6 +43,10 @@ const char* SuspendReasonName(SuspendReason reason) {
       return "resync-timeout";
     case SuspendReason::kWireReject:
       return "wire-reject";
+    case SuspendReason::kMediaError:
+      return "media-error";
+    case SuspendReason::kScrubRepair:
+      return "scrub-repair";
   }
   return "?";
 }
@@ -220,6 +225,10 @@ ReplicationEngine::ReplicationEngine(sim::SimEnvironment* env,
     scheduler_ = std::make_unique<GroupScheduler>(
         env_, to_secondary_, options_.scheduler_heartbeat,
         [this](GroupSchedulerId id, uint64_t max_bytes) {
+          if (id >= kScrubSchedBase) {
+            return scrubber_ != nullptr ? scrubber_->PumpStep(max_bytes)
+                                        : PumpOutcome{};
+          }
           Group* group = FindGroup(static_cast<GroupId>(id));
           if (group == nullptr) return PumpOutcome{};
           return PumpGroup(group, max_bytes);
@@ -399,6 +408,7 @@ void ReplicationEngine::AttachObservability(obs::MetricRegistry* registry,
                                             obs::TraceRing* trace) {
   registry_ = registry;
   trace_ = trace;
+  if (scrubber_ != nullptr) scrubber_->AttachObservability(registry, trace);
   if (registry == nullptr) {
     ins_ = EngineInstruments{};
     if (scheduler_ != nullptr) {
@@ -444,6 +454,16 @@ void ReplicationEngine::AttachObservability(obs::MetricRegistry* registry,
     scheduler_->AttachObservability(sins, trace);
   }
   for (auto& [id, group] : groups_) InstrumentGroupJournals(group.get());
+}
+
+Status ReplicationEngine::EnableScrubbing(const ScrubConfig& config) {
+  if (scrubber_ != nullptr) {
+    return FailedPreconditionError("scrubbing already enabled");
+  }
+  scrubber_ = std::make_unique<Scrubber>(this, config);
+  scrubber_->AttachObservability(registry_, trace_);
+  scrubber_->Start();
+  return OkStatus();
 }
 
 void ReplicationEngine::SyncExecStats() {
@@ -640,16 +660,23 @@ void ReplicationEngine::OnAsyncHostWrite(
   ZB_CHECK(jnl != nullptr);
   auto seq_or = jnl->Append(std::move(record));
   if (!seq_or.ok()) {
-    // Journal overflow: the classic ADC failure mode. Suspend the whole
-    // group (it shares the journal), keep acking the host.
+    // The two ADC journal failure modes: a full journal (classic
+    // overflow) or a journal-LDEV media error (kDataLoss). Either way the
+    // whole group suspends (it shares the journal) and the host keeps
+    // getting acks; the reason steers observability and, for media
+    // errors, tells operators the resync retries are waiting on hardware.
+    const bool media =
+        seq_or.status().code() == StatusCode::kDataLoss;
     ZB_LOG(Warning) << "group " << group->id
-                    << " journal overflow; suspending: "
+                    << (media ? " journal media error; suspending: "
+                              : " journal overflow; suspending: ")
                     << seq_or.status();
-    if (trace_ != nullptr) {
+    if (trace_ != nullptr && !media) {
       trace_->Record(env_->now(), obs::TraceEvent::kJournalOverflow,
                      group->id, jnl->used_bytes());
     }
-    SuspendOnFailure(group, SuspendReason::kJournalOverflow);
+    SuspendOnFailure(group, media ? SuspendReason::kMediaError
+                                  : SuspendReason::kJournalOverflow);
     pair->dirty_.SetRange(lba, count);
     NoteUnsynced(group, env_->now());
   }
@@ -1054,6 +1081,16 @@ void ReplicationEngine::TryAutoResync(GroupId id) {
   group->resync_retry_pending = false;
   if (!group->suspended || group->failed_over) return;
   if (group->suspend_reason == SuspendReason::kOperator) return;
+  if (group->suspend_reason == SuspendReason::kMediaError) {
+    // A resync would succeed (it bypasses the journal), but the next host
+    // write hits the broken journal LDEV and re-suspends immediately.
+    // Stay suspended and keep backing off until the hardware heals.
+    auto* jnl = primary_->GetJournal(group->primary_journal);
+    if (jnl != nullptr && jnl->media_failed()) {
+      ScheduleResyncRetry(group, /*reset_backoff=*/false);
+      return;
+    }
+  }
   ++group->auto_resync_attempts;
   Status rs = ResyncGroup(id);
   if (!rs.ok()) {

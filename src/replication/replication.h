@@ -51,6 +51,10 @@ enum class SuspendReason {
   kAckTimeout,       // A shipped batch missed its apply-ack deadline.
   kResyncTimeout,    // A resync batch was lost in flight.
   kWireReject,       // The backup site nacked a corrupt wire frame.
+  kMediaError,       // The journal volume failed an append (kDataLoss);
+                     // backoff/resync retries until the media heals.
+  kScrubRepair,      // The scrubber dirty-marked corrupt/divergent extents
+                     // and suspended for a targeted resync.
 };
 
 const char* PairStateName(PairState state);
@@ -249,6 +253,8 @@ struct FailbackReport {
 };
 
 class ReplicationEngine;
+class Scrubber;
+struct ScrubConfig;
 
 namespace internal {
 class AdcInterceptor;
@@ -272,6 +278,7 @@ class Pair {
 
  private:
   friend class ReplicationEngine;
+  friend class Scrubber;
   friend class internal::AdcInterceptor;
   friend class internal::SyncInterceptor;
   friend class internal::ReverseDirtyTracker;
@@ -422,7 +429,19 @@ class ReplicationEngine {
   // observe lane count and section/steal counters.
   exec::ThreadPool* compute_pool() { return compute_pool_.get(); }
 
+  // --- At-rest integrity scrubbing ------------------------------------------
+  // Starts the background scrubber (see replication/scrubber.h): a
+  // low-priority walk over every consistency-group volume that verifies
+  // block checksums, compares primary/secondary fingerprints and
+  // self-heals what it finds. Scheduled through the GroupScheduler in
+  // event-driven mode (pseudo-id >= kScrubSchedBase), a periodic task
+  // otherwise. Fails if already enabled.
+  Status EnableScrubbing(const ScrubConfig& config);
+  Scrubber* scrubber() { return scrubber_.get(); }
+  const Scrubber* scrubber() const { return scrubber_.get(); }
+
  private:
+  friend class Scrubber;
   friend class internal::AdcInterceptor;
   friend class internal::SyncInterceptor;
 
@@ -595,6 +614,8 @@ class ReplicationEngine {
   EngineOptions options_;
   // Event-driven transfer scheduler; null in legacy per-group-timer mode.
   std::unique_ptr<GroupScheduler> scheduler_;
+  // Background integrity scrubber; null until EnableScrubbing.
+  std::unique_ptr<Scrubber> scrubber_;
   // Parallel-section pool (see EngineOptions::compute_threads); null when
   // the resolved lane count is 1, making every call site's pool argument
   // nullptr and the whole data path provably inline.
@@ -674,6 +695,11 @@ class ReplicationEngine {
   // disjoint per-pair channel range.
   static constexpr uint64_t kSyncChannelBase = 1ull << 32;
   static uint64_t SyncChannel(PairId id) { return kSyncChannelBase + id; }
+
+  // Scheduler pseudo-id space for the scrubber, disjoint from group ids
+  // and the sync-pair channel range: the pump callback dispatches ids at
+  // or above this base to the scrubber instead of a group.
+  static constexpr uint64_t kScrubSchedBase = 1ull << 33;
 };
 
 }  // namespace zerobak::replication

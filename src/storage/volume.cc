@@ -9,7 +9,12 @@ Volume::Volume(VolumeId id, std::string name, uint64_t block_count,
     : id_(id),
       name_(std::move(name)),
       store_(block_count, block_size),
-      pool_(pool) {}
+      pool_(pool) {
+  // Every array LDEV carries the per-block CRC32C sidecar: silent at-rest
+  // corruption surfaces as kDataLoss on read instead of bad data, and the
+  // scrubber can fingerprint extents without a second source of truth.
+  store_.EnableChecksums();
+}
 
 Status Volume::Read(block::Lba lba, uint32_t count, std::string* out) {
   return store_.Read(lba, count, out);

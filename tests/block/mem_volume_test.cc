@@ -165,5 +165,128 @@ TEST(MemVolumeSlabTest, CloneFromReplacesExistingContent) {
   EXPECT_EQ(b.ReadBlock(9), BlockOf('\0'));
 }
 
+TEST(MemVolumeIntegrityTest, ChecksumCatchesSilentFlip) {
+  MemVolume v(10);
+  v.EnableChecksums();
+  ASSERT_TRUE(v.Write(3, 1, BlockOf('x')).ok());
+  std::string out;
+  ASSERT_TRUE(v.Read(3, 1, &out).ok());
+
+  ASSERT_TRUE(v.FlipBit(3, 17));
+  EXPECT_EQ(v.bit_flips(), 1u);
+  Status s = v.Read(3, 1, &out);
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss) << s;
+  EXPECT_GE(v.checksum_failures(), 1u);
+  // Overwriting refreshes the sidecar: the block is trustworthy again.
+  ASSERT_TRUE(v.Write(3, 1, BlockOf('y')).ok());
+  ASSERT_TRUE(v.Read(3, 1, &out).ok());
+  EXPECT_EQ(out, BlockOf('y'));
+}
+
+TEST(MemVolumeIntegrityTest, EnableChecksumsBackfillsExistingBlocks) {
+  MemVolume v(10);
+  ASSERT_TRUE(v.Write(2, 1, BlockOf('a')).ok());
+  v.EnableChecksums();
+  // Pre-existing content was fingerprinted at enable time.
+  ASSERT_TRUE(v.FlipBit(2, 3));
+  std::string out;
+  EXPECT_EQ(v.Read(2, 1, &out).code(), StatusCode::kDataLoss);
+}
+
+TEST(MemVolumeIntegrityTest, FlipBitRefusesHoles) {
+  MemVolume v(10);
+  v.EnableChecksums();
+  EXPECT_FALSE(v.FlipBit(5, 0)) << "a hole has no media to rot";
+  EXPECT_EQ(v.bit_flips(), 0u);
+}
+
+TEST(MemVolumeIntegrityTest, VerifyExtentClassifiesHealth) {
+  MemVolume v(64);
+  v.EnableChecksums();
+  ASSERT_TRUE(v.Write(10, 1, BlockOf('q')).ok());
+  EXPECT_EQ(v.VerifyExtent(0, 64), MemVolume::ExtentHealth::kClean);
+  EXPECT_GE(v.blocks_verified(), 64u);
+
+  ASSERT_TRUE(v.FlipBit(10, 100));
+  Lba bad = 0;
+  EXPECT_EQ(v.VerifyExtent(0, 64, &bad),
+            MemVolume::ExtentHealth::kChecksumMismatch);
+  EXPECT_EQ(bad, 10u);
+
+  // An armed media gate outranks the checksum scan.
+  v.SetMediaError(1.0, 42);
+  EXPECT_EQ(v.VerifyExtent(0, 64, &bad),
+            MemVolume::ExtentHealth::kMediaError);
+  v.SetMediaError(0.0, 0);
+  EXPECT_EQ(v.VerifyExtent(0, 64, &bad),
+            MemVolume::ExtentHealth::kChecksumMismatch);
+}
+
+TEST(MemVolumeIntegrityTest, MediaGateIsDeterministicPerSeed) {
+  MemVolume a(256), b(256);
+  a.SetMediaError(0.2, 99);
+  b.SetMediaError(0.2, 99);
+  std::string out;
+  int failures = 0;
+  for (Lba lba = 0; lba < 256; ++lba) {
+    const bool a_bad = !a.Read(lba, 1, &out).ok();
+    const bool b_bad = !b.Read(lba, 1, &out).ok();
+    EXPECT_EQ(a_bad, b_bad) << "lba " << lba;
+    failures += a_bad ? 1 : 0;
+  }
+  EXPECT_GT(failures, 0);
+  EXPECT_LT(failures, 256);
+  EXPECT_EQ(a.media_errors(), static_cast<uint64_t>(failures));
+  // Writes hit the same per-LBA gate.
+  Lba bad_lba = 0;
+  for (Lba lba = 0; lba < 256; ++lba) {
+    if (!a.Read(lba, 1, &out).ok()) {
+      bad_lba = lba;
+      break;
+    }
+  }
+  EXPECT_EQ(b.Write(bad_lba, 1, BlockOf('w')).code(),
+            StatusCode::kDataLoss);
+  // Healing the gate restores full access.
+  a.SetMediaError(0.0, 0);
+  for (Lba lba = 0; lba < 256; ++lba) {
+    EXPECT_TRUE(a.Read(lba, 1, &out).ok());
+  }
+}
+
+TEST(MemVolumeIntegrityTest, ExtentFingerprintTracksContent) {
+  MemVolume a(64), b(64);
+  a.EnableChecksums();
+  b.EnableChecksums();
+  // Holes fingerprint equal (both all-zero), allocated-zero too.
+  EXPECT_EQ(a.ExtentFingerprint(0, 64), b.ExtentFingerprint(0, 64));
+  ASSERT_TRUE(a.Write(7, 1, BlockOf('\0')).ok());
+  EXPECT_EQ(a.ExtentFingerprint(0, 64), b.ExtentFingerprint(0, 64));
+  // Diverging content diverges the fingerprint; matching it re-converges.
+  ASSERT_TRUE(a.Write(9, 1, BlockOf('f')).ok());
+  EXPECT_NE(a.ExtentFingerprint(0, 64), b.ExtentFingerprint(0, 64));
+  EXPECT_EQ(b.ExtentFingerprint(0, 64), b.ExtentFingerprint(0, 64));
+  ASSERT_TRUE(b.Write(9, 1, BlockOf('f')).ok());
+  EXPECT_EQ(a.ExtentFingerprint(0, 64), b.ExtentFingerprint(0, 64));
+  // Position matters: the same block at a different LBA differs.
+  MemVolume c(64);
+  c.EnableChecksums();
+  ASSERT_TRUE(c.Write(10, 1, BlockOf('f')).ok());
+  EXPECT_NE(a.ExtentFingerprint(0, 64), c.ExtentFingerprint(0, 64));
+}
+
+TEST(MemVolumeIntegrityTest, CloneFromPreservesLatentRot) {
+  MemVolume a(10), b(10);
+  a.EnableChecksums();
+  b.EnableChecksums();
+  ASSERT_TRUE(a.Write(4, 1, BlockOf('r')).ok());
+  ASSERT_TRUE(a.FlipBit(4, 9));
+  ASSERT_TRUE(b.CloneFrom(a).ok());
+  // The clone carries the stale sidecar, so the rot stays detectable
+  // instead of being laundered by a recompute.
+  std::string out;
+  EXPECT_EQ(b.Read(4, 1, &out).code(), StatusCode::kDataLoss);
+}
+
 }  // namespace
 }  // namespace zerobak::block

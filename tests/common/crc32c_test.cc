@@ -115,6 +115,30 @@ TEST(Crc32cKernelTest, KernelsAgreeWhenExtending) {
   }
 }
 
+// Lengths bracketing the 3-lane interleaved kernel's 3 * 1360 = 4080
+// threshold and its chunk repeats, with running CRCs feeding in — the
+// lane-combine stitching must be invisible at every boundary.
+TEST(Crc32cKernelTest, KernelsAgreeAroundInterleaveBoundaries) {
+  Rng rng(0x3a9e);
+  std::string buf(3 * 4080 + 64, '\0');
+  for (char& c : buf) c = static_cast<char>(rng.Uniform(256));
+  for (size_t len : {size_t{4079}, size_t{4080}, size_t{4081}, size_t{8159},
+                     size_t{8160}, size_t{8161}, size_t{12240}}) {
+    for (uint32_t seed : {0u, 0xdeadbeefu}) {
+      const uint32_t want = internal::Crc32cSlice8(seed, buf.data(), len);
+      if (internal::Crc32cHardwareSupported()) {
+        EXPECT_EQ(internal::Crc32cHardware(seed, buf.data(), len), want)
+            << "sse4.2 len " << len << " seed " << seed;
+        // Offset 1: the lanes start misaligned.
+        EXPECT_EQ(internal::Crc32cHardware(seed, buf.data() + 1, len),
+                  internal::Crc32cSlice8(seed, buf.data() + 1, len))
+            << "sse4.2 unaligned len " << len;
+      }
+      EXPECT_EQ(Crc32cExtend(seed, buf.data(), len), want);
+    }
+  }
+}
+
 TEST(Crc32cKernelTest, ImplementationNameIsKnown) {
   const std::string name = internal::Crc32cImplementation();
   EXPECT_TRUE(name == "sse4.2" || name == "slice8" || name == "portable")

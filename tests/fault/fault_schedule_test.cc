@@ -126,6 +126,14 @@ TEST(FaultScheduleTest, EventsDriveTargetsAndStayWithinLaneBounds) {
       case FaultKind::kArrayRepair:
         EXPECT_FALSE(array.failed());
         break;
+      case FaultKind::kCorruptStart:
+      case FaultKind::kCorruptEnd:
+      case FaultKind::kMediaErrorStart:
+      case FaultKind::kMediaErrorEnd:
+      case FaultKind::kBitRot:
+        // BusyConfig arms no corruption or media lane.
+        ADD_FAILURE() << "unexpected " << FaultKindName(ev.kind);
+        break;
     }
   }
   EXPECT_TRUE(saw_disconnect);
@@ -244,6 +252,96 @@ TEST(FaultScheduleTest, HealStopsCorruption) {
   EXPECT_EQ(probability, 0.0);
   env.RunFor(Seconds(1));
   EXPECT_EQ(probability, 0.0);
+}
+
+TEST(FaultScheduleTest, MediaLaneDrivesVolumeAndJournalTargets) {
+  sim::SimEnvironment env;
+  FaultScheduleConfig cfg;
+  cfg.seed = 21;
+  cfg.horizon = Milliseconds(500);
+  cfg.mean_flap_interval = 0;  // Media lane only.
+  cfg.mean_media_interval = Milliseconds(40);
+  cfg.media_error_probability = 1.0;
+  cfg.min_media = Milliseconds(2);
+  cfg.max_media = Milliseconds(10);
+  FaultSchedule schedule(&env, cfg);
+
+  block::MemVolume volume(64);
+  journal::JournalVolume journal(1 << 20);
+  schedule.AddMediaTarget(&volume);
+  schedule.AddMediaTarget(&journal);
+  schedule.Arm();
+
+  size_t starts = 0, ends = 0;
+  for (const FaultEvent& event : schedule.events()) {
+    ASSERT_TRUE(event.kind == FaultKind::kMediaErrorStart ||
+                event.kind == FaultKind::kMediaErrorEnd)
+        << FaultKindName(event.kind);
+    if (event.kind == FaultKind::kMediaErrorStart) {
+      EXPECT_NE(event.seed, 0u) << "episodes carry a replay seed";
+      ++starts;
+    } else {
+      ++ends;
+    }
+  }
+  ASSERT_GT(starts, 0u);
+  EXPECT_EQ(starts, ends) << "every episode must close within the horizon";
+
+  // Each target gets its own episode timeline; walk it and check both
+  // injectors actually engaged at some point.
+  bool volume_failed = false;
+  bool journal_failed = false;
+  for (const FaultEvent& event : schedule.events()) {
+    env.RunUntil(event.at);
+    env.RunFor(0);  // Let same-instant events fire.
+    volume_failed |= volume.media_error_armed();
+    journal_failed |= journal.media_failed();
+  }
+  EXPECT_TRUE(volume_failed);
+  EXPECT_TRUE(journal_failed);
+
+  // After the horizon every episode has closed: targets healthy again.
+  env.RunUntilIdle();
+  EXPECT_FALSE(volume.media_error_armed());
+  EXPECT_FALSE(journal.media_failed());
+}
+
+TEST(FaultScheduleTest, RotLaneFlipsBitsOnlyInWrittenBlocks) {
+  sim::SimEnvironment env;
+  FaultScheduleConfig cfg;
+  cfg.seed = 9;
+  cfg.horizon = Milliseconds(500);
+  cfg.mean_flap_interval = 0;
+  cfg.mean_rot_interval = Milliseconds(10);  // Rot lane only.
+  FaultSchedule schedule(&env, cfg);
+
+  block::MemVolume volume(64);
+  volume.EnableChecksums();
+  // Half the volume written; rot events targeting holes are no-ops.
+  for (block::Lba lba = 0; lba < 32; ++lba) {
+    ASSERT_TRUE(
+        volume.Write(lba, 1, std::string(volume.block_size(), 'x')).ok());
+  }
+  schedule.AddMediaTarget(&volume);
+  schedule.Arm();
+
+  size_t rot_events = 0;
+  for (const FaultEvent& event : schedule.events()) {
+    ASSERT_EQ(event.kind, FaultKind::kBitRot);
+    EXPECT_LT(event.lba, 64u);
+    ++rot_events;
+  }
+  ASSERT_GT(rot_events, 0u);
+
+  env.RunUntilIdle();
+  EXPECT_LE(volume.bit_flips(), rot_events);
+  // Heal repairs injectors, never the damage: flips stay flipped, and the
+  // sidecar still remembers the pre-rot content.
+  schedule.Heal();
+  if (volume.bit_flips() > 0) {
+    EXPECT_EQ(volume.VerifyExtent(0, 64),
+              block::MemVolume::ExtentHealth::kChecksumMismatch);
+  }
 }
 
 }  // namespace

@@ -20,7 +20,9 @@
 #include "common/rng.h"
 #include "db/minidb.h"
 #include "fault/fault_schedule.h"
+#include "journal/journal.h"
 #include "replication/replication.h"
+#include "replication/scrubber.h"
 #include "storage/array.h"
 #include "storage/array_device.h"
 #include "workload/kv_workload.h"
@@ -62,7 +64,9 @@ class ChaosRun {
   // (write-folding, sorted apply, extent resync, adaptive batching, wire
   // compression): the prefix invariant must hold identically with it on
   // and off.
-  explicit ChaosRun(uint64_t seed, bool coalesce = true)
+  // `scrub` turns on the background at-rest integrity scrubber (the
+  // repair arm of the media-fault drill).
+  explicit ChaosRun(uint64_t seed, bool coalesce = true, bool scrub = false)
       : main_(&env_, ZeroLatency("MAIN")),
         backup_(&env_, ZeroLatency("BKUP")),
         to_backup_(&env_, ChaosLink(seed * 31 + 1), "fwd"),
@@ -101,6 +105,14 @@ class ChaosRun {
       EXPECT_TRUE(pair.ok());
       pairs_.push_back(*pair);
     }
+    if (scrub) {
+      ScrubConfig scfg;
+      scfg.extent_blocks = 16;
+      scfg.max_extents_per_step = 32;
+      scfg.step_interval = Milliseconds(1);
+      scfg.cycle_interval = Milliseconds(5);
+      EXPECT_TRUE(engine_.EnableScrubbing(scfg).ok());
+    }
     env_.RunFor(Milliseconds(5));
   }
 
@@ -136,6 +148,71 @@ class ChaosRun {
     schedule_->Heal();
     to_backup_.set_drop_probability(0.0);
     to_main_.set_drop_probability(0.0);
+  }
+
+  // The at-rest media lane: seeded error episodes on the primary journal
+  // LDEV (every append fails -> kMediaError suspension) and silent bit
+  // rot on the S-VOL stores. Two schedules because the lanes target
+  // different hardware: the journal gets all-or-nothing episodes, the
+  // data volumes get per-block flips.
+  void ArmMediaChaos(uint64_t fault_seed, SimDuration horizon) {
+    fault::FaultScheduleConfig jcfg;
+    jcfg.seed = fault_seed;
+    jcfg.horizon = horizon;
+    jcfg.mean_media_interval = Milliseconds(20);
+    jcfg.min_media = Milliseconds(2);
+    jcfg.max_media = Milliseconds(6);
+    media_schedule_ = std::make_unique<fault::FaultSchedule>(&env_, jcfg);
+    media_schedule_->AddMediaTarget(engine_.primary_journal(group_));
+    media_schedule_->Arm();
+
+    fault::FaultScheduleConfig rcfg;
+    rcfg.seed = fault_seed * 17 + 3;
+    rcfg.horizon = horizon;
+    rcfg.mean_rot_interval = Milliseconds(5);
+    rot_schedule_ = std::make_unique<fault::FaultSchedule>(&env_, rcfg);
+    for (int v = 0; v < kVolumes; ++v) {
+      rot_schedule_->AddMediaTarget(
+          &backup_.GetVolume(svols_[static_cast<size_t>(v)])->store());
+    }
+    rot_schedule_->Arm();
+  }
+
+  // Heals the injectors only: bits already flipped stay flipped (that is
+  // the scrubber's job, or the ablation's evidence).
+  void HealMediaChaos() {
+    media_schedule_->Heal();
+    rot_schedule_->Heal();
+  }
+
+  uint64_t BitFlips() {
+    uint64_t n = 0;
+    for (int v = 0; v < kVolumes; ++v) {
+      n += backup_.GetVolume(svols_[static_cast<size_t>(v)])
+               ->store()
+               .bit_flips();
+    }
+    return n;
+  }
+
+  // Application-visible sweep: reads every backup block through the
+  // checksum-verified path, returning how many failed with kDataLoss.
+  // Any other failure aborts the test.
+  uint64_t CountBadReads() {
+    uint64_t bad = 0;
+    std::string out;
+    for (int v = 0; v < kVolumes; ++v) {
+      for (uint64_t lba = 0; lba < kBlocks; ++lba) {
+        Status s = backup_.GetVolume(svols_[static_cast<size_t>(v)])
+                       ->Read(lba, 1, &out);
+        if (s.code() == StatusCode::kDataLoss) {
+          ++bad;
+        } else {
+          EXPECT_TRUE(s.ok()) << s;
+        }
+      }
+    }
+    return bad;
   }
 
   void WriteTagged() {
@@ -292,6 +369,8 @@ class ChaosRun {
   std::vector<storage::VolumeId> svols_;
   std::vector<PairId> pairs_;
   std::unique_ptr<fault::FaultSchedule> schedule_;
+  std::unique_ptr<fault::FaultSchedule> media_schedule_;
+  std::unique_ptr<fault::FaultSchedule> rot_schedule_;
   std::vector<WriteEvent> history_;
   uint64_t next_tag_ = 0;
 };
@@ -325,6 +404,90 @@ ScenarioResult RunScenario(uint64_t seed, bool coalesce = true) {
   EXPECT_TRUE(run.BackupIsWriteOrderPrefix()) << "seed " << seed;
   result.fingerprint = run.BackupFingerprint();
   return result;
+}
+
+// Media-lane scenario: journal media episodes + silent S-VOL bit rot
+// under write load, then heal the injectors and let the recovery
+// machinery (and, in the repair arm, the scrubber) do its work.
+struct MediaScenarioResult {
+  uint64_t flips = 0;
+  uint64_t journal_media_errors = 0;
+  uint64_t mismatches_found = 0;
+  uint64_t repairs = 0;
+  uint64_t bad_reads = 0;
+  bool converged = false;
+  std::vector<uint64_t> fingerprint;
+};
+
+MediaScenarioResult RunMediaScenario(uint64_t seed, bool scrub) {
+  ChaosRun run(seed, /*coalesce=*/true, scrub);
+  run.ArmMediaChaos(seed * 211 + 1, Milliseconds(150));
+  run.RunWrites(250);
+  run.HealMediaChaos();
+
+  MediaScenarioResult r;
+  r.converged = static_cast<bool>(run.DrainToConverged());
+  r.flips = run.BitFlips();
+  r.journal_media_errors =
+      run.engine_.primary_journal(run.group_)->media_errors();
+  if (const Scrubber* s = run.engine_.scrubber()) {
+    r.mismatches_found = s->stats().checksum_mismatches;
+    r.repairs = s->stats().repairs_scheduled + s->stats().primary_restores;
+  }
+  r.bad_reads = run.CountBadReads();
+
+  if (scrub) {
+    // Repaired state must still be a write-order prefix (the full one:
+    // the group reconverged, so the cut is "all of history").
+    EXPECT_TRUE(run.BackupIsWriteOrderPrefix()) << "seed " << seed;
+    r.fingerprint = run.BackupFingerprint();
+  }
+  return r;
+}
+
+// The repair arm: every seeded silent flip is caught by the CRC sidecar
+// and healed — the application sees zero bad reads and the backup equals
+// the primary history. The ablation arm (scrub off) proves the flips were
+// real and that without repair they surface only as typed kDataLoss.
+TEST(ChaosTest, MediaFaultLaneScrubRepairsAllRotAcrossSeeds) {
+  uint64_t total_flips = 0;
+  uint64_t total_journal_errors = 0;
+  uint64_t total_repairs = 0;
+  uint64_t ablation_bad_reads = 0;
+  uint64_t ablation_flips = 0;
+  for (uint64_t seed : {11, 12, 13, 14, 15, 16, 17, 18}) {
+    MediaScenarioResult on = RunMediaScenario(seed, /*scrub=*/true);
+    EXPECT_TRUE(on.converged) << "seed " << seed;
+    EXPECT_EQ(on.bad_reads, 0u)
+        << "seed " << seed << ": scrub left unrepaired rot visible";
+    total_flips += on.flips;
+    total_journal_errors += on.journal_media_errors;
+    total_repairs += on.repairs;
+
+    MediaScenarioResult off = RunMediaScenario(seed, /*scrub=*/false);
+    ablation_flips += off.flips;
+    ablation_bad_reads += off.bad_reads;
+    EXPECT_EQ(off.mismatches_found, 0u);
+  }
+  // The drill must actually have exercised both media lanes.
+  EXPECT_GT(total_flips, 0u) << "no bit rot landed; raise the rot rate";
+  EXPECT_GT(total_journal_errors, 0u)
+      << "no journal media episode hit an append; raise the episode rate";
+  EXPECT_GT(total_repairs, 0u);
+  // Ablation: the same rot without repair is detected, never silent.
+  EXPECT_GT(ablation_flips, 0u);
+  EXPECT_GE(ablation_bad_reads, 1u)
+      << "rot without scrub must surface as kDataLoss reads";
+}
+
+TEST(ChaosTest, MediaFaultScenarioIsDeterministic) {
+  MediaScenarioResult a = RunMediaScenario(14, /*scrub=*/true);
+  MediaScenarioResult b = RunMediaScenario(14, /*scrub=*/true);
+  EXPECT_EQ(a.flips, b.flips);
+  EXPECT_EQ(a.journal_media_errors, b.journal_media_errors);
+  EXPECT_EQ(a.mismatches_found, b.mismatches_found);
+  EXPECT_EQ(a.repairs, b.repairs);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
 }
 
 TEST(ChaosTest, BackupIsWriteOrderPrefixAcrossSeeds) {
